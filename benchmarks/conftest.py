@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Each benchmark file regenerates one table or figure of the paper and
+benchmarks the representative hot path (usually inference) with
+pytest-benchmark.  Formatted experiment tables are written to
+``benchmarks/results/<experiment>.txt`` so a ``--benchmark-only`` run
+leaves the regenerated evaluation on disk.
+
+Scale is controlled by ``$REPRO_SCALE`` (default: ``ci`` here, so the
+whole suite completes in minutes on one CPU; use ``default`` or
+``paper`` for higher fidelity).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchContext
+from repro.scale import Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext(Scale.from_environment(fallback="ci"), seed=42)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write one experiment's formatted table to the results directory."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(experiment: str, text: str) -> None:
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

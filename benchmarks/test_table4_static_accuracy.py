@@ -1,0 +1,59 @@
+"""Table 4: static q-error comparison, 13 estimators x 4 datasets.
+
+The full table is regenerated once per session; the pytest-benchmark
+timings cover one inference call per estimator group (the quantity
+Figure 4 reports in milliseconds).
+"""
+
+import pytest
+
+from repro.bench.static import DATASETS, format_table4, table4
+from repro.registry import LEARNED_NAMES, TRADITIONAL_NAMES
+
+
+@pytest.fixture(scope="module")
+def results(ctx, record_result):
+    out = table4(ctx)
+    record_result("table4", format_table4(out))
+    return out
+
+
+def test_table4_learned_win_overall(results):
+    """The headline: learned methods beat traditional ones in general."""
+    wins = 0
+    cells = 0
+    for dataset, by_method in results.items():
+        best_t = min(s.p99 for m, s in by_method.items() if m in TRADITIONAL_NAMES)
+        best_l = min(s.p99 for m, s in by_method.items() if m in LEARNED_NAMES)
+        cells += 1
+        wins += best_l <= best_t
+    assert wins >= cells / 2, "learned methods should win most datasets"
+
+
+def test_table4_naru_among_most_accurate(results):
+    """Naru is the paper's most robust learned method.  At bench scale
+    the epoch budget blunts its edge, so the robust claim is: top-2 by
+    max q-error somewhere, and never the worst learned method."""
+    top2 = 0
+    for dataset, by_method in results.items():
+        ranked = sorted(
+            (s.max, m) for m, s in by_method.items() if m in LEARNED_NAMES
+        )
+        if any(m == "naru" for _, m in ranked[:2]):
+            top2 += 1
+        assert ranked[-1][1] != "naru", f"naru worst on {dataset}"
+    assert top2 >= 1
+
+
+def test_table4_every_method_present(results):
+    for dataset in DATASETS:
+        assert set(results[dataset]) == set(TRADITIONAL_NAMES + LEARNED_NAMES)
+
+
+@pytest.mark.parametrize("method", ["postgres", "sampling", "bayes",
+                                    "lw-xgb", "naru", "deepdb"])
+def test_inference_latency(ctx, results, benchmark, method):
+    """Per-query estimation latency on census (Figure 4's lower panel)."""
+    est = ctx.estimator(method, "census")
+    query = ctx.test_workload("census").queries[0]
+    benchmark(est.estimate, query)

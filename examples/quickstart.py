@@ -1,0 +1,53 @@
+"""Quickstart: train a learned estimator and compare it with Postgres.
+
+Run::
+
+    python examples/quickstart.py
+
+Loads the simulated Census dataset, generates the paper's unified
+workload, fits Naru (data-driven) and a Postgres-style estimator, and
+prints side-by-side q-error summaries plus a few example queries.
+"""
+
+import numpy as np
+
+from repro import Scale, datasets, generate_workload, make_estimator, summarize
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    scale = Scale.ci()  # seconds, not minutes; try Scale.default() for more
+
+    table = datasets.census()
+    print(f"dataset: {table} (joint domain ~10^{table.log10_domain_product():.0f})")
+
+    train = generate_workload(table, scale.train_queries, rng)
+    test = generate_workload(table, scale.test_queries, rng)
+    print(f"workload: {len(train)} training / {len(test)} test queries\n")
+
+    naru = make_estimator("naru", scale)
+    naru.fit(table)  # data-driven: no queries needed
+    postgres = make_estimator("postgres", scale)
+    postgres.fit(table)
+
+    queries = list(test.queries)
+    for est in (postgres, naru):
+        estimates = est.estimate_many(queries)
+        summary = summarize(estimates, test.cardinalities)
+        print(
+            f"{est.name:9s} fit={est.timing.fit_seconds:6.2f}s "
+            f"infer={est.timing.mean_inference_ms:6.2f}ms/query  {summary}"
+        )
+
+    print("\nexample queries:")
+    for query in queries[:3]:
+        actual = table.cardinality(query)
+        print(f"  {query.to_sql(table)}")
+        print(
+            f"    actual={actual}  postgres={postgres.estimate(query):.0f}"
+            f"  naru={naru.estimate(query):.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

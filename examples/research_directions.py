@@ -1,0 +1,115 @@
+"""Prototypes of the paper's research directions (Section 7).
+
+Run::
+
+    python examples/research_directions.py
+
+Three of the paper's proposed remedies, working end to end:
+
+1. **Control the cost** — a hierarchical ensemble routes simple queries
+   to a cheap estimator and complex ones to the heavy model, and a
+   fallback ensemble serves the cheap model while the heavy one
+   retrains (Section 7.1).
+2. **Tune cheaply** — successive halving finds a competitive
+   architecture at a fraction of grid search's training cost.
+3. **Make it trustworthy** — the LogicalGuard wrapper restores
+   stability and both fidelity rules around Naru's stochastic
+   progressive sampling (Section 7.2).
+"""
+
+import numpy as np
+
+from repro import Scale, datasets, generate_workload, make_estimator
+from repro.core.metrics import qerrors
+from repro.datasets import apply_update
+from repro.estimators.learned import FallbackEstimator, HierarchicalEstimator
+from repro.estimators.traditional import PostgresEstimator, SamplingEstimator
+from repro.rules import LogicalGuard, check_all
+from repro.tuning import SearchSpace, grid_search, successive_halving
+
+
+def _geo(errors: np.ndarray) -> float:
+    return float(np.exp(np.log(errors).mean()))
+
+
+def ensembles(scale: Scale, table, train, test) -> None:
+    print("1. cost control: ensembles")
+    queries = list(test.queries)
+
+    hier = HierarchicalEstimator(
+        PostgresEstimator(), make_estimator("naru", scale), predicate_threshold=3
+    ).fit(table)
+    light_frac, heavy_frac = hier.routing_fractions(queries)
+    errors = qerrors(hier.estimate_many(queries), test.cardinalities)
+    print(
+        f"   hierarchical: {light_frac:.0%} of queries -> postgres, "
+        f"{heavy_frac:.0%} -> naru; geo q-error={_geo(errors):.2f}"
+    )
+
+    fallback = FallbackEstimator(
+        PostgresEstimator(), SamplingEstimator(fraction=0.05)
+    ).fit(table)
+    rng = np.random.default_rng(0)
+    new_table, appended = apply_update(table, rng)
+    fallback.update(new_table, appended)
+    print(f"   fallback: serving '{fallback.serving}' while heavy model is stale")
+    fallback.promote()
+    print(f"   fallback: serving '{fallback.serving}' after promote()\n")
+
+
+def cheap_tuning(scale: Scale, table, train, test) -> None:
+    print("2. cheap hyper-parameter tuning")
+    from repro.estimators.learned import LwNnEstimator
+
+    valid, _ = test.split(max(2, len(test) // 2))
+
+    def builder(config):
+        return LwNnEstimator(
+            hidden_units=config["hidden_units"],
+            epochs=int(config.get("epochs", scale.nn_epochs)),
+        )
+
+    space = SearchSpace({"hidden_units": [(8,), (16,), (32, 32), (64, 64)]})
+    rng = np.random.default_rng(1)
+    grid = grid_search(builder, space, table, train, valid)
+    halving = successive_halving(
+        builder, space, table, train, valid, rng,
+        num_configs=4, min_epochs=1, max_epochs=scale.nn_epochs,
+    )
+    print(
+        f"   grid search:        best geo q-error={grid.best_score:.2f} "
+        f"({grid.total_fit_seconds:.1f}s over {len(grid.trials)} fits)"
+    )
+    print(
+        f"   successive halving: best geo q-error={halving.best_score:.2f} "
+        f"({halving.total_fit_seconds:.1f}s over {len(halving.trials)} fits)\n"
+    )
+
+
+def trustworthy(scale: Scale, table, train) -> None:
+    print("3. trustworthiness: the LogicalGuard wrapper around Naru")
+    rng = np.random.default_rng(2)
+    naked = make_estimator("naru", scale).fit(table)
+    guarded = LogicalGuard(make_estimator("naru", scale)).fit(table)
+    for est in (naked, guarded):
+        reports = check_all(est, table, rng, num_checks=20)
+        marks = " ".join(
+            f"{rule}={'ok' if rep.satisfied else 'VIOLATED'}"
+            for rule, rep in reports.items()
+        )
+        print(f"   {est.name:15s} {marks}")
+
+
+def main() -> None:
+    scale = Scale.ci()
+    rng = np.random.default_rng(9)
+    table = datasets.census()
+    train = generate_workload(table, scale.train_queries, rng)
+    test = generate_workload(table, scale.test_queries, rng)
+    ensembles(scale, table, train, test)
+    cheap_tuning(scale, table, train, test)
+    trustworthy(scale, table, train)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Static-environment shoot-out (a miniature of the paper's Table 4).
+
+Run::
+
+    python examples/static_comparison.py [dataset]
+
+Fits all thirteen estimators on one dataset under the same workload and
+prints the 50th/95th/99th/max q-error table with the learned-vs-
+traditional verdict, plus model sizes and costs.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    LEARNED_NAMES,
+    TRADITIONAL_NAMES,
+    Scale,
+    datasets,
+    generate_workload,
+    make_estimator,
+    summarize,
+)
+from repro.bench.reporting import format_seconds, render_table
+from repro.core.metrics import format_qerror, win_lose
+
+
+def main(dataset: str = "census") -> None:
+    rng = np.random.default_rng(1)
+    scale = Scale.ci()
+    table = datasets.load(dataset)
+    train = generate_workload(table, scale.train_queries, rng)
+    test = generate_workload(table, scale.test_queries, rng)
+    queries = list(test.queries)
+
+    rows = []
+    summaries: dict[str, object] = {}
+    for name in TRADITIONAL_NAMES + LEARNED_NAMES:
+        est = make_estimator(name, scale)
+        est.fit(table, train if est.requires_workload else None)
+        summary = summarize(est.estimate_many(queries), test.cardinalities)
+        summaries[name] = summary
+        rows.append(
+            [
+                name,
+                "learned" if name in LEARNED_NAMES else "traditional",
+                *[format_qerror(v) for v in summary.as_tuple()],
+                format_seconds(est.timing.fit_seconds),
+                f"{est.timing.mean_inference_ms:.2f}ms",
+                f"{est.model_size_bytes() / 1024:.0f}KB",
+            ]
+        )
+
+    verdict = win_lose(
+        {n: summaries[n] for n in TRADITIONAL_NAMES},
+        {n: summaries[n] for n in LEARNED_NAMES},
+    )
+    rows.append(
+        ["L v.s. T", "", verdict["p50"], verdict["p95"], verdict["p99"],
+         verdict["max"], "", "", ""]
+    )
+    print(
+        render_table(
+            ["Estimator", "Group", "50th", "95th", "99th", "Max",
+             "Train", "Infer", "Size"],
+            rows,
+            title=f"Static comparison on {dataset} ({table.num_rows} rows)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "census")

@@ -1,0 +1,87 @@
+"""repro: a reproduction of "Are We Ready For Learned Cardinality
+Estimation?" (Wang et al., VLDB 2021).
+
+The package provides:
+
+* :mod:`repro.core` — tables, conjunctive range queries, the unified
+  workload generator, and q-error metrics;
+* :mod:`repro.estimators` — eight traditional and five learned
+  cardinality estimators behind one protocol;
+* :mod:`repro.datasets` — simulated Census/Forest/Power/DMV tables and
+  the Section 6 synthetic generator;
+* :mod:`repro.dynamic` — the Section 5 dynamic-environment simulator;
+* :mod:`repro.rules` — the Section 6.3 logical-rule checker;
+* :mod:`repro.bench` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Scale, datasets, generate_workload, make_estimator, summarize
+
+    table = datasets.census()
+    rng = np.random.default_rng(0)
+    train = generate_workload(table, 1000, rng)
+    test = generate_workload(table, 200, rng)
+    naru = make_estimator("naru", Scale.ci()).fit(table)
+    print(summarize(naru.estimate_many(list(test.queries)), test.cardinalities))
+"""
+
+from . import datasets, dynamic, explain, persistence, planner, rules, tuning
+from .core import (
+    CardinalityEstimator,
+    Predicate,
+    QErrorSummary,
+    Query,
+    Table,
+    Workload,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_workload,
+    qerror,
+    qerrors,
+    summarize,
+)
+from .registry import (
+    DBMS_NAMES,
+    EXTRA_NAMES,
+    LEARNED_NAMES,
+    TRADITIONAL_NAMES,
+    estimator_names,
+    make_estimator,
+    make_learned,
+    make_traditional,
+)
+from .scale import Scale
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CardinalityEstimator",
+    "DBMS_NAMES",
+    "EXTRA_NAMES",
+    "LEARNED_NAMES",
+    "Predicate",
+    "QErrorSummary",
+    "Query",
+    "Scale",
+    "TRADITIONAL_NAMES",
+    "Table",
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "datasets",
+    "dynamic",
+    "estimator_names",
+    "explain",
+    "generate_workload",
+    "make_estimator",
+    "make_learned",
+    "make_traditional",
+    "persistence",
+    "planner",
+    "qerror",
+    "qerrors",
+    "rules",
+    "summarize",
+    "tuning",
+]

@@ -1,0 +1,99 @@
+"""CLI: regenerate any table or figure of the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench table4 [--scale ci|default|paper] [--seed N]
+    python -m repro.bench all --scale ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..scale import Scale
+from . import figure2, robustness, rules_exp
+from .context import BenchContext
+from .dynamic_exp import (
+    figure6,
+    figure7,
+    figure8,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+)
+from .robustness import figure9a, figure9b, figure10, figure11
+from .rules_exp import format_table6, table6
+from .static import (
+    figure3,
+    figure4,
+    format_figure3,
+    format_figure4,
+    format_table3,
+    format_table4,
+    format_table5,
+    table3,
+    table4,
+    table5,
+)
+
+
+def _experiments(ctx: BenchContext) -> dict[str, callable]:
+    return {
+        "table3": lambda: format_table3(table3(ctx)),
+        "figure2": lambda: figure2.format_figure2(),
+        "figure3": lambda: format_figure3(figure3(ctx)),
+        "table4": lambda: format_table4(table4(ctx)),
+        "figure4": lambda: format_figure4(figure4(ctx)),
+        "table5": lambda: format_table5(table5(ctx)),
+        "figure6": lambda: format_figure6(figure6(ctx)),
+        "figure7": lambda: format_figure7(figure7(ctx)),
+        "figure8": lambda: format_figure8(figure8(ctx)),
+        "figure9a": lambda: robustness.format_sweep(
+            figure9a(ctx), "c", "Figure 9a: correlation sweep"
+        ),
+        "figure9b": lambda: robustness.format_sweep(
+            figure9b(ctx), "s", "Figure 9b: skew sweep"
+        ),
+        "figure10": lambda: robustness.format_sweep(
+            figure10(ctx), "d", "Figure 10: domain-size sweep"
+        ),
+        "figure11": lambda: robustness.format_figure11(figure11(ctx)),
+        "table6": lambda: format_table6(table6(ctx)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (table3, table4, figure6, ... or 'all')",
+    )
+    parser.add_argument("--scale", default=None, help="ci | default | paper")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    scale = Scale.from_name(args.scale) if args.scale else Scale.from_environment()
+    ctx = BenchContext(scale, seed=args.seed)
+    experiments = _experiments(ctx)
+
+    names = list(experiments) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from {sorted(experiments)}"
+        )
+    for name in names:
+        start = time.perf_counter()
+        print(experiments[name]())
+        print(f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

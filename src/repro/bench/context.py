@@ -1,0 +1,71 @@
+"""Shared benchmark context: datasets, workloads and fitted estimators.
+
+Training a learned model is by far the dominant cost of the benchmark,
+so the context caches fitted estimators and labelled workloads keyed by
+(dataset, method); every experiment that needs "the models of Table 4"
+reuses them, mirroring the paper's setup where the same trained models
+feed Sections 4-5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.table import Table
+from ..core.workload import Workload, generate_workload
+from ..datasets import realworld
+from ..registry import make_estimator
+from ..scale import Scale
+
+
+class BenchContext:
+    """Lazily materialised datasets, workloads and fitted models."""
+
+    def __init__(self, scale: Scale | None = None, seed: int = 42) -> None:
+        self.scale = scale or Scale.from_environment()
+        self.seed = seed
+        self._tables: dict[str, Table] = {}
+        self._train: dict[str, Workload] = {}
+        self._test: dict[str, Workload] = {}
+        self._fitted: dict[tuple[str, str], CardinalityEstimator] = {}
+
+    # ------------------------------------------------------------------
+    def table(self, dataset: str) -> Table:
+        if dataset not in self._tables:
+            rows = int(realworld.DEFAULT_ROWS[dataset] * self.scale.row_fraction)
+            self._tables[dataset] = realworld.load(dataset, num_rows=max(rows, 500))
+        return self._tables[dataset]
+
+    def train_workload(self, dataset: str) -> Workload:
+        if dataset not in self._train:
+            rng = np.random.default_rng(self.seed)
+            self._train[dataset] = generate_workload(
+                self.table(dataset), self.scale.train_queries, rng
+            )
+        return self._train[dataset]
+
+    def test_workload(self, dataset: str) -> Workload:
+        if dataset not in self._test:
+            rng = np.random.default_rng(self.seed + 1)
+            self._test[dataset] = generate_workload(
+                self.table(dataset), self.scale.test_queries, rng
+            )
+        return self._test[dataset]
+
+    # ------------------------------------------------------------------
+    def estimator(self, method: str, dataset: str) -> CardinalityEstimator:
+        """The fitted model of ``method`` on ``dataset`` (cached)."""
+        key = (method, dataset)
+        if key not in self._fitted:
+            est = make_estimator(method, self.scale)
+            workload = self.train_workload(dataset) if est.requires_workload else None
+            est.fit(self.table(dataset), workload)
+            self._fitted[key] = est
+        return self._fitted[key]
+
+    def fresh_estimator(self, method: str, dataset: str) -> CardinalityEstimator:
+        """A newly fitted, uncached model (for experiments that mutate it)."""
+        est = make_estimator(method, self.scale)
+        workload = self.train_workload(dataset) if est.requires_workload else None
+        return est.fit(self.table(dataset), workload)

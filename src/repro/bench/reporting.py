@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(r) for r in cells)
+    return "\n".join(parts)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration: ms under a second, minutes over 120 s."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f}s"
+    return f"{seconds / 60:.1f}min"

@@ -1,0 +1,213 @@
+"""When do learned estimators go wrong? (paper Section 6, Figures 9-11.)
+
+Sweeps over the synthetic dataset's three factors — correlation, skew
+and domain size — training the *same* model configuration on each
+variant and reporting the distribution of the top-1% q-errors, plus the
+Naru instability experiment of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import qerrors, top_fraction
+from ..core.query import Predicate, Query
+from ..core.table import Table
+from ..core.workload import WorkloadConfig, generate_workload
+from ..datasets.synthetic import (
+    correlation_sweep,
+    domain_sweep,
+    generate_synthetic,
+    skew_sweep,
+)
+from ..estimators.learned import (
+    DeepDbEstimator,
+    LwNnEstimator,
+    LwXgbEstimator,
+    MscnEstimator,
+    NaruEstimator,
+)
+from .context import BenchContext
+from .reporting import render_table
+
+#: Section 6 fixes one configuration per method (paper Section 6.1):
+#: DeepDB at the recommended defaults, LW-XGB at 128 trees, and one
+#: consistently good architecture for each neural method.
+def _section6_estimators(ctx: BenchContext):
+    scale = ctx.scale
+    return {
+        "mscn": lambda: MscnEstimator(hidden_units=32, epochs=scale.nn_epochs),
+        "lw-xgb": lambda: LwXgbEstimator(num_trees=128),
+        "lw-nn": lambda: LwNnEstimator(hidden_units=(32, 32), epochs=scale.nn_epochs),
+        "naru": lambda: NaruEstimator(
+            hidden_units=48,
+            hidden_layers=2,
+            epochs=scale.naru_epochs,
+            num_samples=scale.naru_samples,
+        ),
+        "deepdb": lambda: DeepDbEstimator(
+            rdc_threshold=0.3, min_instance_slice_fraction=0.01
+        ),
+    }
+
+
+#: Section 6 workloads draw every query center out-of-domain to probe
+#: the whole query space.
+_OOD_CONFIG = WorkloadConfig(ood_probability=1.0)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Top-1% q-error distribution for one method at one factor level."""
+
+    method: str
+    level: float
+    top_min: float
+    top_median: float
+    top_max: float
+
+
+def _run_sweep(
+    tables: dict[float, Table] | dict[int, Table], ctx: BenchContext
+) -> list[SweepCell]:
+    estimators = _section6_estimators(ctx)
+    cells: list[SweepCell] = []
+    for level, table in tables.items():
+        rng = np.random.default_rng(ctx.seed + 23)
+        train = generate_workload(table, ctx.scale.train_queries, rng, _OOD_CONFIG)
+        test = generate_workload(table, ctx.scale.test_queries, rng, _OOD_CONFIG)
+        queries = list(test.queries)
+        for method, factory in estimators.items():
+            est = factory()
+            est.fit(table, train if est.requires_workload else None)
+            errors = qerrors(est.estimate_many(queries), test.cardinalities)
+            top = top_fraction(errors, 0.01)
+            cells.append(
+                SweepCell(
+                    method=method,
+                    level=float(level),
+                    top_min=float(top.min()),
+                    top_median=float(np.median(top)),
+                    top_max=float(top.max()),
+                )
+            )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Figures 9a, 9b, 10
+# ----------------------------------------------------------------------
+def figure9a(ctx: BenchContext) -> list[SweepCell]:
+    """Top-1% q-error vs correlation (s = 1.0, d = 1000)."""
+    rng = np.random.default_rng(ctx.seed + 29)
+    tables = correlation_sweep(ctx.scale.synthetic_rows, rng)
+    return _run_sweep(tables, ctx)
+
+
+def figure9b(ctx: BenchContext) -> list[SweepCell]:
+    """Top-1% q-error vs skew (c = 1.0, d = 1000)."""
+    rng = np.random.default_rng(ctx.seed + 31)
+    tables = skew_sweep(ctx.scale.synthetic_rows, rng)
+    return _run_sweep(tables, ctx)
+
+
+def figure10(ctx: BenchContext) -> list[SweepCell]:
+    """Top-1% q-error vs domain size (s = 1.0, c = 1.0)."""
+    rng = np.random.default_rng(ctx.seed + 37)
+    levels = (10, 100, 1000, 10_000)
+    tables = domain_sweep(ctx.scale.synthetic_rows, rng, levels=levels)
+    return _run_sweep(tables, ctx)
+
+
+def format_sweep(cells: list[SweepCell], factor: str, title: str) -> str:
+    methods = list(dict.fromkeys(c.method for c in cells))
+    levels = sorted(dict.fromkeys(c.level for c in cells))
+    rows = []
+    for method in methods:
+        row: list[object] = [method]
+        for level in levels:
+            cell = next(
+                c for c in cells if c.method == method and c.level == level
+            )
+            row.append(f"{cell.top_median:.0f}/{cell.top_max:.0f}")
+        rows.append(row)
+    headers = ["Method"] + [f"{factor}={lv:g}" for lv in levels]
+    return render_table(
+        headers, rows, title=f"{title} (top-1% q-error, median/max)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: Naru's inference instability
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StabilityResult:
+    """Repeated Naru estimates of one query (Figure 11)."""
+
+    actual: float
+    estimates: np.ndarray
+
+    @property
+    def spread(self) -> float:
+        return float(self.estimates.max() - self.estimates.min())
+
+    @property
+    def relative_spread(self) -> float:
+        return self.spread / max(self.actual, 1.0)
+
+
+def figure11(
+    ctx: BenchContext, repeats: int | None = None
+) -> StabilityResult:
+    """Run Naru on one adversarial query many times (s = 0, c = 1, d = 1000).
+
+    The query covers a wide range on the first column and a narrow one on
+    the second; under functional dependency the sampled conditionals have
+    huge variance, so progressive sampling spreads widely.
+    """
+    repeats = repeats or max(200, ctx.scale.test_queries)
+    rng = np.random.default_rng(ctx.seed + 41)
+    table = generate_synthetic(
+        ctx.scale.synthetic_rows, skew=0.0, correlation=1.0, domain_size=1000, rng=rng
+    )
+    # The instability needs a *well-trained* model: an undertrained one
+    # has smeared conditionals and spuriously low sampling variance, so
+    # this experiment trains past the default epoch budget and keeps the
+    # sample width moderate (variance grows as width shrinks).
+    est = NaruEstimator(
+        hidden_units=48,
+        hidden_layers=2,
+        epochs=max(12, 2 * ctx.scale.naru_epochs),
+        num_samples=min(64, ctx.scale.naru_samples),
+    )
+    est.fit(table)
+    # Wide range on column 0, a handful of values on column 1.
+    query = Query(
+        (
+            Predicate(0, 50.0, 900.0),
+            Predicate(1, 100.0, 102.0),
+        )
+    )
+    actual = float(table.cardinality(query))
+    estimates = np.array([est.estimate(query) for _ in range(repeats)])
+    return StabilityResult(actual=actual, estimates=estimates)
+
+
+def format_figure11(result: StabilityResult) -> str:
+    est = result.estimates
+    rows = [
+        ["actual", f"{result.actual:.0f}"],
+        ["runs", len(est)],
+        ["min", f"{est.min():.0f}"],
+        ["median", f"{np.median(est):.0f}"],
+        ["max", f"{est.max():.0f}"],
+        ["spread (max-min)", f"{result.spread:.0f}"],
+        ["spread / actual", f"{result.relative_spread:.2f}"],
+    ]
+    return render_table(
+        ["Quantity", "Value"],
+        rows,
+        title="Figure 11: Naru repeated-estimate spread on one query",
+    )

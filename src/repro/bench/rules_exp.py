@@ -1,0 +1,52 @@
+"""Table 6: logical-rule satisfaction of the learned estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.workload import generate_workload
+from ..datasets.synthetic import generate_synthetic
+from ..registry import LEARNED_NAMES, make_estimator
+from ..rules import RuleReport, check_all
+from .context import BenchContext
+from .reporting import render_table
+
+RULE_ORDER = ["monotonicity", "consistency", "stability", "fidelity-a", "fidelity-b"]
+
+
+def table6(
+    ctx: BenchContext, methods: list[str] | None = None, num_checks: int = 40
+) -> dict[str, dict[str, RuleReport]]:
+    """Check every learned method against the five rules (Section 6.3).
+
+    Probes run on a moderately correlated synthetic table (the Section 6
+    setting); the native model outputs are checked, with no fix-ups.
+    """
+    methods = methods or LEARNED_NAMES
+    rng = np.random.default_rng(ctx.seed + 43)
+    table = generate_synthetic(
+        ctx.scale.synthetic_rows, skew=1.0, correlation=0.8, domain_size=100, rng=rng
+    )
+    train = generate_workload(table, ctx.scale.train_queries, rng)
+    out: dict[str, dict[str, RuleReport]] = {}
+    for method in methods:
+        est = make_estimator(method, ctx.scale)
+        est.fit(table, train if est.requires_workload else None)
+        out[method] = check_all(est, table, rng, num_checks=num_checks)
+    return out
+
+
+def format_table6(results: dict[str, dict[str, RuleReport]]) -> str:
+    methods = list(results)
+    rows = []
+    for rule in RULE_ORDER:
+        row: list[object] = [rule]
+        for method in methods:
+            report = results[method][rule]
+            row.append("/" if report.satisfied else "x")
+        rows.append(row)
+    return render_table(
+        ["Rule"] + methods,
+        rows,
+        title="Table 6: rule satisfaction (/ = satisfied, x = violated)",
+    )

@@ -1,0 +1,284 @@
+"""Static-environment experiments (paper Section 4 + setup tables).
+
+* :func:`table3` — dataset characteristics.
+* :func:`figure3` — selectivity distribution of the generated workloads.
+* :func:`table4` — q-error comparison, 13 estimators x 4 datasets.
+* :func:`figure4` — training and inference cost, CPU and (derived) GPU.
+* :func:`table5` — hyper-parameter sensitivity of the neural methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import QErrorSummary, format_qerror, qerrors, summarize, win_lose
+from ..datasets import realworld
+from ..dynamic.device import GPU
+from ..estimators.learned import LwNnEstimator, MscnEstimator, NaruEstimator
+from ..registry import LEARNED_NAMES, TRADITIONAL_NAMES
+from .context import BenchContext
+from .reporting import format_seconds, render_table
+
+DATASETS = realworld.dataset_names()
+
+
+# ----------------------------------------------------------------------
+# Table 3: dataset characteristics
+# ----------------------------------------------------------------------
+def table3(ctx: BenchContext) -> list[dict[str, object]]:
+    rows = []
+    for name in DATASETS:
+        table = ctx.table(name)
+        rows.append(
+            {
+                "dataset": name,
+                "size_mb": table.size_bytes() / 1e6,
+                "rows": table.num_rows,
+                "cols": table.num_columns,
+                "cat": table.num_categorical,
+                "log10_domain": table.log10_domain_product(),
+            }
+        )
+    return rows
+
+
+def format_table3(rows: list[dict[str, object]]) -> str:
+    return render_table(
+        ["Dataset", "Size(MB)", "Rows", "Cols/Cat", "Domain"],
+        [
+            [
+                r["dataset"],
+                f"{r['size_mb']:.1f}",
+                r["rows"],
+                f"{r['cols']}/{r['cat']}",
+                f"10^{r['log10_domain']:.0f}",
+            ]
+            for r in rows
+        ],
+        title="Table 3: dataset characteristics (simulated)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: workload selectivity distribution
+# ----------------------------------------------------------------------
+def figure3(ctx: BenchContext) -> dict[str, np.ndarray]:
+    """Histogram of log10 selectivity per dataset.
+
+    Returns, per dataset, the fraction of queries in buckets
+    ``[0] + (10^-k, 10^-k+1] ...`` — the series behind Figure 3.
+    """
+    out: dict[str, np.ndarray] = {}
+    for name in DATASETS:
+        table = ctx.table(name)
+        workload = ctx.test_workload(name)
+        sels = workload.selectivities(table)
+        edges = [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0 + 1e-12]
+        counts, _ = np.histogram(sels, bins=edges)
+        zero = float(np.mean(sels == 0.0))
+        fracs = counts / len(sels)
+        fracs[0] -= zero  # first bucket excludes exact zeros
+        out[name] = np.concatenate([[zero], fracs])
+    return out
+
+
+def format_figure3(series: dict[str, np.ndarray]) -> str:
+    headers = ["Dataset", "=0", "<1e-6", "1e-6..", "1e-5..", "1e-4..", "1e-3..", "1e-2..", ">1e-1"]
+    rows = [
+        [name] + [f"{v:.2f}" for v in fracs] for name, fracs in series.items()
+    ]
+    return render_table(
+        headers, rows, title="Figure 3: workload selectivity distribution"
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 4: static accuracy
+# ----------------------------------------------------------------------
+def table4(
+    ctx: BenchContext, datasets: list[str] | None = None, methods: list[str] | None = None
+) -> dict[str, dict[str, QErrorSummary]]:
+    """Q-error summaries per dataset per method."""
+    datasets = datasets or DATASETS
+    methods = methods or (TRADITIONAL_NAMES + LEARNED_NAMES)
+    out: dict[str, dict[str, QErrorSummary]] = {}
+    for dataset in datasets:
+        test = ctx.test_workload(dataset)
+        queries = list(test.queries)
+        out[dataset] = {}
+        for method in methods:
+            est = ctx.estimator(method, dataset)
+            estimates = est.estimate_many(queries)
+            out[dataset][method] = summarize(estimates, test.cardinalities)
+    return out
+
+
+def format_table4(results: dict[str, dict[str, QErrorSummary]]) -> str:
+    blocks = []
+    for dataset, by_method in results.items():
+        rows = []
+        for method in TRADITIONAL_NAMES + LEARNED_NAMES:
+            if method not in by_method:
+                continue
+            s = by_method[method]
+            group = "T" if method in TRADITIONAL_NAMES else "L"
+            rows.append(
+                [method, group] + [format_qerror(v) for v in s.as_tuple()]
+            )
+        traditional = {m: s for m, s in by_method.items() if m in TRADITIONAL_NAMES}
+        learned = {m: s for m, s in by_method.items() if m in LEARNED_NAMES}
+        if traditional and learned:
+            verdict = win_lose(traditional, learned)
+            rows.append(
+                ["L v.s. T", ""]
+                + [verdict[k] for k in ("p50", "p95", "p99", "max")]
+            )
+        blocks.append(
+            render_table(
+                ["Estimator", "", "50th", "95th", "99th", "Max"],
+                rows,
+                title=f"Table 4 [{dataset}]: estimation errors",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: training / inference cost
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CostRow:
+    dataset: str
+    method: str
+    train_seconds_cpu: float
+    train_seconds_gpu: float
+    inference_ms_cpu: float
+    inference_ms_gpu: float
+
+
+def figure4(
+    ctx: BenchContext, datasets: list[str] | None = None, methods: list[str] | None = None
+) -> list[CostRow]:
+    """Training time and mean per-query inference latency.
+
+    CPU numbers are measured wall-clock; GPU numbers derive from the
+    paper's measured speedup factors (see :mod:`repro.dynamic.device`).
+    """
+    datasets = datasets or DATASETS
+    methods = methods or (["postgres", "mysql", "dbms-a"] + LEARNED_NAMES)
+    rows = []
+    for dataset in datasets:
+        test = ctx.test_workload(dataset)
+        queries = list(test.queries)
+        for method in methods:
+            est = ctx.estimator(method, dataset)
+            # Time inference on a fresh counter to avoid double counting.
+            before_t = est.timing.total_inference_seconds
+            before_n = est.timing.inference_count
+            est.estimate_many(queries)
+            elapsed = est.timing.total_inference_seconds - before_t
+            per_query_ms = 1000.0 * elapsed / (est.timing.inference_count - before_n)
+            speed = GPU.speedup(method)
+            rows.append(
+                CostRow(
+                    dataset=dataset,
+                    method=method,
+                    train_seconds_cpu=est.timing.fit_seconds,
+                    train_seconds_gpu=est.timing.fit_seconds / speed,
+                    inference_ms_cpu=per_query_ms,
+                    inference_ms_gpu=per_query_ms / speed,
+                )
+            )
+    return rows
+
+
+def format_figure4(rows: list[CostRow]) -> str:
+    return render_table(
+        ["Dataset", "Method", "Train(CPU)", "Train(GPU*)", "Infer(CPU)", "Infer(GPU*)"],
+        [
+            [
+                r.dataset,
+                r.method,
+                format_seconds(r.train_seconds_cpu),
+                format_seconds(r.train_seconds_gpu),
+                f"{r.inference_ms_cpu:.2f}ms",
+                f"{r.inference_ms_gpu:.2f}ms",
+            ]
+            for r in rows
+        ],
+        title="Figure 4: training and inference cost (GPU* derived, see DESIGN.md)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 5: hyper-parameter sensitivity
+# ----------------------------------------------------------------------
+def _architecture_grid(scale_epochs: int, naru_epochs: int, samples: int):
+    """Candidate architectures per neural method (paper: four each)."""
+    return {
+        "naru": [
+            lambda: NaruEstimator(hidden_units=8, hidden_layers=2,
+                                  epochs=naru_epochs, num_samples=samples),
+            lambda: NaruEstimator(hidden_units=32, hidden_layers=2,
+                                  epochs=naru_epochs, num_samples=samples),
+            lambda: NaruEstimator(hidden_units=64, hidden_layers=3,
+                                  epochs=naru_epochs, num_samples=samples),
+            lambda: NaruEstimator(hidden_units=64, hidden_layers=3,
+                                  learning_rate=2e-2, epochs=naru_epochs,
+                                  num_samples=samples),
+        ],
+        "mscn": [
+            lambda: MscnEstimator(hidden_units=8, epochs=scale_epochs),
+            lambda: MscnEstimator(hidden_units=32, epochs=scale_epochs),
+            lambda: MscnEstimator(hidden_units=64, epochs=scale_epochs),
+            lambda: MscnEstimator(hidden_units=64, learning_rate=1e-2,
+                                  epochs=scale_epochs),
+        ],
+        "lw-nn": [
+            lambda: LwNnEstimator(hidden_units=(16,), epochs=scale_epochs),
+            lambda: LwNnEstimator(hidden_units=(32, 32), epochs=scale_epochs),
+            lambda: LwNnEstimator(hidden_units=(64, 64), epochs=scale_epochs),
+            lambda: LwNnEstimator(hidden_units=(64, 64), learning_rate=1e-2,
+                                  epochs=scale_epochs),
+        ],
+    }
+
+
+def table5(
+    ctx: BenchContext, datasets: list[str] | None = None
+) -> dict[str, dict[str, float]]:
+    """Worst/best ratio of max q-error across hyper-parameter settings."""
+    datasets = datasets or DATASETS
+    grid = _architecture_grid(
+        ctx.scale.nn_epochs, ctx.scale.naru_epochs, ctx.scale.naru_samples
+    )
+    out: dict[str, dict[str, float]] = {m: {} for m in grid}
+    for dataset in datasets:
+        table = ctx.table(dataset)
+        train = ctx.train_workload(dataset)
+        test = ctx.test_workload(dataset)
+        queries = list(test.queries)
+        for method, factories in grid.items():
+            max_errors = []
+            for factory in factories:
+                est = factory()
+                est.fit(table, train if est.requires_workload else None)
+                errors = qerrors(est.estimate_many(queries), test.cardinalities)
+                max_errors.append(float(errors.max()))
+            out[method][dataset] = max(max_errors) / min(max_errors)
+    return out
+
+
+def format_table5(results: dict[str, dict[str, float]]) -> str:
+    datasets = sorted(next(iter(results.values())).keys(), key=DATASETS.index)
+    rows = [
+        [method] + [f"{results[method][d]:.2f}" for d in datasets]
+        for method in results
+    ]
+    return render_table(
+        ["Estimator"] + datasets,
+        rows,
+        title="Table 5: worst/best max-q-error ratio across hyper-parameters",
+    )

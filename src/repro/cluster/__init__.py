@@ -1,0 +1,6 @@
+"""Clustering / dependence substrate used by DeepDB's SPN learner."""
+
+from .kmeans import kmeans
+from .rdc import rdc, rdc_matrix
+
+__all__ = ["kmeans", "rdc", "rdc_matrix"]

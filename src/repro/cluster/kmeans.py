@@ -1,0 +1,81 @@
+"""KMeans clustering (Lloyd's algorithm with k-means++ seeding).
+
+DeepDB splits a table into row clusters to create SPN sum nodes; the
+original implementation uses scikit-learn's KMeans, which is unavailable
+here, so this module provides a compatible replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared distance."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    centers[0] = points[rng.integers(n)]
+    dist2 = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = dist2.sum()
+        if total <= 0.0:
+            centers[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probs = dist2 / total
+        centers[i] = points[rng.choice(n, p=probs)]
+        dist2 = np.minimum(dist2, np.sum((points - centers[i]) ** 2, axis=1))
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``k`` groups.
+
+    Returns ``(labels, centers)``.  Columns are standardised internally so
+    no single wide-domain attribute dominates the distance metric.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    n = points.shape[0]
+    if k < 1:
+        raise ValueError("k must be positive")
+    if k >= n:
+        return np.arange(n, dtype=np.int64) % k, points[:k].copy()
+
+    std = points.std(axis=0)
+    std[std == 0.0] = 1.0
+    scaled = (points - points.mean(axis=0)) / std
+
+    centers = _kmeanspp_init(scaled, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iter):
+        # Assign: squared Euclidean distance to each center.
+        d2 = (
+            np.sum(scaled**2, axis=1)[:, None]
+            - 2.0 * scaled @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        new_labels = np.argmin(d2, axis=1)
+        shift = 0.0
+        for c in range(k):
+            members = scaled[new_labels == c]
+            if len(members) == 0:
+                # Re-seed an empty cluster at the farthest point.
+                far = int(np.argmax(np.min(d2, axis=1)))
+                members = scaled[far : far + 1]
+                new_labels[far] = c
+            new_center = members.mean(axis=0)
+            shift += float(np.sum((new_center - centers[c]) ** 2))
+            centers[c] = new_center
+        labels = new_labels
+        if shift < tol:
+            break
+    return labels, centers

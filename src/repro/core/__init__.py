@@ -1,0 +1,39 @@
+"""Core substrate: tables, queries, workload generation, metrics, and the
+estimator protocol."""
+
+from .estimator import CardinalityEstimator, TimingRecord
+from .metrics import (
+    QErrorSummary,
+    format_qerror,
+    qerror,
+    qerrors,
+    summarize,
+    top_fraction,
+    win_lose,
+)
+from .query import Predicate, Query, closed_range, equality, query_of
+from .table import Column, Table
+from .workload import Workload, WorkloadConfig, WorkloadGenerator, generate_workload
+
+__all__ = [
+    "CardinalityEstimator",
+    "Column",
+    "Predicate",
+    "QErrorSummary",
+    "Query",
+    "Table",
+    "TimingRecord",
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "closed_range",
+    "equality",
+    "format_qerror",
+    "generate_workload",
+    "qerror",
+    "qerrors",
+    "query_of",
+    "summarize",
+    "top_fraction",
+    "win_lose",
+]

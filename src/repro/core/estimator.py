@@ -1,0 +1,137 @@
+"""Estimator protocol shared by all thirteen methods.
+
+Every estimator implements:
+
+* ``fit(table, workload=None)`` — build the model/statistics.  Query-driven
+  methods (``requires_workload`` true) need a labelled training workload;
+  data-driven methods ignore it.
+* ``estimate(query)`` — estimated COUNT(*) for one query.
+* ``update(table, appended, workload=None)`` — react to appended rows, the
+  dynamic-environment protocol of Section 5.  The default is a full refit;
+  learned methods override it with the incremental procedure described in
+  their original papers (e.g. Naru trains one more epoch, DeepDB inserts a
+  sample into its SPN).
+
+The harness wraps these calls to capture wall-clock timings, which feed
+Figure 4 (training/inference cost) and Figures 6-8 (dynamic environments).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .query import Query
+from .table import Table
+from .workload import Workload
+
+
+@dataclass
+class TimingRecord:
+    """Wall-clock costs captured by the harness for one estimator."""
+
+    fit_seconds: float = 0.0
+    update_seconds: float = 0.0
+    total_inference_seconds: float = 0.0
+    inference_count: int = 0
+
+    @property
+    def mean_inference_ms(self) -> float:
+        if self.inference_count == 0:
+            return 0.0
+        return 1000.0 * self.total_inference_seconds / self.inference_count
+
+
+class CardinalityEstimator(ABC):
+    """Base class for all cardinality estimators in the benchmark."""
+
+    #: Short name used in tables and the registry.
+    name: str = "estimator"
+    #: True for query-driven (regression) methods that need labelled queries.
+    requires_workload: bool = False
+
+    def __init__(self) -> None:
+        self.timing = TimingRecord()
+        self._table: Table | None = None
+
+    # ------------------------------------------------------------------
+    # Public API (timed)
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, workload: Workload | None = None) -> "CardinalityEstimator":
+        """Build the estimator from ``table`` (and queries, if query-driven)."""
+        if self.requires_workload and workload is None:
+            raise ValueError(f"{self.name} is query-driven and needs a workload")
+        start = time.perf_counter()
+        self._table = table
+        self._fit(table, workload)
+        self.timing.fit_seconds = time.perf_counter() - start
+        return self
+
+    def estimate(self, query: Query) -> float:
+        """Estimated COUNT(*) for one query (clamped to be non-negative)."""
+        if self._table is None:
+            raise RuntimeError(f"{self.name} must be fit before estimating")
+        start = time.perf_counter()
+        value = self._estimate(query)
+        self.timing.total_inference_seconds += time.perf_counter() - start
+        self.timing.inference_count += 1
+        return max(0.0, float(value))
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        """Estimates for a batch, issued one by one as the paper does."""
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+
+    def update(
+        self,
+        table: Table,
+        appended: np.ndarray,
+        workload: Workload | None = None,
+    ) -> float:
+        """React to ``appended`` rows; returns the update wall-clock seconds.
+
+        ``table`` is the post-update relation (original rows plus
+        ``appended``).  Query-driven methods receive a fresh training
+        ``workload`` labelled against the new table.
+        """
+        if self._table is None:
+            raise RuntimeError(f"{self.name} must be fit before updating")
+        start = time.perf_counter()
+        self._table = table
+        self._update(table, appended, workload)
+        elapsed = time.perf_counter() - start
+        self.timing.update_seconds = elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        """Build internal state from the table (and optional workload)."""
+
+    @abstractmethod
+    def _estimate(self, query: Query) -> float:
+        """Return the estimated cardinality (may be un-clamped)."""
+
+    def _update(
+        self, table: Table, appended: np.ndarray, workload: Workload | None
+    ) -> None:
+        """Default update: rebuild from scratch on the new table."""
+        self._fit(table, workload)
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        if self._table is None:
+            raise RuntimeError(f"{self.name} has not been fit")
+        return self._table
+
+    def model_size_bytes(self) -> int:
+        """Approximate model footprint; 0 when not meaningful."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

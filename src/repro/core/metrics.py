@@ -1,0 +1,99 @@
+"""Accuracy metrics: q-error and the summaries reported in the paper.
+
+Q-error (Section 3) is the symmetric relative error::
+
+    error = max(est, act) / min(est, act)
+
+Both estimate and actual are clamped to at least one tuple before the
+ratio is taken, matching the convention of the paper's released code
+(otherwise any zero-cardinality query would yield an infinite error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Percentiles reported in Table 4 of the paper.  "max" is encoded as 100.
+REPORTED_PERCENTILES = (50.0, 95.0, 99.0, 100.0)
+
+
+def qerror(estimate: float, actual: float) -> float:
+    """Q-error of a single estimate, with the >=1-tuple clamp."""
+    est = max(float(estimate), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+def qerrors(estimates: np.ndarray, actuals: np.ndarray) -> np.ndarray:
+    """Vectorised q-errors for a batch of estimates."""
+    est = np.maximum(np.asarray(estimates, dtype=np.float64), 1.0)
+    act = np.maximum(np.asarray(actuals, dtype=np.float64), 1.0)
+    return np.maximum(est / act, act / est)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """The 50th/95th/99th/max q-error row of Table 4."""
+
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "QErrorSummary":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            raise ValueError("cannot summarise an empty error vector")
+        p50, p95, p99 = np.percentile(errors, [50.0, 95.0, 99.0])
+        return cls(float(p50), float(p95), float(p99), float(errors.max()))
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.p50, self.p95, self.p99, self.max)
+
+    def __str__(self) -> str:
+        vals = [format_qerror(v) for v in self.as_tuple()]
+        return f"50th={vals[0]} 95th={vals[1]} 99th={vals[2]} max={vals[3]}"
+
+
+def summarize(estimates: np.ndarray, actuals: np.ndarray) -> QErrorSummary:
+    """Summary of the q-errors of a batch of estimates."""
+    return QErrorSummary.from_errors(qerrors(estimates, actuals))
+
+
+def top_fraction(errors: np.ndarray, fraction: float = 0.01) -> np.ndarray:
+    """The largest ``fraction`` of errors (the "top 1%" of Figures 9-10)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    errors = np.sort(np.asarray(errors, dtype=np.float64))
+    k = max(1, int(round(len(errors) * fraction)))
+    return errors[-k:]
+
+
+def format_qerror(value: float) -> str:
+    """Render a q-error the way Table 4 does (3 digits, sci over 10^4)."""
+    if value >= 1e4:
+        exponent = int(np.floor(np.log10(value)))
+        mantissa = value / 10**exponent
+        return f"{mantissa:.0f}e{exponent}"
+    if value >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def win_lose(
+    traditional: dict[str, QErrorSummary], learned: dict[str, QErrorSummary]
+) -> dict[str, str]:
+    """The "L v.s. T" row of Table 4 for one dataset.
+
+    For each reported percentile, "win" means the best learned method has a
+    q-error no larger than the best traditional method.
+    """
+    verdicts: dict[str, str] = {}
+    for attr in ("p50", "p95", "p99", "max"):
+        best_t = min(getattr(s, attr) for s in traditional.values())
+        best_l = min(getattr(s, attr) for s in learned.values())
+        verdicts[attr] = "win" if best_l <= best_t else "lose"
+    return verdicts

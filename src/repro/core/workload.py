@@ -1,0 +1,160 @@
+"""The paper's unified workload generator (Section 3).
+
+A query with ``d`` predicates is a hyper-rectangle controlled by a *query
+center* and a *range width* per predicated column:
+
+* the number of predicates ``d`` is uniform over ``1 .. |D|`` and the ``d``
+  columns are sampled without replacement;
+* the center is drawn from a random data tuple with probability 90%, and
+  independently per-column from the value domain ("out-of-domain", OOD)
+  with probability 10%;
+* the width is uniform over ``[0, domain_size]`` half the time and
+  exponential with rate ``lambda = 10 / domain_size`` the other half;
+* categorical columns always receive an equality predicate;
+* a side of the rectangle that leaves the domain becomes an open range.
+
+Section 6 reuses the generator with ``ood_probability = 1.0`` to probe the
+whole query space of the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .query import Predicate, Query
+from .table import Column, Table
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the unified generator; paper defaults."""
+
+    ood_probability: float = 0.1
+    exponential_width_probability: float = 0.5
+    exponential_rate_scale: float = 10.0
+    min_predicates: int = 1
+    max_predicates: int | None = None  # None means |D|
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ood_probability <= 1.0:
+            raise ValueError("ood_probability must be a probability")
+        if not 0.0 <= self.exponential_width_probability <= 1.0:
+            raise ValueError("exponential_width_probability must be a probability")
+        if self.min_predicates < 1:
+            raise ValueError("queries must have at least one predicate")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A batch of queries with their exact cardinalities (the labels)."""
+
+    queries: tuple[Query, ...]
+    cardinalities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.queries) != len(self.cardinalities):
+            raise ValueError("queries and cardinalities must align")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def selectivities(self, table: Table) -> np.ndarray:
+        return self.cardinalities / table.num_rows
+
+    def split(self, first: int) -> tuple["Workload", "Workload"]:
+        """Split into a head of ``first`` queries and the remaining tail."""
+        if not 0 < first < len(self):
+            raise ValueError(f"split point {first} outside (0, {len(self)})")
+        return (
+            Workload(self.queries[:first], self.cardinalities[:first]),
+            Workload(self.queries[first:], self.cardinalities[first:]),
+        )
+
+
+class WorkloadGenerator:
+    """Generates queries over one table following the paper's recipe."""
+
+    def __init__(self, table: Table, config: WorkloadConfig | None = None) -> None:
+        self.table = table
+        self.config = config or WorkloadConfig()
+        max_d = self.config.max_predicates or table.num_columns
+        self._max_predicates = min(max_d, table.num_columns)
+        if self.config.min_predicates > self._max_predicates:
+            raise ValueError("min_predicates exceeds the number of columns")
+
+    # ------------------------------------------------------------------
+    def generate(self, count: int, rng: np.random.Generator) -> Workload:
+        """Generate ``count`` queries and label them against the table."""
+        queries = tuple(self.generate_query(rng) for _ in range(count))
+        cards = self.table.cardinalities(list(queries))
+        return Workload(queries, cards)
+
+    def generate_query(self, rng: np.random.Generator) -> Query:
+        """Generate one query (unlabelled)."""
+        cfg = self.config
+        d = int(rng.integers(cfg.min_predicates, self._max_predicates + 1))
+        cols = rng.choice(self.table.num_columns, size=d, replace=False)
+        use_ood = rng.random() < cfg.ood_probability
+        # Data-centered queries take *one* tuple as the center of every
+        # predicate (Section 3), so the query is guaranteed non-empty.
+        center_row = None if use_ood else int(rng.integers(self.table.num_rows))
+        preds = tuple(
+            self._predicate_for(int(c), center_row, rng) for c in np.sort(cols)
+        )
+        return Query(preds)
+
+    # ------------------------------------------------------------------
+    def _predicate_for(
+        self, col_index: int, center_row: int | None, rng: np.random.Generator
+    ) -> Predicate:
+        column = self.table.columns[col_index]
+        center = self._center(col_index, column, center_row, rng)
+        if column.is_categorical:
+            return Predicate(col_index, center, center)
+        width = self._width(column, rng)
+        lo: float | None = center - width / 2.0
+        hi: float | None = center + width / 2.0
+        # A side that leaves the domain becomes an open range (Section 3).
+        if lo < column.domain_min:
+            lo = None
+        if hi > column.domain_max:
+            hi = None
+        if lo is None and hi is None:
+            # The box covers the whole domain; keep it closed at the top so
+            # the predicate stays well-formed (selects everything).
+            hi = column.domain_max
+        return Predicate(col_index, lo, hi)
+
+    def _center(
+        self,
+        col_index: int,
+        column: Column,
+        center_row: int | None,
+        rng: np.random.Generator,
+    ) -> float:
+        if center_row is not None:
+            return float(self.table.data[center_row, col_index])
+        if column.is_categorical or column.num_distinct == 1:
+            return float(rng.choice(column.distinct_values))
+        return float(rng.uniform(column.domain_min, column.domain_max))
+
+    def _width(self, column: Column, rng: np.random.Generator) -> float:
+        size = column.domain_size
+        if size == 0.0:
+            return 0.0
+        if rng.random() < self.config.exponential_width_probability:
+            scale = size / self.config.exponential_rate_scale
+            return float(min(rng.exponential(scale), size))
+        return float(rng.uniform(0.0, size))
+
+
+def generate_workload(
+    table: Table,
+    count: int,
+    rng: np.random.Generator,
+    config: WorkloadConfig | None = None,
+) -> Workload:
+    """One-shot helper: build a generator and produce a labelled workload."""
+    return WorkloadGenerator(table, config).generate(count, rng)

@@ -1,0 +1,28 @@
+"""Benchmark datasets: simulated real-world tables and the Section 6
+synthetic generator."""
+
+from .realworld import census, dataset_names, dmv, forest, load, power
+from .synthetic import (
+    correlation_sweep,
+    domain_sweep,
+    generate_synthetic,
+    skew_sweep,
+    skewed_uniform,
+)
+from .updates import apply_update, correlated_append_rows
+
+__all__ = [
+    "apply_update",
+    "census",
+    "correlated_append_rows",
+    "correlation_sweep",
+    "dataset_names",
+    "dmv",
+    "domain_sweep",
+    "forest",
+    "generate_synthetic",
+    "load",
+    "power",
+    "skew_sweep",
+    "skewed_uniform",
+]

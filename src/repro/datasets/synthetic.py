@@ -1,0 +1,109 @@
+"""Synthetic micro-benchmark datasets (paper Section 6.1).
+
+Two-column tables controlled by three factors:
+
+* ``skew`` ``s`` — distribution of the first column.  The paper draws from
+  ``genpareto`` with ``s = 0`` uniform and larger ``s`` more skewed, and
+  calls ``s = 1`` "exponential distribution".  We use a truncated
+  exponential family with rate ``10**s - 1``: exactly uniform at
+  ``s = 0``, an exponential shape at ``s = 1``, and increasingly skewed
+  beyond — the same qualitative family (see DESIGN.md substitutions).
+* ``correlation`` ``c`` — the second column copies the first with
+  probability ``c`` and is an independent uniform domain draw otherwise;
+  ``c = 0`` independent, ``c = 1`` functionally dependent.
+* ``domain_size`` ``d`` — both columns are binned to ``d`` distinct
+  integer codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.table import Table
+
+
+def skewed_uniform(
+    count: int, skew: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` values in [0, 1) with tunable skew toward 0.
+
+    ``skew = 0`` is exactly uniform; the density at 0 grows with ``skew``
+    (truncated-exponential inverse CDF).
+    """
+    if skew < 0.0:
+        raise ValueError("skew must be non-negative")
+    u = rng.random(count)
+    if skew == 0.0:
+        return u
+    rate = 10.0**skew - 1.0
+    return -np.log1p(-u * (1.0 - np.exp(-rate))) / rate
+
+
+def generate_synthetic(
+    num_rows: int,
+    skew: float,
+    correlation: float,
+    domain_size: int,
+    rng: np.random.Generator,
+    name: str | None = None,
+) -> Table:
+    """The two-column dataset of Section 6.1."""
+    if num_rows < 1:
+        raise ValueError("num_rows must be positive")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1]")
+    if domain_size < 2:
+        raise ValueError("domain_size must be at least 2")
+
+    raw = skewed_uniform(num_rows, skew, rng)
+    col1 = np.minimum((raw * domain_size).astype(np.int64), domain_size - 1)
+
+    copy_mask = rng.random(num_rows) < correlation
+    random_draws = rng.integers(0, domain_size, size=num_rows)
+    col2 = np.where(copy_mask, col1, random_draws)
+
+    data = np.column_stack([col1, col2]).astype(np.float64)
+    label = name or f"synthetic_s{skew:g}_c{correlation:g}_d{domain_size}"
+    return Table(label, data, ["col0", "col1"], [False, False])
+
+
+def correlation_sweep(
+    num_rows: int,
+    rng: np.random.Generator,
+    skew: float = 1.0,
+    domain_size: int = 1000,
+    levels: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> dict[float, Table]:
+    """Datasets of Figure 9a: vary correlation, fix skew and domain."""
+    return {
+        c: generate_synthetic(num_rows, skew, c, domain_size, rng)
+        for c in levels
+    }
+
+
+def skew_sweep(
+    num_rows: int,
+    rng: np.random.Generator,
+    correlation: float = 1.0,
+    domain_size: int = 1000,
+    levels: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0),
+) -> dict[float, Table]:
+    """Datasets of Figure 9b: vary skew, fix correlation and domain."""
+    return {
+        s: generate_synthetic(num_rows, s, correlation, domain_size, rng)
+        for s in levels
+    }
+
+
+def domain_sweep(
+    num_rows: int,
+    rng: np.random.Generator,
+    skew: float = 1.0,
+    correlation: float = 1.0,
+    levels: tuple[int, ...] = (10, 100, 1000, 10000),
+) -> dict[int, Table]:
+    """Datasets of Figure 10: vary domain size, fix skew and correlation."""
+    return {
+        d: generate_synthetic(num_rows, skew, correlation, d, rng)
+        for d in levels
+    }

@@ -1,0 +1,35 @@
+"""Data-update procedure for the dynamic environment (paper Section 5.1).
+
+The paper appends 20% new data whose correlation characteristics differ
+from the original: it copies the dataset, sorts each column individually
+in ascending order (which maximises the Spearman rank correlation between
+every pair of columns), randomly picks 20% of the tuples of this sorted
+copy, and appends them.  A stale model therefore *must* be updated to
+stay accurate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.table import Table
+
+
+def correlated_append_rows(
+    table: Table, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Rows to append: a random slice of the column-wise-sorted copy."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    sorted_copy = np.sort(table.data, axis=0)
+    count = max(1, int(round(table.num_rows * fraction)))
+    idx = rng.choice(table.num_rows, size=count, replace=False)
+    return sorted_copy[idx]
+
+
+def apply_update(
+    table: Table, rng: np.random.Generator, fraction: float = 0.2
+) -> tuple[Table, np.ndarray]:
+    """Return ``(updated_table, appended_rows)`` per the paper's recipe."""
+    appended = correlated_append_rows(table, fraction, rng)
+    return table.append_rows(appended, name=f"{table.name}_updated"), appended

@@ -1,0 +1,23 @@
+"""Dynamic-environment simulator and device model (paper Section 5)."""
+
+from .device import CPU, GPU, Device
+from .environment import (
+    DynamicResult,
+    UpdateMeasurement,
+    label_update_workload,
+    measure_update,
+    mix_for_horizon,
+    run_dynamic,
+)
+
+__all__ = [
+    "CPU",
+    "GPU",
+    "Device",
+    "DynamicResult",
+    "UpdateMeasurement",
+    "label_update_workload",
+    "measure_update",
+    "mix_for_horizon",
+    "run_dynamic",
+]

@@ -1,0 +1,38 @@
+"""Device model: CPU wall-clock vs simulated GPU speedups.
+
+The paper measures Naru/MSCN/LW-NN on both a 16-core Xeon and a Tesla
+P100.  No GPU exists in this environment, so "GPU" timing is derived
+from real CPU wall-clock divided by the per-method speedup factors the
+paper itself reports (Section 4.3):
+
+* Naru: training 5-15x faster on GPU (we use the midpoint 8x);
+* LW-NN: up to 20x faster (we use 15x);
+* MSCN: roughly the same or slower on GPU for small models (0.8x);
+* everything else (trees, histograms, SPNs): no GPU path (1x).
+
+Only *model computation* accelerates; query labelling for the
+query-driven methods stays at CPU speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Device:
+    """A compute device with per-method model-computation speedups."""
+
+    name: str
+    speedups: dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, method: str) -> float:
+        return self.speedups.get(method, 1.0)
+
+    def model_seconds(self, method: str, cpu_seconds: float) -> float:
+        """Wall-clock the model computation would take on this device."""
+        return cpu_seconds / self.speedup(method)
+
+
+CPU = Device("cpu")
+GPU = Device("gpu", {"naru": 8.0, "lw-nn": 15.0, "mscn": 0.8})

@@ -1,0 +1,184 @@
+"""The dynamic-environment simulator (paper Section 5.1, Figure 5).
+
+The data is updated at timestamp 0 and ``n`` test queries arrive
+uniformly over ``[0, T]``.  The estimator starts updating at 0 and
+finishes at ``t_u``; queries arriving before ``t_u`` are answered by the
+*stale* model, the rest by the *updated* model.  If the update cannot
+finish within ``T``, every query is answered stale (the "x" cells of
+Figure 6).
+
+The expensive part — updating the model and evaluating the stale and
+updated models on the test workload — happens once per estimator in
+:func:`measure_update`; :func:`mix_for_horizon` then derives the dynamic
+outcome for any horizon ``T`` and device, which is how the harness
+sweeps update frequencies (Figure 6), update epochs (Figure 7) and
+CPU-vs-GPU (Figure 8) without retraining.
+
+Query-driven methods additionally pay to refresh their training labels:
+the harness generates an update workload and labels it against a sample
+of the new table (the paper's procedure), and that time counts toward
+``t_u``.  "GPU" runs divide only the model-computation part of ``t_u``
+by the paper's measured speedup factors (:mod:`repro.dynamic.device`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.metrics import qerrors
+from ..core.table import Table
+from ..core.workload import Workload, WorkloadGenerator
+from .device import CPU, Device
+
+
+@dataclass(frozen=True)
+class UpdateMeasurement:
+    """One estimator's update, measured once against one data update."""
+
+    method: str
+    label_seconds: float
+    model_seconds: float
+    stale_qerrors: np.ndarray
+    updated_qerrors: np.ndarray
+
+    def effective_update_seconds(self, device: Device = CPU) -> float:
+        """Total update time on ``device`` (labelling stays on CPU)."""
+        return self.label_seconds + device.model_seconds(self.method, self.model_seconds)
+
+    @property
+    def stale_p99(self) -> float:
+        return float(np.percentile(self.stale_qerrors, 99.0))
+
+    @property
+    def updated_p99(self) -> float:
+        return float(np.percentile(self.updated_qerrors, 99.0))
+
+
+@dataclass(frozen=True)
+class DynamicResult:
+    """Outcome of one estimator in one dynamic environment ``[0, T]``."""
+
+    method: str
+    horizon_seconds: float
+    update_seconds: float
+    finished: bool
+    stale_fraction: float
+    dynamic_qerrors: np.ndarray
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile q-error of the dynamic run (Figure 6's metric)."""
+        return float(np.percentile(self.dynamic_qerrors, 99.0))
+
+
+def label_update_workload(
+    estimator: CardinalityEstimator,
+    new_table: Table,
+    num_queries: int,
+    rng: np.random.Generator,
+    label_sample_fraction: float = 0.05,
+) -> tuple[Workload | None, float]:
+    """Produce a training workload for a query-driven update, timed.
+
+    Labels come from a uniform sample of the new table (the approximate
+    labelling shortcut of Dutt et al. adopted by the paper), and the
+    elapsed seconds count toward the update time.
+    """
+    if not estimator.requires_workload:
+        return None, 0.0
+    start = time.perf_counter()
+    generator = WorkloadGenerator(new_table)
+    queries = tuple(generator.generate_query(rng) for _ in range(num_queries))
+    sample = new_table.sample(label_sample_fraction, rng)
+    scale = new_table.num_rows / sample.num_rows
+    cards = sample.cardinalities(list(queries)) * scale
+    elapsed = time.perf_counter() - start
+    return Workload(queries, cards), elapsed
+
+
+def measure_update(
+    estimator: CardinalityEstimator,
+    new_table: Table,
+    appended: np.ndarray,
+    test_workload: Workload,
+    rng: np.random.Generator,
+    update_query_count: int = 2000,
+) -> UpdateMeasurement:
+    """Update one estimator and record stale/updated per-query errors.
+
+    The estimator must already be fit on the *old* table; ``new_table``
+    is the post-append relation and ``test_workload`` is labelled
+    against it.  The estimator is mutated (it ends up updated).
+    """
+    queries = list(test_workload.queries)
+    actuals = test_workload.cardinalities
+
+    stale_q = qerrors(estimator.estimate_many(queries), actuals)
+    update_workload, label_seconds = label_update_workload(
+        estimator, new_table, update_query_count, rng
+    )
+    model_seconds = estimator.update(new_table, appended, update_workload)
+    updated_q = qerrors(estimator.estimate_many(queries), actuals)
+    return UpdateMeasurement(
+        method=estimator.name,
+        label_seconds=label_seconds,
+        model_seconds=model_seconds,
+        stale_qerrors=stale_q,
+        updated_qerrors=updated_q,
+    )
+
+
+def mix_for_horizon(
+    measurement: UpdateMeasurement,
+    horizon_seconds: float,
+    device: Device = CPU,
+) -> DynamicResult:
+    """Dynamic outcome for a horizon ``T``: stale answers before ``t_u``,
+    updated answers after; all-stale when the update misses the window."""
+    if horizon_seconds <= 0.0:
+        raise ValueError("horizon must be positive")
+    effective = measurement.effective_update_seconds(device)
+    n = len(measurement.stale_qerrors)
+    if effective >= horizon_seconds:
+        return DynamicResult(
+            method=measurement.method,
+            horizon_seconds=horizon_seconds,
+            update_seconds=effective,
+            finished=False,
+            stale_fraction=1.0,
+            dynamic_qerrors=measurement.stale_qerrors,
+        )
+    stale_fraction = effective / horizon_seconds
+    cutoff = int(round(stale_fraction * n))
+    dynamic_q = np.concatenate(
+        [measurement.stale_qerrors[:cutoff], measurement.updated_qerrors[cutoff:]]
+    )
+    return DynamicResult(
+        method=measurement.method,
+        horizon_seconds=horizon_seconds,
+        update_seconds=effective,
+        finished=True,
+        stale_fraction=stale_fraction,
+        dynamic_qerrors=dynamic_q,
+    )
+
+
+def run_dynamic(
+    estimator: CardinalityEstimator,
+    new_table: Table,
+    appended: np.ndarray,
+    test_workload: Workload,
+    horizon_seconds: float,
+    rng: np.random.Generator,
+    update_query_count: int = 2000,
+    device: Device = CPU,
+) -> DynamicResult:
+    """Measure and mix in one call (convenience for a single horizon)."""
+    measurement = measure_update(
+        estimator, new_table, appended, test_workload, rng, update_query_count
+    )
+    return mix_for_horizon(measurement, horizon_seconds, device)

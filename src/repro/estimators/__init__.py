@@ -1,0 +1,11 @@
+"""Cardinality estimators: eight traditional, five learned (the paper's
+13-way benchmark) plus the taxonomy extras.
+
+Import from the subpackages, or construct by name through
+:func:`repro.registry.make_estimator`.
+"""
+
+from . import learned, traditional
+from .discretize import ColumnDiscretizer, Discretizer
+
+__all__ = ["ColumnDiscretizer", "Discretizer", "learned", "traditional"]

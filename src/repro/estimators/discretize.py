@@ -1,0 +1,124 @@
+"""Column discretisation shared by the distribution-based estimators.
+
+Naru and the Bayesian network operate over per-column categorical
+distributions.  Columns whose distinct count fits the bin budget are
+dictionary-encoded exactly (one bin per distinct value, as Naru does);
+wider columns fall back to equi-depth bins, in which case a range
+predicate covers its boundary bins fractionally under a uniform-spread
+assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.query import Predicate
+from ..core.table import Table
+
+
+class ColumnDiscretizer:
+    """Discretisation of one column."""
+
+    def __init__(self, values: np.ndarray, max_bins: int) -> None:
+        distinct = np.unique(np.asarray(values, dtype=np.float64))
+        if len(distinct) <= max_bins:
+            self.exact = True
+            self.values = distinct
+            self.edges = None
+            self.num_bins = len(distinct)
+        else:
+            self.exact = False
+            qs = np.linspace(0.0, 1.0, max_bins + 1)
+            edges = np.unique(np.quantile(values, qs))
+            # Guard against duplicate quantiles collapsing edges.
+            self.edges = edges
+            self.values = None
+            self.num_bins = len(edges) - 1
+        if self.num_bins < 1:
+            raise ValueError("column produced no bins")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Map raw values to bin indices."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.exact:
+            assert self.values is not None
+            idx = np.searchsorted(self.values, values)
+            idx = np.clip(idx, 0, self.num_bins - 1)
+            return idx
+        assert self.edges is not None
+        idx = np.searchsorted(self.edges[1:-1], values, side="right")
+        return np.clip(idx, 0, self.num_bins - 1)
+
+    def bin_value(self, bin_index: int) -> float:
+        """A representative raw value for a bin (used when sampling)."""
+        if self.exact:
+            assert self.values is not None
+            return float(self.values[bin_index])
+        assert self.edges is not None
+        return float((self.edges[bin_index] + self.edges[bin_index + 1]) / 2.0)
+
+    def predicate_weights(self, predicate: Predicate) -> np.ndarray:
+        """Per-bin coverage weights in [0, 1] for a range predicate.
+
+        Exact columns get 0/1 indicator weights; binned columns get
+        fractional weights on partially covered boundary bins.
+        """
+        if predicate.is_empty:
+            return np.zeros(self.num_bins)
+        if self.exact:
+            assert self.values is not None
+            w = np.ones(self.num_bins)
+            if predicate.lo is not None:
+                w[self.values < predicate.lo] = 0.0
+            if predicate.hi is not None:
+                w[self.values > predicate.hi] = 0.0
+            return w
+        assert self.edges is not None
+        lo = self.edges[0] if predicate.lo is None else predicate.lo
+        hi = self.edges[-1] if predicate.hi is None else predicate.hi
+        if predicate.is_equality:
+            # An equality on a binned column covers one value of the bin.
+            w = np.zeros(self.num_bins)
+            b = int(np.clip(np.searchsorted(self.edges[1:-1], lo, side="right"), 0, self.num_bins - 1))
+            width = self.edges[b + 1] - self.edges[b]
+            w[b] = min(1.0, 1.0 / max(width, 1.0))
+            return w
+        lows = self.edges[:-1]
+        highs = self.edges[1:]
+        widths = highs - lows
+        overlap = np.minimum(hi, highs) - np.maximum(lo, lows)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(
+                widths > 0.0,
+                overlap / widths,
+                # Degenerate bucket: indicator on its single point.
+                ((lows >= lo) & (lows <= hi)).astype(np.float64),
+            )
+        return np.clip(np.nan_to_num(frac, nan=0.0), 0.0, 1.0)
+
+
+class Discretizer:
+    """Discretisation of every column of a table."""
+
+    def __init__(self, table: Table, max_bins: int = 256) -> None:
+        if max_bins < 2:
+            raise ValueError("max_bins must be at least 2")
+        self.columns = [
+            ColumnDiscretizer(table.data[:, i], max_bins)
+            for i in range(table.num_columns)
+        ]
+
+    @property
+    def cardinalities(self) -> list[int]:
+        return [c.num_bins for c in self.columns]
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Bin indices for every cell, shape preserved."""
+        data = np.asarray(data, dtype=np.float64)
+        out = np.empty(data.shape, dtype=np.int64)
+        for i, col in enumerate(self.columns):
+            out[:, i] = col.transform(data[:, i])
+        return out
+
+    def predicate_weights(self, predicate: Predicate) -> np.ndarray:
+        return self.columns[predicate.column].predicate_weights(predicate)

@@ -1,0 +1,38 @@
+"""The learned estimators of the paper's Table 1 taxonomy.
+
+The five evaluated in the paper's benchmark (MSCN, LW-XGB, LW-NN, Naru,
+DeepDB) plus the two it surveys but excludes (DQM-D, DQM-Q), plus the
+Section 7.1 ensemble prototypes.
+"""
+
+from .deepdb import DeepDbEstimator
+from .dqm import DqmDEstimator, DqmQEstimator
+from .ensemble import FallbackEstimator, HierarchicalEstimator
+from .featurize import (
+    CeFeaturizer,
+    LwFeaturizer,
+    MscnFeaturizer,
+    RangeFeaturizer,
+    log_cardinality_labels,
+)
+from .lw_nn import LwNnEstimator
+from .lw_xgb import LwXgbEstimator
+from .mscn import MscnEstimator
+from .naru import NaruEstimator
+
+__all__ = [
+    "CeFeaturizer",
+    "DeepDbEstimator",
+    "DqmDEstimator",
+    "DqmQEstimator",
+    "FallbackEstimator",
+    "HierarchicalEstimator",
+    "LwFeaturizer",
+    "LwNnEstimator",
+    "LwXgbEstimator",
+    "MscnEstimator",
+    "MscnFeaturizer",
+    "NaruEstimator",
+    "RangeFeaturizer",
+    "log_cardinality_labels",
+]

@@ -1,0 +1,123 @@
+"""Ensemble estimators (paper Section 7.1, "Control the Cost").
+
+Two of the paper's suggested cost-control strategies:
+
+* :class:`HierarchicalEstimator` — "apply multiple approaches in a
+  hierarchical fashion": simple queries (few predicates) go to a
+  lightweight estimator; complex ones go to the heavy, accurate model.
+* :class:`FallbackEstimator` — "a fast but less accurate method can be
+  used as a temporary replacement when the slow but accurate model is
+  not ready": during an update the light model answers immediately
+  while the heavy model retrains; :meth:`promote` switches back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimator import CardinalityEstimator
+from ...core.query import Query
+from ...core.table import Table
+from ...core.workload import Workload
+
+
+class HierarchicalEstimator(CardinalityEstimator):
+    """Routes queries by predicate count: light model below the
+    threshold, heavy model at or above it."""
+
+    def __init__(
+        self,
+        light: CardinalityEstimator,
+        heavy: CardinalityEstimator,
+        predicate_threshold: int = 3,
+    ) -> None:
+        super().__init__()
+        if predicate_threshold < 1:
+            raise ValueError("predicate_threshold must be at least 1")
+        self.light = light
+        self.heavy = heavy
+        self.predicate_threshold = predicate_threshold
+        self.name = f"hier({light.name}|{heavy.name})"
+        self.requires_workload = light.requires_workload or heavy.requires_workload
+
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        self.light.fit(table, workload if self.light.requires_workload else None)
+        self.heavy.fit(table, workload if self.heavy.requires_workload else None)
+
+    def _update(self, table, appended, workload) -> None:
+        self.light.update(table, appended, workload if self.light.requires_workload else None)
+        self.heavy.update(table, appended, workload if self.heavy.requires_workload else None)
+
+    def _estimate(self, query: Query) -> float:
+        if query.num_predicates < self.predicate_threshold:
+            return self.light.estimate(query)
+        return self.heavy.estimate(query)
+
+    def routing_fractions(self, queries: list[Query]) -> tuple[float, float]:
+        """(light fraction, heavy fraction) of a workload's routing."""
+        light = sum(
+            1 for q in queries if q.num_predicates < self.predicate_threshold
+        )
+        return light / len(queries), 1.0 - light / len(queries)
+
+    def model_size_bytes(self) -> int:
+        return self.light.model_size_bytes() + self.heavy.model_size_bytes()
+
+
+class FallbackEstimator(CardinalityEstimator):
+    """Serves the light model while the heavy model is (re)training.
+
+    ``update`` refreshes only the cheap model and marks the heavy model
+    stale; call :meth:`promote` (e.g. when the background retrain
+    completes) to finish the heavy update and route to it again.
+    """
+
+    def __init__(
+        self, light: CardinalityEstimator, heavy: CardinalityEstimator
+    ) -> None:
+        super().__init__()
+        self.light = light
+        self.heavy = heavy
+        self.name = f"fallback({light.name}->{heavy.name})"
+        self.requires_workload = light.requires_workload or heavy.requires_workload
+        self._heavy_ready = False
+        self._pending: tuple[Table, np.ndarray, Workload | None] | None = None
+
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        self.light.fit(table, workload if self.light.requires_workload else None)
+        self.heavy.fit(table, workload if self.heavy.requires_workload else None)
+        self._heavy_ready = True
+        self._pending = None
+
+    def _update(self, table, appended, workload) -> None:
+        # Fast path only: the heavy model is now stale.
+        self.light.update(
+            table, appended, workload if self.light.requires_workload else None
+        )
+        self._heavy_ready = False
+        self._pending = (table, appended, workload)
+
+    def promote(self) -> float:
+        """Run the heavy model's (deferred) update; returns its seconds."""
+        if self._pending is None:
+            return 0.0
+        table, appended, workload = self._pending
+        seconds = self.heavy.update(
+            table, appended, workload if self.heavy.requires_workload else None
+        )
+        self._heavy_ready = True
+        self._pending = None
+        return seconds
+
+    @property
+    def serving(self) -> str:
+        """Which model currently answers queries."""
+        return self.heavy.name if self._heavy_ready else self.light.name
+
+    def _estimate(self, query: Query) -> float:
+        if self._heavy_ready:
+            return self.heavy.estimate(query)
+        return self.light.estimate(query)
+
+    def model_size_bytes(self) -> int:
+        return self.light.model_size_bytes() + self.heavy.model_size_bytes()

@@ -1,0 +1,179 @@
+"""Query featurization for the regression (query-driven) estimators.
+
+* LW-XGB/NN [Dutt et al. 2019] consume *range features* (the normalised
+  bounds of every column) plus *CE features* — cheap heuristic estimates
+  derivable from DBMS statistics: AVI (attribute-value independence),
+  MinSel (minimum single-predicate selectivity) and EBO (exponential
+  backoff).
+* MSCN [Kipf et al. 2019] consumes a set of per-predicate vectors
+  (column one-hot, operator one-hot, normalised literal) plus a bitmap of
+  sample tuples satisfying the query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.query import Predicate, Query
+from ...core.table import Table
+from ..traditional.dbms import PostgresEstimator
+
+#: Floor applied to selectivities before log-transforming CE features.
+_SEL_FLOOR = 1e-9
+
+
+class RangeFeaturizer:
+    """Normalised per-column bounds: 2 features per column in [0, 1]."""
+
+    def __init__(self, table: Table) -> None:
+        self.mins = np.array([c.domain_min for c in table.columns])
+        self.spans = np.array([max(c.domain_size, 1.0) for c in table.columns])
+        self.num_columns = table.num_columns
+
+    def features(self, query: Query) -> np.ndarray:
+        out = np.empty(2 * self.num_columns)
+        out[0::2] = 0.0
+        out[1::2] = 1.0
+        for pred in query.predicates:
+            d = pred.column
+            if pred.lo is not None:
+                out[2 * d] = (pred.lo - self.mins[d]) / self.spans[d]
+            if pred.hi is not None:
+                out[2 * d + 1] = (pred.hi - self.mins[d]) / self.spans[d]
+        return out
+
+    def features_many(self, queries: list[Query]) -> np.ndarray:
+        return np.array([self.features(q) for q in queries])
+
+
+class CeFeaturizer:
+    """Heuristic-estimator features (AVI, MinSel, EBO), log-transformed.
+
+    Per-predicate selectivities come from a Postgres-style statistics
+    object, matching the paper's setup ("use Postgres's estimation result
+    on single column to compute the CE features").
+    """
+
+    def __init__(self, table: Table) -> None:
+        self._base = PostgresEstimator()
+        self._base.fit(table)
+
+    def features(self, query: Query) -> np.ndarray:
+        sels = np.maximum(
+            self._base.per_predicate_selectivities(query), _SEL_FLOOR
+        )
+        avi = float(np.prod(sels))
+        min_sel = float(np.min(sels))
+        ordered = np.sort(sels)
+        ebo = float(
+            np.prod([s ** (0.5**i) for i, s in enumerate(ordered[:4])])
+        )
+        return np.log(np.maximum([avi, min_sel, ebo], _SEL_FLOOR))
+
+    def features_many(self, queries: list[Query]) -> np.ndarray:
+        return np.array([self.features(q) for q in queries])
+
+
+class LwFeaturizer:
+    """Full LW-XGB/NN feature vector: range features + CE features."""
+
+    def __init__(self, table: Table, use_ce_features: bool = True) -> None:
+        self.ranges = RangeFeaturizer(table)
+        self.ce = CeFeaturizer(table) if use_ce_features else None
+
+    @property
+    def dimension(self) -> int:
+        return 2 * self.ranges.num_columns + (3 if self.ce is not None else 0)
+
+    def features(self, query: Query) -> np.ndarray:
+        parts = [self.ranges.features(query)]
+        if self.ce is not None:
+            parts.append(self.ce.features(query))
+        return np.concatenate(parts)
+
+    def features_many(self, queries: list[Query]) -> np.ndarray:
+        return np.array([self.features(q) for q in queries])
+
+
+class MscnFeaturizer:
+    """Per-predicate set features and the materialized-sample bitmap."""
+
+    #: operators: 0 = '>=', 1 = '<=', 2 = '='
+    NUM_OPS = 3
+
+    def __init__(
+        self,
+        table: Table,
+        sample_size: int = 200,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.num_columns = table.num_columns
+        self.mins = np.array([c.domain_min for c in table.columns])
+        self.spans = np.array([max(c.domain_size, 1.0) for c in table.columns])
+        take = min(sample_size, table.num_rows)
+        idx = rng.choice(table.num_rows, size=take, replace=False)
+        self.sample = table.data[idx]
+        #: width of one predicate feature vector
+        self.predicate_dim = self.num_columns + self.NUM_OPS + 1
+        #: queries can constrain every column from both sides
+        self.max_predicates = 2 * self.num_columns
+
+    def refresh_sample(
+        self, table: Table, rng: np.random.Generator
+    ) -> None:
+        """Re-draw the materialized sample (used on data updates)."""
+        take = min(len(self.sample), table.num_rows)
+        idx = rng.choice(table.num_rows, size=take, replace=False)
+        self.sample = table.data[idx]
+
+    # ------------------------------------------------------------------
+    def _atomic_predicates(self, query: Query) -> list[tuple[int, int, float]]:
+        """Decompose into (column, op, literal); closed ranges split in two."""
+        atoms: list[tuple[int, int, float]] = []
+        for pred in query.predicates:
+            if pred.is_equality:
+                atoms.append((pred.column, 2, float(pred.lo)))  # type: ignore[arg-type]
+                continue
+            if pred.lo is not None:
+                atoms.append((pred.column, 0, float(pred.lo)))
+            if pred.hi is not None:
+                atoms.append((pred.column, 1, float(pred.hi)))
+        return atoms
+
+    def predicate_tensor(
+        self, queries: list[Query]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(batch, max_preds, predicate_dim) features and a validity mask."""
+        batch = len(queries)
+        feats = np.zeros((batch, self.max_predicates, self.predicate_dim))
+        mask = np.zeros((batch, self.max_predicates))
+        for qi, query in enumerate(queries):
+            for pi, (col, op, literal) in enumerate(self._atomic_predicates(query)):
+                vec = np.zeros(self.predicate_dim)
+                vec[col] = 1.0
+                vec[self.num_columns + op] = 1.0
+                vec[-1] = (literal - self.mins[col]) / self.spans[col]
+                feats[qi, pi] = vec
+                mask[qi, pi] = 1.0
+        return feats, mask
+
+    def bitmaps(self, queries: list[Query]) -> np.ndarray:
+        """(batch, sample_size) bitmap of sample tuples satisfying each query."""
+        out = np.zeros((len(queries), len(self.sample)))
+        for qi, query in enumerate(queries):
+            sat = np.ones(len(self.sample), dtype=bool)
+            for pred in query.predicates:
+                col = self.sample[:, pred.column]
+                if pred.lo is not None:
+                    sat &= col >= pred.lo
+                if pred.hi is not None:
+                    sat &= col <= pred.hi
+            out[qi] = sat
+        return out
+
+
+def log_cardinality_labels(cardinalities: np.ndarray) -> np.ndarray:
+    """Log-transformed labels (cards clamped to one tuple), used by all
+    regression methods."""
+    return np.log(np.maximum(np.asarray(cardinalities, dtype=np.float64), 1.0))

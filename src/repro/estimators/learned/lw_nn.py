@@ -1,0 +1,115 @@
+"""LW-NN [Dutt et al. 2019]: lightweight neural-network regressor.
+
+A small MLP over range + CE features minimising the mean squared error
+of the log-transformed label, "which equals minimizing the geometric
+mean of q-error with more weights on larger errors" (paper Section 2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimator import CardinalityEstimator
+from ...core.query import Query
+from ...core.table import Table
+from ...core.workload import Workload
+from ...nn import Adam, Linear, ReLU, Sequential, mse_loss
+from .featurize import LwFeaturizer, log_cardinality_labels
+
+
+class LwNnEstimator(CardinalityEstimator):
+    """Lightweight NN selectivity estimator (query-driven)."""
+
+    name = "lw-nn"
+    requires_workload = True
+
+    def __init__(
+        self,
+        hidden_units: tuple[int, ...] = (64, 64),
+        epochs: int = 60,
+        update_epochs: int = 15,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        use_ce_features: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.update_epochs = update_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.use_ce_features = use_ce_features
+        self.seed = seed
+        self._featurizer: LwFeaturizer | None = None
+        self._model: Sequential | None = None
+        self._optimizer: Adam | None = None
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _build_model(self, in_dim: int, rng: np.random.Generator) -> Sequential:
+        layers: list = []
+        prev = in_dim
+        for width in self.hidden_units:
+            layers.append(Linear(prev, width, rng))
+            layers.append(ReLU())
+            prev = width
+        layers.append(Linear(prev, 1, rng))
+        return Sequential(*layers)
+
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        assert workload is not None
+        rng = np.random.default_rng(self.seed)
+        self._featurizer = LwFeaturizer(table, self.use_ce_features)
+        self._model = self._build_model(self._featurizer.dimension, rng)
+        self._optimizer = Adam(self._model.parameters(), self.learning_rate)
+        self.loss_history = []
+        self._train(workload, self.epochs, rng)
+
+    def _train(
+        self, workload: Workload, epochs: int, rng: np.random.Generator
+    ) -> None:
+        assert self._featurizer is not None and self._model is not None
+        assert self._optimizer is not None
+        features = self._featurizer.features_many(list(workload.queries))
+        labels = log_cardinality_labels(workload.cardinalities)
+        n = len(labels)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                pred = self._model.forward(features[batch]).ravel()
+                loss, grad = mse_loss(pred, labels[batch])
+                self._optimizer.zero_grad()
+                self._model.backward(grad[:, None])
+                self._optimizer.step()
+                epoch_loss += loss * len(batch)
+            self.loss_history.append(epoch_loss / n)
+
+    def _update(
+        self, table: Table, appended: np.ndarray, workload: Workload | None
+    ) -> None:
+        """Dynamic-environment update: continue training on fresh labels.
+
+        Dutt et al. refresh the model with newly labelled queries; the
+        featurizer's CE statistics are rebuilt on the new table first.
+        """
+        if workload is None:
+            raise ValueError("lw-nn update needs a fresh training workload")
+        assert self._model is not None
+        self._featurizer = LwFeaturizer(table, self.use_ce_features)
+        rng = np.random.default_rng(self.seed + 1)
+        self._train(workload, self.update_epochs, rng)
+
+    # ------------------------------------------------------------------
+    def _estimate(self, query: Query) -> float:
+        assert self._featurizer is not None and self._model is not None
+        feats = self._featurizer.features(query)[None, :]
+        log_card = float(self._model.forward(feats)[0, 0])
+        return float(np.exp(np.clip(log_card, -30.0, 30.0)))
+
+    def model_size_bytes(self) -> int:
+        if self._model is None:
+            return 0
+        return 8 * self._model.num_parameters()

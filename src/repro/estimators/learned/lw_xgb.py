@@ -1,0 +1,82 @@
+"""LW-XGB [Dutt et al. 2019]: lightweight gradient-boosted-tree regressor.
+
+Identical features and loss to LW-NN (range + CE features, squared error
+on the log-transformed label) with a boosted-tree model instead of a
+neural network — the paper's fastest learned method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimator import CardinalityEstimator
+from ...core.query import Query
+from ...core.table import Table
+from ...core.workload import Workload
+from ...gbdt import GradientBoostedTrees
+from .featurize import LwFeaturizer, log_cardinality_labels
+
+
+class LwXgbEstimator(CardinalityEstimator):
+    """Lightweight GBDT selectivity estimator (query-driven)."""
+
+    name = "lw-xgb"
+    requires_workload = True
+
+    def __init__(
+        self,
+        num_trees: int = 64,
+        max_depth: int = 6,
+        learning_rate: float = 0.15,
+        update_trees: int = 32,
+        use_ce_features: bool = True,
+    ) -> None:
+        super().__init__()
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.update_trees = update_trees
+        self.use_ce_features = use_ce_features
+        self._featurizer: LwFeaturizer | None = None
+        self._model: GradientBoostedTrees | None = None
+
+    # ------------------------------------------------------------------
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        assert workload is not None
+        self._featurizer = LwFeaturizer(table, self.use_ce_features)
+        features = self._featurizer.features_many(list(workload.queries))
+        labels = log_cardinality_labels(workload.cardinalities)
+        self._model = GradientBoostedTrees(
+            num_trees=self.num_trees,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+        ).fit(features, labels)
+
+    def _update(
+        self, table: Table, appended: np.ndarray, workload: Workload | None
+    ) -> None:
+        """Dynamic-environment update: retrain on freshly labelled queries
+        with a reduced tree budget (the paper's fast-update setting)."""
+        if workload is None:
+            raise ValueError("lw-xgb update needs a fresh training workload")
+        self._featurizer = LwFeaturizer(table, self.use_ce_features)
+        features = self._featurizer.features_many(list(workload.queries))
+        labels = log_cardinality_labels(workload.cardinalities)
+        self._model = GradientBoostedTrees(
+            num_trees=self.update_trees,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+        ).fit(features, labels)
+
+    # ------------------------------------------------------------------
+    def _estimate(self, query: Query) -> float:
+        assert self._featurizer is not None and self._model is not None
+        feats = self._featurizer.features(query)[None, :]
+        log_card = float(self._model.predict(feats)[0])
+        return float(np.exp(np.clip(log_card, -30.0, 30.0)))
+
+    def model_size_bytes(self) -> int:
+        if self._model is None:
+            return 0
+        # Each node stores a feature id, a threshold and a value.
+        return 24 * self._model.num_nodes()

@@ -1,0 +1,198 @@
+"""MSCN [Kipf et al. 2019]: multi-set convolutional network.
+
+The single-table variant used by the paper: the join module is dropped
+and the feature vector keeps the predicate module (a per-predicate MLP
+followed by average pooling over the predicate set) and the qualifying
+materialized-sample bitmap module.  The model minimises the mean q-error
+(representable in log space as ``exp(|log est - log act|)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimator import CardinalityEstimator
+from ...core.query import Query
+from ...core.table import Table
+from ...core.workload import Workload
+from ...nn import Adam, Linear, ReLU, Sequential, qerror_loss
+from .featurize import MscnFeaturizer, log_cardinality_labels
+
+
+class _MscnNetwork:
+    """The three-module MSCN architecture with manual backprop."""
+
+    def __init__(
+        self,
+        predicate_dim: int,
+        sample_size: int,
+        hidden: int,
+        rng: np.random.Generator,
+        use_sample: bool,
+    ) -> None:
+        self.use_sample = use_sample
+        self.predicate_mlp = Sequential(
+            Linear(predicate_dim, hidden, rng), ReLU(),
+            Linear(hidden, hidden, rng), ReLU(),
+        )
+        self.sample_mlp = (
+            Sequential(
+                Linear(sample_size, hidden, rng), ReLU(),
+                Linear(hidden, hidden, rng), ReLU(),
+            )
+            if use_sample
+            else None
+        )
+        merged = hidden * (2 if use_sample else 1)
+        self.output_mlp = Sequential(
+            Linear(merged, hidden, rng), ReLU(), Linear(hidden, 1, rng)
+        )
+        self.hidden = hidden
+        self._cache: dict[str, np.ndarray] = {}
+
+    def parameters(self) -> list:
+        params = self.predicate_mlp.parameters() + self.output_mlp.parameters()
+        if self.sample_mlp is not None:
+            params += self.sample_mlp.parameters()
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, pred_feats: np.ndarray, pred_mask: np.ndarray, bitmaps: np.ndarray
+    ) -> np.ndarray:
+        batch, max_preds, dim = pred_feats.shape
+        flat = pred_feats.reshape(batch * max_preds, dim)
+        hidden_flat = self.predicate_mlp.forward(flat)
+        hidden = hidden_flat.reshape(batch, max_preds, self.hidden)
+        counts = np.maximum(pred_mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (hidden * pred_mask[:, :, None]).sum(axis=1) / counts
+        self._cache = {"mask": pred_mask, "counts": counts, "shape": np.array([batch, max_preds])}
+        if self.sample_mlp is not None:
+            sample_hidden = self.sample_mlp.forward(bitmaps)
+            merged = np.concatenate([pooled, sample_hidden], axis=1)
+        else:
+            merged = pooled
+        return self.output_mlp.forward(merged).ravel()
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        grad_merged = self.output_mlp.backward(grad_out[:, None])
+        if self.sample_mlp is not None:
+            grad_pooled = grad_merged[:, : self.hidden]
+            grad_sample = grad_merged[:, self.hidden :]
+            self.sample_mlp.backward(grad_sample)
+        else:
+            grad_pooled = grad_merged
+        mask = self._cache["mask"]
+        counts = self._cache["counts"]
+        batch, max_preds = map(int, self._cache["shape"])
+        # Distribute the pooled gradient back onto each valid predicate.
+        grad_hidden = (
+            grad_pooled[:, None, :] * (mask / counts)[:, :, None]
+        ).reshape(batch * max_preds, self.hidden)
+        self.predicate_mlp.backward(grad_hidden)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+class MscnEstimator(CardinalityEstimator):
+    """Multi-set convolutional network (query-driven)."""
+
+    name = "mscn"
+    requires_workload = True
+
+    def __init__(
+        self,
+        hidden_units: int = 64,
+        sample_size: int = 200,
+        epochs: int = 60,
+        update_epochs: int = 15,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        use_sample: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.hidden_units = hidden_units
+        self.sample_size = sample_size
+        self.epochs = epochs
+        self.update_epochs = update_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.use_sample = use_sample
+        self.seed = seed
+        self._featurizer: MscnFeaturizer | None = None
+        self._network: _MscnNetwork | None = None
+        self._optimizer: Adam | None = None
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        assert workload is not None
+        rng = np.random.default_rng(self.seed)
+        self._featurizer = MscnFeaturizer(table, self.sample_size, rng)
+        self._network = _MscnNetwork(
+            self._featurizer.predicate_dim,
+            len(self._featurizer.sample),
+            self.hidden_units,
+            rng,
+            self.use_sample,
+        )
+        self._optimizer = Adam(self._network.parameters(), self.learning_rate)
+        self.loss_history = []
+        self._train(workload, self.epochs, rng)
+
+    def _train(
+        self, workload: Workload, epochs: int, rng: np.random.Generator
+    ) -> None:
+        assert self._featurizer is not None and self._network is not None
+        assert self._optimizer is not None
+        queries = list(workload.queries)
+        pred_feats, pred_mask = self._featurizer.predicate_tensor(queries)
+        bitmaps = self._featurizer.bitmaps(queries)
+        labels = log_cardinality_labels(workload.cardinalities)
+        n = len(labels)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                pred = self._network.forward(
+                    pred_feats[batch], pred_mask[batch], bitmaps[batch]
+                )
+                loss, grad = qerror_loss(pred, labels[batch])
+                self._network.zero_grad()
+                self._network.backward(grad)
+                self._optimizer.step()
+                epoch_loss += loss * len(batch)
+            self.loss_history.append(epoch_loss / n)
+
+    def _update(
+        self, table: Table, appended: np.ndarray, workload: Workload | None
+    ) -> None:
+        """Dynamic update (the paper adopts LW's procedure for MSCN):
+        refresh the materialized sample and continue training on freshly
+        labelled queries for a few epochs."""
+        if workload is None:
+            raise ValueError("mscn update needs a fresh training workload")
+        assert self._featurizer is not None
+        rng = np.random.default_rng(self.seed + 1)
+        self._featurizer.refresh_sample(table, rng)
+        self._train(workload, self.update_epochs, rng)
+
+    # ------------------------------------------------------------------
+    def _estimate(self, query: Query) -> float:
+        assert self._featurizer is not None and self._network is not None
+        pred_feats, pred_mask = self._featurizer.predicate_tensor([query])
+        bitmaps = self._featurizer.bitmaps([query])
+        log_card = float(self._network.forward(pred_feats, pred_mask, bitmaps)[0])
+        return float(np.exp(np.clip(log_card, -30.0, 30.0)))
+
+    def model_size_bytes(self) -> int:
+        if self._network is None:
+            return 0
+        return 8 * self._network.num_parameters()

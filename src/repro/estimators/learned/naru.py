@@ -1,0 +1,199 @@
+"""Naru [Yang et al. 2019]: deep autoregressive cardinality estimation.
+
+Naru learns the joint distribution ``P(A_1..A_n)`` with a masked
+autoregressive network (ResMADE, the block the paper selects) trained by
+maximum likelihood on the raw tuples, and answers range queries with
+*progressive sampling*: values are sampled column by column from the
+model's conditional distributions restricted to the query ranges, and
+the selectivity is the average across samples of the product of the
+in-range probability masses.
+
+Progressive sampling is stochastic: repeated estimates of the same query
+differ (the Stability-rule violation of paper Section 6.3).  Pass
+``inference_seed`` to pin the sampler for reproducible runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimator import CardinalityEstimator
+from ...core.query import Query
+from ...core.table import Table
+from ...core.workload import Workload
+from ...nn import Adam, ResMade
+from ...nn.transformer import TransformerAR
+from ..discretize import Discretizer
+
+
+class NaruEstimator(CardinalityEstimator):
+    """Autoregressive model + progressive sampling (data-driven).
+
+    ``block`` selects the autoregressive building block: ``"made"``
+    (ResMADE, the paper's choice — "both efficient and accurate") or
+    ``"transformer"`` (the alternative Naru's paper also evaluates).
+    """
+
+    name = "naru"
+
+    def __init__(
+        self,
+        hidden_units: int = 64,
+        hidden_layers: int = 3,
+        max_bins: int = 256,
+        epochs: int = 15,
+        update_epochs: int = 1,
+        batch_size: int = 512,
+        learning_rate: float = 2e-3,
+        num_samples: int = 200,
+        block: str = "made",
+        wildcard_skipping: bool = False,
+        wildcard_rate: float = 0.25,
+        seed: int = 0,
+        inference_seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if block not in ("made", "transformer"):
+            raise ValueError(f"unknown block {block!r}; use 'made' or 'transformer'")
+        if wildcard_skipping and block != "made":
+            raise ValueError("wildcard_skipping requires the MADE block")
+        self.hidden_units = hidden_units
+        self.hidden_layers = hidden_layers
+        self.max_bins = max_bins
+        self.epochs = epochs
+        self.update_epochs = update_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.num_samples = num_samples
+        self.block = block
+        self.wildcard_skipping = wildcard_skipping
+        self.wildcard_rate = wildcard_rate
+        self.seed = seed
+        self.inference_seed = inference_seed
+        self._disc: Discretizer | None = None
+        self._model: ResMade | TransformerAR | None = None
+        self._optimizer: Adam | None = None
+        self._inference_rng = np.random.default_rng(seed + 1)
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _build_model(self, rng: np.random.Generator) -> ResMade | TransformerAR:
+        assert self._disc is not None
+        if self.block == "made":
+            return ResMade(
+                self._disc.cardinalities, self.hidden_units, self.hidden_layers, rng
+            )
+        return TransformerAR(
+            self._disc.cardinalities,
+            dim=self.hidden_units,
+            num_heads=max(1, self.hidden_units // 16),
+            num_blocks=self.hidden_layers,
+            rng=rng,
+        )
+
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._disc = Discretizer(table, self.max_bins)
+        self._model = self._build_model(rng)
+        self._optimizer = Adam(self._model.parameters(), self.learning_rate)
+        self.loss_history = []
+        self.train_epochs(table, self.epochs, rng)
+
+    def train_epochs(
+        self, table: Table, epochs: int, rng: np.random.Generator | None = None
+    ) -> None:
+        """Run additional likelihood-training epochs on ``table``."""
+        assert self._disc is not None and self._model is not None
+        assert self._optimizer is not None
+        rng = rng or np.random.default_rng(self.seed + 2)
+        binned = self._disc.transform(table.data)
+        n = len(binned)
+        n_cols = binned.shape[1]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = binned[order[start : start + self.batch_size]]
+                if self.wildcard_skipping:
+                    # Hide a random subset of input columns so the model
+                    # learns to marginalise absent ("wildcard") inputs.
+                    mask = rng.random((len(batch), n_cols)) < self.wildcard_rate
+                    loss, grad = self._model.nll_step(batch, mask)  # type: ignore[call-arg]
+                else:
+                    loss, grad = self._model.nll_step(batch)
+                self._model.zero_grad()
+                self._model.backward(grad)
+                self._optimizer.step()
+                epoch_loss += loss * len(batch)
+            self.loss_history.append(epoch_loss / n)
+
+    def _update(
+        self, table: Table, appended: np.ndarray, workload: Workload | None
+    ) -> None:
+        """Dynamic-environment update: one more epoch over the updated
+        data (the procedure described in Naru's paper)."""
+        self.train_epochs(table, self.update_epochs)
+
+    # ------------------------------------------------------------------
+    # Progressive sampling inference
+    # ------------------------------------------------------------------
+    def _estimate(self, query: Query) -> float:
+        sel = self.estimate_selectivity(query)
+        return sel * self.table.num_rows
+
+    def estimate_selectivity(self, query: Query) -> float:
+        """Progressive-sampling estimate of the query's selectivity."""
+        assert self._disc is not None and self._model is not None
+        rng = (
+            np.random.default_rng(self.inference_seed)
+            if self.inference_seed is not None
+            else self._inference_rng
+        )
+        cards = self._disc.cardinalities
+        n_cols = len(cards)
+        weights = [np.ones(cards[i]) for i in range(n_cols)]
+        for pred in query.predicates:
+            weights[pred.column] = self._disc.predicate_weights(pred)
+
+        s = self.num_samples
+        samples = np.zeros((s, n_cols), dtype=np.int64)
+        p_total = np.ones(s)
+        predicated = np.zeros(n_cols, dtype=bool)
+        for p in query.predicates:
+            predicated[p.column] = True
+        # Columns after the last predicated one have full mass (q = 1)
+        # and cannot change the estimate, so sampling stops there.
+        last_predicated = max(p.column for p in query.predicates)
+        sampled = np.zeros(n_cols, dtype=bool)
+        for col in range(last_predicated + 1):
+            if self.wildcard_skipping and not predicated[col]:
+                # Wildcard-trained models marginalise absent columns in
+                # one shot: skip sampling them entirely.
+                continue
+            if self.wildcard_skipping:
+                dist = self._model.conditional_from_bins(  # type: ignore[call-arg]
+                    samples, col, present=sampled
+                )
+            else:
+                dist = self._model.conditional_from_bins(samples, col)
+            masked = dist * weights[col][None, :]
+            q = masked.sum(axis=1)
+            p_total *= q
+            # Sample the next value among in-range bins; rows whose mass
+            # is zero contribute zero probability and sample uniformly to
+            # keep the batch shape.
+            safe = np.where(q[:, None] > 0.0, masked, np.ones_like(masked))
+            safe = safe / safe.sum(axis=1, keepdims=True)
+            cum = np.cumsum(safe, axis=1)
+            draws = rng.random(s)
+            samples[:, col] = (draws[:, None] < cum).argmax(axis=1)
+            sampled[col] = True
+        return float(np.mean(p_total))
+
+    # ------------------------------------------------------------------
+    def model_size_bytes(self) -> int:
+        if self._model is None:
+            return 0
+        return 8 * self._model.num_parameters()

@@ -1,0 +1,25 @@
+"""The eight traditional estimators of the paper's Section 4."""
+
+from .bayes import BayesEstimator
+from .dbms import DbmsAEstimator, MySQLEstimator, PostgresEstimator
+from .histograms import ColumnStatistics, EquiDepthHistogram, McvList
+from .kde import KdeFeedbackEstimator
+from .mhist import MhistEstimator
+from .quicksel import QuickSelEstimator
+from .sampling import SamplingEstimator
+from .stholes import StHolesEstimator
+
+__all__ = [
+    "BayesEstimator",
+    "ColumnStatistics",
+    "DbmsAEstimator",
+    "EquiDepthHistogram",
+    "KdeFeedbackEstimator",
+    "McvList",
+    "MhistEstimator",
+    "MySQLEstimator",
+    "PostgresEstimator",
+    "QuickSelEstimator",
+    "SamplingEstimator",
+    "StHolesEstimator",
+]

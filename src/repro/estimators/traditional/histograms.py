@@ -1,0 +1,164 @@
+"""Per-column statistics primitives shared by the DBMS-style estimators.
+
+These mirror what production systems actually keep per column:
+
+* an equi-depth (equal-frequency) histogram with per-bucket distinct
+  counts, used with continuous interpolation for range predicates;
+* an optional most-common-values (MCV) list, which Postgres consults
+  before the histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.query import Predicate
+
+
+class EquiDepthHistogram:
+    """Equal-frequency histogram with per-bucket distinct-value counts."""
+
+    def __init__(self, values: np.ndarray, num_buckets: int) -> None:
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        if values.size == 0:
+            raise ValueError("cannot build a histogram over no values")
+        num_buckets = max(1, min(num_buckets, values.size))
+        # Bucket bounds at evenly spaced quantiles of the sorted data.
+        positions = np.linspace(0, values.size - 1, num_buckets + 1).astype(np.int64)
+        self.bounds = values[positions]
+        self.total = int(values.size)
+        # Row counts and distinct counts per bucket.
+        self.counts = np.empty(num_buckets, dtype=np.float64)
+        self.distincts = np.empty(num_buckets, dtype=np.float64)
+        for b in range(num_buckets):
+            lo_idx = positions[b]
+            hi_idx = positions[b + 1]
+            chunk = values[lo_idx : hi_idx + 1] if b == num_buckets - 1 else values[lo_idx:hi_idx]
+            self.counts[b] = len(chunk)
+            self.distincts[b] = max(1, len(np.unique(chunk)))
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.counts)
+
+    def range_fraction(self, lo: float | None, hi: float | None) -> float:
+        """Fraction of rows with value in ``[lo, hi]`` (uniform-in-bucket)."""
+        lo_v = self.bounds[0] if lo is None else lo
+        hi_v = self.bounds[-1] if hi is None else hi
+        if hi_v < lo_v:
+            return 0.0
+        covered = 0.0
+        for b in range(self.num_buckets):
+            b_lo, b_hi = self.bounds[b], self.bounds[b + 1]
+            if b_hi < lo_v or b_lo > hi_v:
+                continue
+            if b_hi == b_lo:
+                covered += self.counts[b]
+                continue
+            overlap = min(hi_v, b_hi) - max(lo_v, b_lo)
+            covered += self.counts[b] * max(0.0, overlap) / (b_hi - b_lo)
+        return min(1.0, covered / self.total)
+
+    def equality_fraction(self, value: float) -> float:
+        """Fraction of rows equal to ``value``.
+
+        A frequent value can span several equal-frequency buckets, so all
+        buckets whose range contains the value contribute: singleton
+        buckets (``lo == hi == value``) contribute their full count, the
+        rest contribute ``count / ndv`` (uniform over distinct values).
+        """
+        if value < self.bounds[0] or value > self.bounds[-1]:
+            return 0.0
+        first = int(np.searchsorted(self.bounds[:-1], value, side="left"))
+        first = max(0, first - 1)
+        covered = 0.0
+        for b in range(first, self.num_buckets):
+            b_lo, b_hi = self.bounds[b], self.bounds[b + 1]
+            if b_lo > value:
+                break
+            if b_hi < value:
+                continue
+            if b_lo == b_hi:
+                covered += self.counts[b]
+            else:
+                covered += self.counts[b] / self.distincts[b]
+        return float(covered / self.total)
+
+
+class McvList:
+    """Most-common-values list: exact fractions for heavy hitters."""
+
+    def __init__(self, values: np.ndarray, limit: int) -> None:
+        uniq, counts = np.unique(np.asarray(values, dtype=np.float64), return_counts=True)
+        order = np.argsort(counts)[::-1]
+        take = min(limit, len(uniq))
+        # Postgres only stores values that are genuinely common: more
+        # frequent than the average value.
+        avg = counts.mean()
+        chosen = [i for i in order[:take] if counts[i] > avg]
+        self.values = uniq[chosen]
+        self.fractions = counts[chosen] / values.size
+        self.total_fraction = float(self.fractions.sum())
+        self._index = {float(v): float(f) for v, f in zip(self.values, self.fractions)}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def equality_fraction(self, value: float) -> float | None:
+        """Fraction if ``value`` is an MCV, else None."""
+        return self._index.get(float(value))
+
+    def range_fraction(self, lo: float | None, hi: float | None) -> float:
+        """Summed fraction of MCVs inside ``[lo, hi]``."""
+        mask = np.ones(len(self.values), dtype=bool)
+        if lo is not None:
+            mask &= self.values >= lo
+        if hi is not None:
+            mask &= self.values <= hi
+        return float(self.fractions[mask].sum())
+
+
+class ColumnStatistics:
+    """Postgres-style per-column statistics: MCVs + equi-depth histogram."""
+
+    def __init__(
+        self, values: np.ndarray, num_buckets: int, mcv_limit: int = 100
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self.num_rows = int(values.size)
+        self.num_distinct = int(len(np.unique(values)))
+        self.mcvs = McvList(values, mcv_limit) if mcv_limit > 0 else None
+        if self.mcvs is not None and len(self.mcvs) > 0:
+            rest = values[~np.isin(values, self.mcvs.values)]
+        else:
+            rest = values
+        self.histogram = EquiDepthHistogram(rest, num_buckets) if rest.size else None
+        self._rest_fraction = rest.size / values.size
+
+    def selectivity(self, predicate: Predicate) -> float:
+        """Selectivity of one predicate under these statistics."""
+        if predicate.is_empty:
+            return 0.0
+        if predicate.is_equality:
+            return self._equality_selectivity(float(predicate.lo))  # type: ignore[arg-type]
+        return self._range_selectivity(predicate.lo, predicate.hi)
+
+    def _equality_selectivity(self, value: float) -> float:
+        if self.mcvs is not None:
+            hit = self.mcvs.equality_fraction(value)
+            if hit is not None:
+                return hit
+            remaining_distinct = max(1, self.num_distinct - len(self.mcvs))
+            leftover = max(0.0, 1.0 - self.mcvs.total_fraction)
+            return leftover / remaining_distinct
+        if self.histogram is not None:
+            return self.histogram.equality_fraction(value)
+        return 1.0 / max(1, self.num_distinct)
+
+    def _range_selectivity(self, lo: float | None, hi: float | None) -> float:
+        frac = 0.0
+        if self.mcvs is not None:
+            frac += self.mcvs.range_fraction(lo, hi)
+        if self.histogram is not None:
+            frac += self.histogram.range_fraction(lo, hi) * self._rest_fraction
+        return min(1.0, frac)

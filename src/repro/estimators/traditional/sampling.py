@@ -1,0 +1,42 @@
+"""Uniform-random-sample estimator (paper Section 4.1).
+
+The paper samples 1.5% of the tuples so the space budget matches the
+learned models.  Estimation evaluates the query exactly on the sample and
+scales up by the sampling fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimator import CardinalityEstimator
+from ...core.query import Query
+from ...core.table import Table
+from ...core.workload import Workload
+
+
+class SamplingEstimator(CardinalityEstimator):
+    """COUNT on a uniform sample, scaled by the sampling rate."""
+
+    name = "sampling"
+
+    def __init__(self, fraction: float = 0.015, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self.seed = seed
+        self._sample: Table | None = None
+
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._sample = table.sample(self.fraction, rng)
+
+    def _estimate(self, query: Query) -> float:
+        assert self._sample is not None
+        matched = self._sample.cardinality(query)
+        scale = self.table.num_rows / self._sample.num_rows
+        return matched * scale
+
+    def model_size_bytes(self) -> int:
+        return self._sample.size_bytes() if self._sample is not None else 0

@@ -1,0 +1,17 @@
+"""Interpretability helpers for black-box estimators (Section 7.2)."""
+
+from .attribution import (
+    FeatureImportance,
+    InfluentialQuery,
+    TrainingInfluence,
+    lw_feature_importance,
+    permutation_importance,
+)
+
+__all__ = [
+    "FeatureImportance",
+    "InfluentialQuery",
+    "TrainingInfluence",
+    "lw_feature_importance",
+    "permutation_importance",
+]

@@ -1,0 +1,170 @@
+"""Interpretability helpers (paper Section 7.2).
+
+The paper suggests applying ML-explanation techniques to black-box
+estimators: feature-attribution methods to see which inputs drive a
+prediction, and influence-style diagnostics to trace a bad estimate back
+to training examples.  Two model-agnostic tools:
+
+* :func:`permutation_importance` — permute one feature column across a
+  probe workload and measure how much the estimator's accuracy degrades;
+  large degradation = the estimator leans on that feature.
+* :class:`TrainingInfluence` — for query-driven models, the
+  nearest-training-queries diagnostic: which labelled queries most
+  resemble a suspicious test query (a cheap stand-in for influence
+  functions, which need model Hessians).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.metrics import qerrors
+from ..core.query import Query
+from ..core.workload import Workload
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    """Permutation importance of one feature column."""
+
+    feature: int
+    name: str
+    baseline_error: float
+    permuted_error: float
+
+    @property
+    def importance(self) -> float:
+        """Degradation factor; 1.0 means the feature carries no signal."""
+        return self.permuted_error / max(self.baseline_error, 1e-12)
+
+
+def _geo_mean_error(estimates: np.ndarray, actuals: np.ndarray) -> float:
+    return float(np.exp(np.log(qerrors(estimates, actuals)).mean()))
+
+
+def permutation_importance(
+    predict: "callable",
+    features: np.ndarray,
+    actuals: np.ndarray,
+    rng: np.random.Generator,
+    feature_names: list[str] | None = None,
+    repeats: int = 3,
+) -> list[FeatureImportance]:
+    """Permutation importance over an explicit feature matrix.
+
+    ``predict`` maps a feature matrix to cardinality estimates (e.g. the
+    internal regressor of LW-XGB/NN).  Each feature column is shuffled
+    ``repeats`` times; the reported degradation is the mean.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    actuals = np.asarray(actuals, dtype=np.float64)
+    baseline = _geo_mean_error(predict(features), actuals)
+    out = []
+    for j in range(features.shape[1]):
+        degraded = []
+        for _ in range(repeats):
+            shuffled = features.copy()
+            shuffled[:, j] = rng.permutation(shuffled[:, j])
+            degraded.append(_geo_mean_error(predict(shuffled), actuals))
+        name = feature_names[j] if feature_names else f"f{j}"
+        out.append(
+            FeatureImportance(
+                feature=j,
+                name=name,
+                baseline_error=baseline,
+                permuted_error=float(np.mean(degraded)),
+            )
+        )
+    return sorted(out, key=lambda fi: fi.importance, reverse=True)
+
+
+def lw_feature_importance(
+    estimator: CardinalityEstimator,
+    workload: Workload,
+    rng: np.random.Generator,
+) -> list[FeatureImportance]:
+    """Permutation importance for the LW family's feature vector.
+
+    Works for any estimator exposing the LW featurizer protocol
+    (``_featurizer.features_many`` + an internal ``_model.predict`` /
+    forward pass); raises ``TypeError`` otherwise.
+    """
+    featurizer = getattr(estimator, "_featurizer", None)
+    model = getattr(estimator, "_model", None)
+    if featurizer is None or model is None:
+        raise TypeError(
+            f"{estimator.name} does not expose the LW featurizer protocol"
+        )
+    features = featurizer.features_many(list(workload.queries))
+
+    if hasattr(model, "predict"):
+        predict_log = model.predict  # GBDT
+    else:
+        predict_log = lambda x: model.forward(x).ravel()  # MLP
+
+    def predict(feature_matrix: np.ndarray) -> np.ndarray:
+        return np.exp(np.clip(predict_log(feature_matrix), -30.0, 30.0))
+
+    num_range = 2 * featurizer.ranges.num_columns
+    names = [
+        f"{'lo' if i % 2 == 0 else 'hi'}({i // 2})" for i in range(num_range)
+    ]
+    if featurizer.ce is not None:
+        names += ["log_avi", "log_minsel", "log_ebo"]
+    return permutation_importance(
+        predict, features, workload.cardinalities, rng, names
+    )
+
+
+@dataclass(frozen=True)
+class InfluentialQuery:
+    """One nearby training query, with its label and distance."""
+
+    index: int
+    query: Query
+    cardinality: float
+    distance: float
+
+
+class TrainingInfluence:
+    """Nearest-training-query diagnostic for query-driven estimators.
+
+    When a query-driven model produces a surprising estimate, the first
+    question is "what did it train on around here?".  This indexes the
+    training workload in the model's own feature space and returns the
+    closest labelled neighbours of any probe query.
+    """
+
+    def __init__(
+        self,
+        featurize: "callable",
+        workload: Workload,
+    ) -> None:
+        self._featurize = featurize
+        self.workload = workload
+        self._matrix = np.array([featurize(q) for q in workload.queries])
+        scale = self._matrix.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+
+    def neighbours(self, query: Query, k: int = 5) -> list[InfluentialQuery]:
+        """The ``k`` training queries nearest to ``query``."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        probe = np.asarray(self._featurize(query), dtype=np.float64)
+        dist = np.linalg.norm(
+            (self._matrix - probe) / self._scale, axis=1
+        )
+        order = np.argsort(dist)[:k]
+        return [
+            InfluentialQuery(
+                index=int(i),
+                query=self.workload.queries[i],
+                cardinality=float(self.workload.cardinalities[i]),
+                distance=float(dist[i]),
+            )
+            for i in order
+        ]

@@ -1,0 +1,6 @@
+"""Gradient-boosted trees substrate (replaces XGBoost; see DESIGN.md)."""
+
+from .boosting import GradientBoostedTrees
+from .tree import FeatureBinner, RegressionTree
+
+__all__ = ["FeatureBinner", "GradientBoostedTrees", "RegressionTree"]

@@ -1,0 +1,92 @@
+"""Gradient-boosted regression trees (squared loss).
+
+Stands in for XGBoost in the LW-XGB estimator.  With squared loss the
+negative gradient is simply the residual, so boosting reduces to fitting
+each tree to the current residuals and adding it with shrinkage.
+Supports warm-started continuation (``extend``) for the dynamic
+environment, where LW-XGB refreshes its model on updated query labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import FeatureBinner, RegressionTree
+
+
+class GradientBoostedTrees:
+    """Boosted ensemble ``f(x) = base + lr * sum_t tree_t(x)``."""
+
+    def __init__(
+        self,
+        num_trees: int = 64,
+        learning_rate: float = 0.15,
+        max_depth: int = 6,
+        min_samples_leaf: int = 5,
+        max_bins: int = 64,
+    ) -> None:
+        if num_trees < 1:
+            raise ValueError("need at least one tree")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.num_trees = num_trees
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_bins = max_bins
+        self._binner: FeatureBinner | None = None
+        self._trees: list[RegressionTree] = []
+        self._base: float = 0.0
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "GradientBoostedTrees":
+        features = np.asarray(features, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        self._binner = FeatureBinner(self.max_bins).fit(features)
+        binned = self._binner.transform(features)
+        self._base = float(target.mean())
+        self._trees = []
+        residual = target - self._base
+        for _ in range(self.num_trees):
+            tree = RegressionTree(self.max_depth, self.min_samples_leaf)
+            tree.fit(binned, residual)
+            residual -= self.learning_rate * tree.predict(binned)
+            self._trees.append(tree)
+        return self
+
+    def extend(
+        self, features: np.ndarray, target: np.ndarray, extra_trees: int
+    ) -> "GradientBoostedTrees":
+        """Add ``extra_trees`` boosted on fresh data (model update path)."""
+        if self._binner is None:
+            raise RuntimeError("model must be fit before extending")
+        features = np.asarray(features, dtype=np.float64)
+        binned = self._binner.transform(features)
+        residual = np.asarray(target, dtype=np.float64) - self._predict_binned(binned)
+        for _ in range(extra_trees):
+            tree = RegressionTree(self.max_depth, self.min_samples_leaf)
+            tree.fit(binned, residual)
+            residual -= self.learning_rate * tree.predict(binned)
+            self._trees.append(tree)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._binner is None:
+            raise RuntimeError("model must be fit before predicting")
+        binned = self._binner.transform(np.asarray(features, dtype=np.float64))
+        return self._predict_binned(binned)
+
+    def _predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        out = np.full(binned.shape[0], self._base, dtype=np.float64)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(binned)
+        return out
+
+    @property
+    def num_fitted_trees(self) -> int:
+        return len(self._trees)
+
+    def num_nodes(self) -> int:
+        """Total node count across trees (a model-size proxy)."""
+        return sum(t.num_nodes for t in self._trees)

@@ -1,0 +1,167 @@
+"""Histogram-based regression trees, the weak learner of ``repro.gbdt``.
+
+Features are pre-binned to a small number of quantile buckets (the same
+trick used by XGBoost's ``hist`` method and LightGBM), so split search is
+a couple of ``bincount`` calls per feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class FeatureBinner:
+    """Maps continuous features to integer bins via per-feature quantiles."""
+
+    def __init__(self, max_bins: int = 64) -> None:
+        if max_bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.max_bins = max_bins
+        self.bin_edges: list[np.ndarray] = []
+
+    def fit(self, features: np.ndarray) -> "FeatureBinner":
+        features = np.asarray(features, dtype=np.float64)
+        self.bin_edges = []
+        for j in range(features.shape[1]):
+            unique = np.unique(features[:, j])
+            if len(unique) <= self.max_bins:
+                # Split exactly between consecutive distinct values.
+                edges = (unique[:-1] + unique[1:]) / 2.0
+            else:
+                qs = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+                edges = np.unique(np.quantile(features[:, j], qs))
+            self.bin_edges.append(edges)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if not self.bin_edges:
+            raise RuntimeError("binner must be fit before transform")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty(features.shape, dtype=np.int64)
+        for j, edges in enumerate(self.bin_edges):
+            out[:, j] = np.searchsorted(edges, features[:, j], side="right")
+        return out
+
+    def num_bins(self, feature: int) -> int:
+        return len(self.bin_edges[feature]) + 1
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold_bin: int = -1  # go left when bin <= threshold_bin
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class RegressionTree:
+    """A depth-limited regression tree grown greedily on binned features."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 5,
+        min_gain: float = 1e-12,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self._root: _Node | None = None
+        self._num_nodes = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, binned: np.ndarray, target: np.ndarray) -> "RegressionTree":
+        binned = np.asarray(binned, dtype=np.int64)
+        target = np.asarray(target, dtype=np.float64)
+        if binned.shape[0] != target.shape[0]:
+            raise ValueError("features and target must align")
+        self._num_nodes = 0
+        self._root = self._grow(binned, target, np.arange(len(target)), depth=0)
+        return self
+
+    def _grow(
+        self, binned: np.ndarray, target: np.ndarray, idx: np.ndarray, depth: int
+    ) -> _Node:
+        self._num_nodes += 1
+        node = _Node(value=float(target[idx].mean()))
+        if depth >= self.max_depth or len(idx) < 2 * self.min_samples_leaf:
+            return node
+        best = self._best_split(binned, target, idx)
+        if best is None:
+            return node
+        feature, threshold_bin = best
+        go_left = binned[idx, feature] <= threshold_bin
+        node.feature = feature
+        node.threshold_bin = threshold_bin
+        node.left = self._grow(binned, target, idx[go_left], depth + 1)
+        node.right = self._grow(binned, target, idx[~go_left], depth + 1)
+        return node
+
+    def _best_split(
+        self, binned: np.ndarray, target: np.ndarray, idx: np.ndarray
+    ) -> tuple[int, int] | None:
+        y = target[idx]
+        total_sum = y.sum()
+        total_cnt = len(idx)
+        parent_score = total_sum**2 / total_cnt
+        best_gain = self.min_gain
+        best: tuple[int, int] | None = None
+        for feature in range(binned.shape[1]):
+            bins = binned[idx, feature]
+            nb = int(bins.max()) + 1
+            if nb < 2:
+                continue
+            sums = np.bincount(bins, weights=y, minlength=nb)
+            cnts = np.bincount(bins, minlength=nb)
+            left_sum = np.cumsum(sums)[:-1]
+            left_cnt = np.cumsum(cnts)[:-1]
+            right_sum = total_sum - left_sum
+            right_cnt = total_cnt - left_cnt
+            valid = (left_cnt >= self.min_samples_leaf) & (
+                right_cnt >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = (
+                    left_sum**2 / np.maximum(left_cnt, 1)
+                    + right_sum**2 / np.maximum(right_cnt, 1)
+                    - parent_score
+                )
+            gain = np.where(valid, gain, -np.inf)
+            k = int(np.argmax(gain))
+            if gain[k] > best_gain:
+                best_gain = float(gain[k])
+                best = (feature, k)
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, binned: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree must be fit before predicting")
+        binned = np.asarray(binned, dtype=np.int64)
+        out = np.empty(binned.shape[0], dtype=np.float64)
+        self._predict_into(self._root, binned, np.arange(binned.shape[0]), out)
+        return out
+
+    def _predict_into(
+        self, node: _Node, binned: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf or len(idx) == 0:
+            out[idx] = node.value
+            return
+        go_left = binned[idx, node.feature] <= node.threshold_bin
+        assert node.left is not None and node.right is not None
+        self._predict_into(node.left, binned, idx[go_left], out)
+        self._predict_into(node.right, binned, idx[~go_left], out)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes

@@ -1,0 +1,33 @@
+"""Minimal neural-network substrate (numpy, manual backprop).
+
+Replaces PyTorch for the paper's neural estimators; see DESIGN.md
+(substitutions table).
+"""
+
+from .attention import CausalSelfAttention, Embedding, LayerNorm
+from .layers import Linear, MaskedLinear, Module, Parameter, ReLU, Sequential
+from .loss import mse_loss, qerror_loss, softmax, softmax_cross_entropy
+from .made import ResMade, ResMadeBlock
+from .optim import SGD, Adam
+from .transformer import TransformerAR
+
+__all__ = [
+    "Adam",
+    "CausalSelfAttention",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "MaskedLinear",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "ResMade",
+    "ResMadeBlock",
+    "SGD",
+    "Sequential",
+    "TransformerAR",
+    "mse_loss",
+    "qerror_loss",
+    "softmax",
+    "softmax_cross_entropy",
+]

@@ -1,0 +1,166 @@
+"""Sequence primitives for the Transformer autoregressive block:
+embeddings, layer normalisation and causal multi-head self-attention,
+all with manual backprop.
+
+Naru's paper considers both MADE and Transformer [Vaswani et al. 2017]
+as autoregressive building blocks; these primitives power the
+Transformer variant (:mod:`repro.nn.transformer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module, Parameter
+
+
+class Embedding(Module):
+    """Lookup table ``(num_embeddings, dim)`` with scatter-add gradients."""
+
+    def __init__(
+        self, num_embeddings: int, dim: int, rng: np.random.Generator
+    ) -> None:
+        self.table = Parameter(rng.normal(scale=0.05, size=(num_embeddings, dim)))
+        self._indices: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.table]
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min() < 0 or indices.max() >= self.table.value.shape[0]:
+            raise ValueError("embedding index out of range")
+        self._indices = indices
+        return self.table.value[indices]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._indices is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(self.table.grad, self._indices.ravel(),
+                  grad.reshape(-1, grad.shape[-1]))
+        return np.zeros(self._indices.shape)  # indices carry no gradient
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, epsilon: float = 1e-5) -> None:
+        self.gain = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+        self.epsilon = epsilon
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gain, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        normed = (x - mean) * inv_std
+        self._cache = (normed, inv_std, x)
+        return normed * self.gain.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normed, inv_std, x = self._cache
+        self.gain.grad += np.sum(grad * normed, axis=tuple(range(grad.ndim - 1)))
+        self.bias.grad += np.sum(grad, axis=tuple(range(grad.ndim - 1)))
+        d = x.shape[-1]
+        g = grad * self.gain.value
+        # Standard layer-norm backward.
+        return inv_std * (
+            g
+            - g.mean(axis=-1, keepdims=True)
+            - normed * (g * normed).mean(axis=-1, keepdims=True)
+        )
+
+
+def _stable_softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class CausalSelfAttention(Module):
+    """Multi-head self-attention with a strict causal mask.
+
+    Input/output shape ``(batch, seq, dim)``.  Position ``t`` attends to
+    positions ``<= t``.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        scale = 1.0 / np.sqrt(dim)
+        self.w_query = Parameter(rng.normal(scale=scale, size=(dim, dim)))
+        self.w_key = Parameter(rng.normal(scale=scale, size=(dim, dim)))
+        self.w_value = Parameter(rng.normal(scale=scale, size=(dim, dim)))
+        self.w_out = Parameter(rng.normal(scale=scale, size=(dim, dim)))
+        self._cache: dict[str, np.ndarray] = {}
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w_query, self.w_key, self.w_value, self.w_out]
+
+    # -- helpers ---------------------------------------------------------
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, hd = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * hd)
+
+    # -- forward / backward ----------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, d = x.shape
+        q = self._split_heads(x @ self.w_query.value)
+        k = self._split_heads(x @ self.w_key.value)
+        v = self._split_heads(x @ self.w_value.value)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        mask = np.triu(np.full((t, t), -np.inf), k=1)
+        attn = _stable_softmax(scores + mask)
+        context = attn @ v  # (b, h, t, hd)
+        merged = self._merge_heads(context)
+        self._cache = {"x": x, "q": q, "k": k, "v": v, "attn": attn,
+                       "merged": merged}
+        return merged @ self.w_out.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        c = self._cache
+        if not c:
+            raise RuntimeError("backward called before forward")
+        x, q, k, v, attn, merged = (
+            c["x"], c["q"], c["k"], c["v"], c["attn"], c["merged"]
+        )
+        b, t, d = x.shape
+        flat = merged.reshape(-1, d)
+        self.w_out.grad += flat.T @ grad.reshape(-1, d)
+        d_merged = grad @ self.w_out.value.T
+        d_context = self._split_heads(d_merged)
+
+        d_attn = d_context @ v.transpose(0, 1, 3, 2)
+        d_v = attn.transpose(0, 1, 3, 2) @ d_context
+        # Softmax backward (rows of attn sum to 1).
+        d_scores = attn * (d_attn - np.sum(d_attn * attn, axis=-1, keepdims=True))
+        d_scores /= np.sqrt(self.head_dim)
+        d_q = d_scores @ k
+        d_k = d_scores.transpose(0, 1, 3, 2) @ q
+
+        d_q_flat = self._merge_heads(d_q).reshape(-1, d)
+        d_k_flat = self._merge_heads(d_k).reshape(-1, d)
+        d_v_flat = self._merge_heads(d_v).reshape(-1, d)
+        x_flat = x.reshape(-1, d)
+        self.w_query.grad += x_flat.T @ d_q_flat
+        self.w_key.grad += x_flat.T @ d_k_flat
+        self.w_value.grad += x_flat.T @ d_v_flat
+        d_x = (
+            d_q_flat @ self.w_query.value.T
+            + d_k_flat @ self.w_key.value.T
+            + d_v_flat @ self.w_value.value.T
+        ).reshape(b, t, d)
+        return d_x

@@ -1,0 +1,158 @@
+"""Minimal neural-network layers with manual backpropagation.
+
+The paper's neural estimators (Naru, MSCN, LW-NN) are built on PyTorch;
+this environment has no deep-learning framework, so ``repro.nn`` provides
+the handful of primitives those models need: dense layers, masked dense
+layers (for autoregressive MADE masks), ReLU, and a sequential container.
+
+Each :class:`Module` exposes ``forward(x)`` and ``backward(grad)``;
+``backward`` must be called with the gradient of the loss w.r.t. the most
+recent ``forward`` output, and accumulates parameter gradients in-place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor together with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+
+class Module:
+    """Base class: a differentiable function with parameters."""
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier-uniform initialisation, the PyTorch Linear default."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng))
+        self.bias = Parameter(np.zeros(out_dim))
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class MaskedLinear(Module):
+    """Dense layer whose weight matrix is element-wise masked.
+
+    The autoregressive property of MADE [Germain et al. 2015] is enforced
+    by zeroing forbidden connections; the mask is applied to both the
+    forward pass and the weight gradient so masked entries never move.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (in_dim, out_dim):
+            raise ValueError(f"mask shape {mask.shape} != ({in_dim}, {out_dim})")
+        self.mask = mask
+        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng) * mask)
+        self.bias = Parameter(np.zeros(out_dim))
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ (self.weight.value * self.mask) + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += (self._x.T @ grad) * self.mask
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ (self.weight.value * self.mask).T
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._active: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._active = x > 0.0
+        return np.where(self._active, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._active is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._active
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for m in self.modules for p in m.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for m in self.modules:
+            x = m.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for m in reversed(self.modules):
+            grad = m.backward(grad)
+        return grad

@@ -1,0 +1,66 @@
+"""Loss functions used by the learned estimators.
+
+* LW-NN minimises the mean squared error of the log-transformed label
+  (paper Section 2.3), which "equals minimizing the geometric mean of
+  q-error with more weights on larger errors".
+* MSCN minimises the mean q-error directly.  Since
+  ``qerror = exp(|log(est) - log(act)|)`` for positive quantities, the
+  q-error loss is differentiable almost everywhere in log space.
+* Naru maximises data likelihood, i.e. minimises per-column softmax
+  cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def qerror_loss(
+    log_pred: np.ndarray, log_target: np.ndarray, clip: float = 30.0
+) -> tuple[float, np.ndarray]:
+    """Mean q-error loss in log space, and its gradient w.r.t. ``log_pred``.
+
+    ``qerror = exp(|log_pred - log_target|)``.  The exponent is clipped to
+    keep early-training gradients finite (matching the numerical guard in
+    MSCN's released code, which clamps predictions).
+    """
+    diff = np.clip(log_pred - log_target, -clip, clip)
+    q = np.exp(np.abs(diff))
+    loss = float(np.mean(q))
+    grad = np.sign(diff) * q / diff.size
+    return loss, grad
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy of integer ``targets`` under row-wise softmax.
+
+    Returns the loss and its gradient w.r.t. ``logits`` (already divided
+    by the batch size).
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    n = logits.shape[0]
+    probs = softmax(logits)
+    picked = probs[np.arange(n), targets]
+    loss = float(-np.mean(np.log(np.maximum(picked, 1e-300))))
+    grad = probs
+    grad[np.arange(n), targets] -= 1.0
+    grad /= n
+    return loss, grad

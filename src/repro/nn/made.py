@@ -1,0 +1,201 @@
+"""ResMADE: masked autoregressive network, the building block of Naru.
+
+MADE [Germain et al. 2015] turns an MLP into an autoregressive density
+model by masking weights so the output distribution for column ``i``
+depends only on columns ``< i``.  Naru's paper picks the residual variant
+("ResMADE") as its basic block because it is "both efficient and
+accurate" (paper Section 3); we do the same.
+
+Columns are presented in their natural order.  The input is the
+concatenation of per-column one-hot encodings; the output is the
+concatenation of per-column logits.  ``P(x) = prod_i P(x_i | x_<i)`` is
+obtained by reading the softmax of each column's logit slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import MaskedLinear, Module, Parameter, ReLU
+from .loss import softmax, softmax_cross_entropy
+
+
+def _degrees(cardinalities: list[int]) -> np.ndarray:
+    """Degree (owning column index) of every input unit."""
+    return np.concatenate(
+        [np.full(k, i, dtype=np.int64) for i, k in enumerate(cardinalities)]
+    )
+
+
+class ResMadeBlock(Module):
+    """Residual masked block: ``h <- h + relu(masked_linear(h))``.
+
+    The hidden-to-hidden mask uses ``>=`` on degrees, so adding the block
+    output back onto its input preserves the autoregressive property.
+    """
+
+    def __init__(
+        self, hidden: int, degrees: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        mask = (degrees[:, None] <= degrees[None, :]).astype(np.float64)
+        self.linear = MaskedLinear(hidden, hidden, mask, rng)
+        self.relu = ReLU()
+
+    def parameters(self) -> list[Parameter]:
+        return self.linear.parameters()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x + self.relu.forward(self.linear.forward(x))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad + self.linear.backward(self.relu.backward(grad))
+
+
+class ResMade(Module):
+    """Masked autoregressive network over discretised columns.
+
+    Args:
+        cardinalities: Number of bins of each column, in column order.
+        hidden_units: Width of the hidden layers.
+        hidden_layers: Total number of hidden layers (the first is a plain
+            masked layer; the rest are residual blocks).
+        rng: Source of randomness for initialisation.
+    """
+
+    def __init__(
+        self,
+        cardinalities: list[int],
+        hidden_units: int,
+        hidden_layers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if len(cardinalities) < 1:
+            raise ValueError("need at least one column")
+        if hidden_layers < 1:
+            raise ValueError("need at least one hidden layer")
+        self.cardinalities = list(cardinalities)
+        n_cols = len(cardinalities)
+        in_degrees = _degrees(self.cardinalities)
+        # Hidden degrees cycle over 0..n_cols-2 (a unit of degree m may see
+        # inputs of columns <= m and feed outputs of columns > m).  With a
+        # single column there is nothing to condition on.
+        max_degree = max(n_cols - 1, 1)
+        hidden_degrees = np.arange(hidden_units, dtype=np.int64) % max_degree
+
+        in_mask = (in_degrees[:, None] <= hidden_degrees[None, :]).astype(np.float64)
+        self.input_layer = MaskedLinear(
+            int(in_degrees.size), hidden_units, in_mask, rng
+        )
+        self.input_relu = ReLU()
+        self.blocks = [
+            ResMadeBlock(hidden_units, hidden_degrees, rng)
+            for _ in range(hidden_layers - 1)
+        ]
+        out_degrees = _degrees(self.cardinalities)
+        out_mask = (hidden_degrees[:, None] < out_degrees[None, :]).astype(np.float64)
+        self.output_layer = MaskedLinear(
+            hidden_units, int(out_degrees.size), out_mask, rng
+        )
+        offsets = np.concatenate([[0], np.cumsum(self.cardinalities)])
+        self._offsets = offsets
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params = self.input_layer.parameters() + self.output_layer.parameters()
+        for block in self.blocks:
+            params += block.parameters()
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.input_relu.forward(self.input_layer.forward(x))
+        for block in self.blocks:
+            h = block.forward(h)
+        return self.output_layer.forward(h)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.output_layer.backward(grad)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.input_layer.backward(self.input_relu.backward(grad))
+
+    # ------------------------------------------------------------------
+    # Encoding and per-column views
+    # ------------------------------------------------------------------
+    def encode(
+        self, binned_rows: np.ndarray, input_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One-hot encode integer bin indices, shape (B, n_cols) -> (B, D).
+
+        ``input_mask`` (B, n_cols, boolean) marks *wildcard* inputs: a
+        masked column's one-hot stays all-zero, the encoding Naru uses to
+        train wildcard-skipping (absent input = "any value").
+        """
+        binned_rows = np.asarray(binned_rows, dtype=np.int64)
+        batch = binned_rows.shape[0]
+        out = np.zeros((batch, int(self._offsets[-1])), dtype=np.float64)
+        rows = np.arange(batch)
+        for i, k in enumerate(self.cardinalities):
+            vals = binned_rows[:, i]
+            if np.any((vals < 0) | (vals >= k)):
+                raise ValueError(f"bin index out of range for column {i}")
+            hot = np.ones(batch) if input_mask is None else (
+                ~input_mask[:, i]
+            ).astype(np.float64)
+            out[rows, self._offsets[i] + vals] = hot
+        return out
+
+    def column_logits(self, logits: np.ndarray, column: int) -> np.ndarray:
+        """Slice of the output belonging to ``column``."""
+        return logits[:, self._offsets[column] : self._offsets[column + 1]]
+
+    def column_distribution(self, logits: np.ndarray, column: int) -> np.ndarray:
+        """Conditional distribution ``P(x_column | x_<column)`` per row."""
+        return softmax(self.column_logits(logits, column))
+
+    def conditional_from_bins(
+        self,
+        prefix_bins: np.ndarray,
+        column: int,
+        present: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``P(x_column | x_<column)`` for a batch of integer-bin prefixes.
+
+        Only columns ``< column`` of ``prefix_bins`` are read; the rest
+        are treated as absent (zero input), which the masks guarantee
+        cannot influence this column's output anyway.  ``present``
+        (boolean per column) marks which earlier columns are actually
+        conditioned on — absent ones stay wildcard inputs, which a
+        wildcard-trained model interprets as marginalisation.
+        """
+        prefix_bins = np.asarray(prefix_bins, dtype=np.int64)
+        batch = prefix_bins.shape[0]
+        x = np.zeros((batch, int(self._offsets[-1])))
+        rows = np.arange(batch)
+        for i in range(column):
+            if present is None or present[i]:
+                x[rows, self._offsets[i] + prefix_bins[:, i]] = 1.0
+        return self.column_distribution(self.forward(x), column)
+
+    # ------------------------------------------------------------------
+    def nll_step(
+        self, binned_rows: np.ndarray, input_mask: np.ndarray | None = None
+    ) -> tuple[float, np.ndarray]:
+        """Negative log-likelihood of a batch and the output-logit gradient.
+
+        Returns ``(loss, grad)`` where ``grad`` has the full output shape
+        and can be passed to :meth:`backward`.  ``input_mask`` trains
+        wildcard-skipping: masked columns are hidden from the *input*
+        while every column is still predicted at the output.
+        """
+        x = self.encode(binned_rows, input_mask)
+        logits = self.forward(x)
+        grad = np.zeros_like(logits)
+        total = 0.0
+        for i in range(len(self.cardinalities)):
+            sl = slice(int(self._offsets[i]), int(self._offsets[i + 1]))
+            loss_i, grad_i = softmax_cross_entropy(
+                logits[:, sl], binned_rows[:, i].astype(np.int64)
+            )
+            total += loss_i
+            grad[:, sl] = grad_i
+        return total, grad

@@ -1,0 +1,68 @@
+"""Optimizers for the minimal neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Parameter
+
+
+class Adam:
+    """Adam [Kingma & Ba 2015] with the standard bias correction.
+
+    All three of the paper's neural estimators (Naru, MSCN, LW-NN) are
+    trained with Adam in their original implementations.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p.value) for p in parameters]
+        self._v = [np.zeros_like(p.value) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            p.value -= self.learning_rate * (m / bc1) / (np.sqrt(v / bc2) + self.epsilon)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD:
+    """Plain stochastic gradient descent (used in tests as a reference)."""
+
+    def __init__(self, parameters: list[Parameter], learning_rate: float = 1e-2) -> None:
+        if learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        for p in self.parameters:
+            p.value -= self.learning_rate * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

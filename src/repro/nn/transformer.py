@@ -1,0 +1,173 @@
+"""Transformer autoregressive density model (Naru's second block choice).
+
+The column values are embedded tokens; a learned start-of-sequence token
+shifts the sequence so position ``i``'s output — after strictly causal
+self-attention — depends only on columns ``< i`` and predicts column
+``i``'s distribution.  The model exposes the same training/inference
+interface as :class:`repro.nn.made.ResMade` (``nll_step``, ``backward``,
+``conditional_from_bins``), so :class:`~repro.estimators.learned.naru.
+NaruEstimator` can run progressive sampling over either block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import CausalSelfAttention, Embedding, LayerNorm
+from .layers import Linear, Module, Parameter, ReLU
+from .loss import softmax, softmax_cross_entropy
+
+
+class _TransformerBlock(Module):
+    """Pre-norm block: attention + MLP, both residual."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        self.norm1 = LayerNorm(dim)
+        self.attention = CausalSelfAttention(dim, num_heads, rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp_in = Linear(dim, 4 * dim, rng)
+        self.relu = ReLU()
+        self.mlp_out = Linear(4 * dim, dim, rng)
+        self._shape: tuple[int, ...] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return (
+            self.norm1.parameters()
+            + self.attention.parameters()
+            + self.norm2.parameters()
+            + self.mlp_in.parameters()
+            + self.mlp_out.parameters()
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        h = x + self.attention.forward(self.norm1.forward(x))
+        b, t, d = h.shape
+        flat = self.relu.forward(self.mlp_in.forward(
+            self.norm2.forward(h).reshape(-1, d)
+        ))
+        return h + self.mlp_out.forward(flat).reshape(b, t, d)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        b, t, d = self._shape  # type: ignore[misc]
+        g_flat = self.mlp_out.backward(grad.reshape(-1, d))
+        g_flat = self.mlp_in.backward(self.relu.backward(g_flat))
+        grad_h = grad + self.norm2.backward(g_flat.reshape(b, t, d))
+        grad_x = grad_h + self.norm1.backward(self.attention.backward(grad_h))
+        return grad_x
+
+
+class TransformerAR(Module):
+    """Autoregressive Transformer over discretised columns."""
+
+    def __init__(
+        self,
+        cardinalities: list[int],
+        dim: int = 32,
+        num_heads: int = 4,
+        num_blocks: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        if len(cardinalities) < 1:
+            raise ValueError("need at least one column")
+        self.cardinalities = list(cardinalities)
+        self.dim = dim
+        n = len(cardinalities)
+        self.value_embeddings = [Embedding(k, dim, rng) for k in cardinalities]
+        self.position_embedding = Parameter(
+            rng.normal(scale=0.05, size=(n, dim))
+        )
+        self.start_token = Parameter(rng.normal(scale=0.05, size=dim))
+        self.blocks = [_TransformerBlock(dim, num_heads, rng) for _ in range(num_blocks)]
+        self.final_norm = LayerNorm(dim)
+        self.heads = [Linear(dim, k, rng) for k in cardinalities]
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = [self.position_embedding, self.start_token]
+        for emb in self.value_embeddings:
+            params += emb.parameters()
+        for block in self.blocks:
+            params += block.parameters()
+        params += self.final_norm.parameters()
+        for head in self.heads:
+            params += head.parameters()
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def _token_sequence(self, binned: np.ndarray) -> np.ndarray:
+        """(B, n, dim): SOS + embeddings of columns 0..n-2, plus positions."""
+        batch, n = binned.shape
+        tokens = np.empty((batch, n, self.dim))
+        tokens[:, 0, :] = self.start_token.value
+        for col in range(n - 1):
+            tokens[:, col + 1, :] = self.value_embeddings[col].forward(
+                binned[:, col]
+            )
+        return tokens + self.position_embedding.value[None, :, :]
+
+    def _hidden_states(self, binned: np.ndarray) -> np.ndarray:
+        h = self._token_sequence(binned)
+        for block in self.blocks:
+            h = block.forward(h)
+        return self.final_norm.forward(h)
+
+    def forward(self, binned: np.ndarray) -> np.ndarray:
+        """Hidden states (B, n, dim); use :meth:`column_logits` to read."""
+        binned = np.asarray(binned, dtype=np.int64)
+        hidden = self._hidden_states(binned)
+        self._cache = {"hidden": hidden, "binned": binned}
+        return hidden
+
+    def column_logits(self, hidden: np.ndarray, column: int) -> np.ndarray:
+        return self.heads[column].forward(hidden[:, column, :])
+
+    # ------------------------------------------------------------------
+    def nll_step(self, binned: np.ndarray) -> tuple[float, np.ndarray]:
+        """NLL of a batch and the gradient w.r.t. the hidden states."""
+        binned = np.asarray(binned, dtype=np.int64)
+        hidden = self.forward(binned)
+        grad_hidden = np.zeros_like(hidden)
+        total = 0.0
+        for col, head in enumerate(self.heads):
+            logits = head.forward(hidden[:, col, :])
+            loss, grad_logits = softmax_cross_entropy(logits, binned[:, col])
+            total += loss
+            grad_hidden[:, col, :] = head.backward(grad_logits)
+        return total, grad_hidden
+
+    def backward(self, grad_hidden: np.ndarray) -> np.ndarray:
+        grad = self.final_norm.backward(grad_hidden)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        # Token gradients: positions, SOS and value embeddings.
+        self.position_embedding.grad += grad.sum(axis=0)
+        self.start_token.grad += grad[:, 0, :].sum(axis=0)
+        binned = self._cache["binned"]
+        for col in range(len(self.cardinalities) - 1):
+            # Re-register indices so the embedding's scatter-add works.
+            self.value_embeddings[col].forward(binned[:, col])
+            self.value_embeddings[col].backward(grad[:, col + 1, :])
+        return grad
+
+    # ------------------------------------------------------------------
+    def conditional_from_bins(
+        self, prefix_bins: np.ndarray, column: int
+    ) -> np.ndarray:
+        """``P(x_column | x_<column)`` for a batch of prefixes.
+
+        ``prefix_bins`` is (B, n) integer bins; only columns ``< column``
+        are read (later entries may hold anything in range).
+        """
+        hidden = self._hidden_states(np.asarray(prefix_bins, dtype=np.int64))
+        logits = self.heads[column].forward(hidden[:, column, :])
+        return softmax(logits)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()

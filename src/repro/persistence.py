@@ -1,0 +1,92 @@
+"""Model persistence: save a fitted estimator to disk and load it back.
+
+A production deployment trains estimators offline (the expensive part —
+see Figure 4) and ships the fitted artifact to the optimizer process.
+This module provides that boundary: a small versioned container around
+Python pickling, with integrity checks on load.
+
+Estimators are plain Python objects over numpy arrays, so pickle is both
+complete and compact here; the header guards against loading artifacts
+from incompatible library versions.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from .core.estimator import CardinalityEstimator
+
+#: Bumped whenever a change breaks estimator attribute layout.
+FORMAT_VERSION = 1
+
+_MAGIC = b"repro-estimator"
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Metadata stored alongside a persisted estimator."""
+
+    format_version: int
+    estimator_name: str
+    estimator_class: str
+    table_name: str
+    num_rows: int
+
+
+class PersistenceError(RuntimeError):
+    """Raised when an artifact cannot be read back safely."""
+
+
+def save_estimator(estimator: CardinalityEstimator, path: str | Path) -> ArtifactInfo:
+    """Persist a *fitted* estimator; returns the stored metadata."""
+    try:
+        table = estimator.table
+    except RuntimeError as exc:
+        raise PersistenceError("only fitted estimators can be saved") from exc
+    info = ArtifactInfo(
+        format_version=FORMAT_VERSION,
+        estimator_name=estimator.name,
+        estimator_class=type(estimator).__qualname__,
+        table_name=table.name,
+        num_rows=table.num_rows,
+    )
+    payload = pickle.dumps({"info": info, "estimator": estimator},
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    path = Path(path)
+    path.write_bytes(_MAGIC + payload)
+    return info
+
+
+def load_info(path: str | Path) -> ArtifactInfo:
+    """Read only the metadata of an artifact."""
+    return _load(path)["info"]
+
+
+def load_estimator(path: str | Path) -> CardinalityEstimator:
+    """Load a previously saved estimator, ready to answer queries."""
+    bundle = _load(path)
+    estimator = bundle["estimator"]
+    if not isinstance(estimator, CardinalityEstimator):
+        raise PersistenceError("artifact does not contain an estimator")
+    return estimator
+
+
+def _load(path: str | Path) -> dict:
+    data = Path(path).read_bytes()
+    if not data.startswith(_MAGIC):
+        raise PersistenceError(f"{path} is not a repro estimator artifact")
+    try:
+        bundle = pickle.loads(data[len(_MAGIC):])
+    except Exception as exc:  # pickle raises many concrete types
+        raise PersistenceError(f"could not unpickle {path}: {exc}") from exc
+    info = bundle.get("info")
+    if not isinstance(info, ArtifactInfo):
+        raise PersistenceError(f"{path} has no artifact metadata")
+    if info.format_version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} was written with format {info.format_version}, "
+            f"this library reads format {FORMAT_VERSION}"
+        )
+    return bundle

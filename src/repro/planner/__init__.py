@@ -1,0 +1,5 @@
+"""Plan-quality substrate: the q-error -> plan-regret link."""
+
+from .cost import AccessPath, CostModel, PlanChoice, SingleTablePlanner
+
+__all__ = ["AccessPath", "CostModel", "PlanChoice", "SingleTablePlanner"]

@@ -1,0 +1,108 @@
+"""A miniature cost-based access-path selector.
+
+The paper motivates cardinality estimation through plan quality: "a
+query plan based on a wrongly estimated cardinality can be orders of
+magnitude slower than the best plan" [Leis et al. 2015], and q-error is
+"directly related to the plan quality" [Moerkotte et al. 2009].  This
+substrate makes that link measurable: a single-table optimizer chooses
+among access paths using a textbook cost model fed by *estimated*
+cardinalities, and *plan regret* compares the chosen plan's true cost
+against the best plan under the true cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.query import Query
+from ..core.table import Table
+
+
+class AccessPath(Enum):
+    """The three access paths of the miniature optimizer."""
+
+    SEQUENTIAL_SCAN = "seq_scan"
+    INDEX_SCAN = "index_scan"
+    BITMAP_SCAN = "bitmap_scan"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Textbook page/tuple cost constants (Postgres-flavoured)."""
+
+    sequential_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    tuples_per_page: int = 100
+
+    def pages(self, rows: float) -> float:
+        return max(1.0, rows / self.tuples_per_page)
+
+    def cost(self, path: AccessPath, matching_rows: float, table_rows: int) -> float:
+        """Execution cost of ``path`` when ``matching_rows`` qualify."""
+        matching_rows = min(max(matching_rows, 0.0), float(table_rows))
+        total_pages = self.pages(table_rows)
+        if path is AccessPath.SEQUENTIAL_SCAN:
+            return (
+                self.sequential_page_cost * total_pages
+                + self.cpu_tuple_cost * table_rows
+            )
+        if path is AccessPath.INDEX_SCAN:
+            # B-tree descent (a couple of random pages), then one random
+            # page per matching tuple (worst-case clustering) plus index
+            # traversal per tuple.
+            descent = self.random_page_cost
+            return descent + matching_rows * (
+                self.random_page_cost / 2.0 + self.cpu_index_tuple_cost
+            )
+        # Bitmap scan: build a bitmap (startup), then read the touched
+        # pages in order; sits between index and sequential scan.
+        touched_pages = min(total_pages, self.pages(matching_rows * 3.0))
+        startup = 3.0 * self.random_page_cost
+        return (
+            startup
+            + 2.0 * self.sequential_page_cost * touched_pages
+            + self.cpu_tuple_cost * matching_rows
+            + self.cpu_index_tuple_cost * matching_rows
+        )
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The optimizer's decision for one query."""
+
+    path: AccessPath
+    estimated_rows: float
+    estimated_cost: float
+
+
+class SingleTablePlanner:
+    """Chooses the cheapest access path under estimated cardinality."""
+
+    def __init__(self, table: Table, cost_model: CostModel | None = None) -> None:
+        self.table = table
+        self.cost_model = cost_model or CostModel()
+
+    def choose(self, query: Query, estimated_rows: float) -> PlanChoice:
+        """The cheapest path believing ``estimated_rows`` qualify."""
+        best_path = AccessPath.SEQUENTIAL_SCAN
+        best_cost = float("inf")
+        for path in AccessPath:
+            cost = self.cost_model.cost(path, estimated_rows, self.table.num_rows)
+            if cost < best_cost:
+                best_path, best_cost = path, cost
+        return PlanChoice(best_path, estimated_rows, best_cost)
+
+    def true_cost(self, path: AccessPath, actual_rows: float) -> float:
+        """What the chosen plan actually costs at the true cardinality."""
+        return self.cost_model.cost(path, actual_rows, self.table.num_rows)
+
+    def regret(self, query: Query, estimated_rows: float, actual_rows: float) -> float:
+        """Chosen plan's true cost over the best plan's true cost (>= 1)."""
+        chosen = self.choose(query, estimated_rows)
+        optimal = self.choose(query, actual_rows)
+        chosen_cost = self.true_cost(chosen.path, actual_rows)
+        optimal_cost = self.true_cost(optimal.path, actual_rows)
+        return chosen_cost / max(optimal_cost, 1e-12)

@@ -1,0 +1,23 @@
+"""Logical-rule checks (paper Section 6.3 / Table 6)."""
+
+from .checks import (
+    RuleReport,
+    check_all,
+    check_consistency,
+    check_fidelity_a,
+    check_fidelity_b,
+    check_monotonicity,
+    check_stability,
+)
+from .enforce import LogicalGuard
+
+__all__ = [
+    "LogicalGuard",
+    "RuleReport",
+    "check_all",
+    "check_consistency",
+    "check_fidelity_a",
+    "check_fidelity_b",
+    "check_monotonicity",
+    "check_stability",
+]

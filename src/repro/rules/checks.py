@@ -1,0 +1,199 @@
+"""Logical-rule checks for cardinality estimators (paper Section 6.3).
+
+Five simple rules a user would expect any estimator to satisfy:
+
+1. **Monotonicity** — tightening a predicate must not increase the
+   estimate.
+2. **Consistency** — splitting a range predicate into two disjoint
+   halves must preserve the sum of the estimates.
+3. **Stability** — the same query must always get the same estimate.
+4. **Fidelity-A** — a query covering the entire domain must estimate
+   (approximately) the full table.
+5. **Fidelity-B** — a contradictory predicate (``100 <= A <= 10``) must
+   estimate zero.
+
+The checks probe the *native* model output (no wrapper fix-ups), exactly
+as the paper does, and report violation rates; Table 6 marks a rule
+violated when any probe fails beyond numeric tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Predicate, Query
+from ..core.table import Table
+from ..core.workload import WorkloadGenerator
+
+#: Relative slack for comparisons between estimates.
+_REL_TOL = 1e-6
+#: Absolute slack, in tuples.
+_ABS_TOL = 1e-3
+
+
+@dataclass(frozen=True)
+class RuleReport:
+    """Outcome of one rule against one estimator."""
+
+    rule: str
+    checks: int
+    violations: int
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.checks if self.checks else 0.0
+
+    @property
+    def satisfied(self) -> bool:
+        return self.violations == 0
+
+    def __str__(self) -> str:
+        mark = "/" if self.satisfied else "x"
+        return f"{self.rule}: {mark} ({self.violations}/{self.checks} violations)"
+
+
+def _range_query(
+    table: Table, rng: np.random.Generator, min_width_fraction: float = 0.2
+) -> tuple[Query, Predicate] | None:
+    """A random query containing a usable closed-range numeric predicate."""
+    generator = WorkloadGenerator(table)
+    for _ in range(200):
+        query = generator.generate_query(rng)
+        for pred in query.predicates:
+            col = table.columns[pred.column]
+            if col.is_categorical or pred.lo is None or pred.hi is None:
+                continue
+            if pred.hi - pred.lo >= min_width_fraction * max(col.domain_size, 1.0):
+                return query, pred
+    return None
+
+
+def check_monotonicity(
+    estimator: CardinalityEstimator,
+    table: Table,
+    rng: np.random.Generator,
+    num_checks: int = 50,
+) -> RuleReport:
+    """Shrinking a range predicate must not increase the estimate."""
+    checks = violations = 0
+    for _ in range(num_checks):
+        found = _range_query(table, rng)
+        if found is None:
+            continue
+        query, pred = found
+        width = pred.hi - pred.lo  # type: ignore[operator]
+        tighter = Predicate(pred.column, pred.lo + 0.25 * width, pred.hi - 0.25 * width)  # type: ignore[operator]
+        wide = estimator.estimate(query)
+        narrow = estimator.estimate(query.replace(pred.column, tighter))
+        checks += 1
+        if narrow > wide * (1.0 + _REL_TOL) + _ABS_TOL:
+            violations += 1
+    return RuleReport("monotonicity", checks, violations)
+
+
+def check_consistency(
+    estimator: CardinalityEstimator,
+    table: Table,
+    rng: np.random.Generator,
+    num_checks: int = 50,
+) -> RuleReport:
+    """est(q) must equal est(left half) + est(right half)."""
+    checks = violations = 0
+    for _ in range(num_checks):
+        found = _range_query(table, rng)
+        if found is None:
+            continue
+        query, pred = found
+        mid = (pred.lo + pred.hi) / 2.0  # type: ignore[operator]
+        left = Predicate(pred.column, pred.lo, mid)
+        right = Predicate(pred.column, float(np.nextafter(mid, np.inf)), pred.hi)
+        whole = estimator.estimate(query)
+        parts = estimator.estimate(
+            query.replace(pred.column, left)
+        ) + estimator.estimate(query.replace(pred.column, right))
+        checks += 1
+        # Allow 1% relative slack at the split point (histogram-backed
+        # models lose one sliver of a boundary bucket); anything larger
+        # is a genuine consistency violation.
+        tolerance = max(_ABS_TOL, 0.01 * max(whole, parts, 1.0))
+        if abs(whole - parts) > tolerance:
+            violations += 1
+    return RuleReport("consistency", checks, violations)
+
+
+def check_stability(
+    estimator: CardinalityEstimator,
+    table: Table,
+    rng: np.random.Generator,
+    num_checks: int = 10,
+    repeats: int = 5,
+) -> RuleReport:
+    """Repeated estimates of the same query must be identical."""
+    generator = WorkloadGenerator(table)
+    checks = violations = 0
+    for _ in range(num_checks):
+        query = generator.generate_query(rng)
+        estimates = [estimator.estimate(query) for _ in range(repeats)]
+        checks += 1
+        spread = max(estimates) - min(estimates)
+        if spread > _REL_TOL * max(estimates) + _ABS_TOL:
+            violations += 1
+    return RuleReport("stability", checks, violations)
+
+
+def check_fidelity_a(
+    estimator: CardinalityEstimator, table: Table
+) -> RuleReport:
+    """Querying the whole domain must estimate the full table size."""
+    preds = tuple(
+        Predicate(i, col.domain_min, col.domain_max)
+        for i, col in enumerate(table.columns)
+    )
+    estimate = estimator.estimate(Query(preds))
+    ok = abs(estimate - table.num_rows) <= 0.01 * table.num_rows
+    return RuleReport("fidelity-a", 1, 0 if ok else 1)
+
+
+def check_fidelity_b(
+    estimator: CardinalityEstimator, table: Table, rng: np.random.Generator
+) -> RuleReport:
+    """An invalid predicate (lo > hi) must estimate zero."""
+    checks = violations = 0
+    for i, col in enumerate(table.columns):
+        if col.is_categorical or col.domain_size == 0.0:
+            continue
+        span = col.domain_size
+        lo = col.domain_min + 0.6 * span
+        hi = col.domain_min + 0.4 * span
+        estimate = estimator.estimate(Query((Predicate(i, lo, hi),)))
+        checks += 1
+        if estimate > 1.0:  # anything above one tuple is a real answer
+            violations += 1
+    if checks == 0:
+        # All-categorical table: probe with an impossible equality pair
+        # encoded as a reversed range on the first column.
+        estimate = estimator.estimate(
+            Query((Predicate(0, table.columns[0].domain_max + 1.0,
+                             table.columns[0].domain_min - 1.0),))
+        )
+        checks, violations = 1, int(estimate > 1.0)
+    return RuleReport("fidelity-b", checks, violations)
+
+
+def check_all(
+    estimator: CardinalityEstimator,
+    table: Table,
+    rng: np.random.Generator,
+    num_checks: int = 50,
+) -> dict[str, RuleReport]:
+    """Run every rule; the estimator must already be fit on ``table``."""
+    return {
+        "monotonicity": check_monotonicity(estimator, table, rng, num_checks),
+        "consistency": check_consistency(estimator, table, rng, num_checks),
+        "stability": check_stability(estimator, table, rng),
+        "fidelity-a": check_fidelity_a(estimator, table),
+        "fidelity-b": check_fidelity_b(estimator, table, rng),
+    }

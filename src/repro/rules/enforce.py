@@ -1,0 +1,125 @@
+"""Rule enforcement wrappers (paper Section 7.2, "Make Learned
+Estimators Trustworthy").
+
+The paper proposes enforcing logical rules as constraints around
+black-box models.  :class:`LogicalGuard` wraps any estimator and fixes
+the cheaply-enforceable rules at inference time:
+
+* **Fidelity-B** — a contradictory predicate answers 0 without invoking
+  the model.
+* **Fidelity-A** — a query covering every column's full domain answers
+  the table size exactly.
+* **Bounds** — estimates are clamped to ``[0, num_rows]``.
+* **Stability** — per-query memoisation: repeated estimates of the same
+  query return the first answer (fixes stochastic inference a la Naru).
+* **Monotonicity (partial)** — the memo is consulted for *containing*
+  queries seen earlier: an estimate is capped by the cached estimate of
+  any query whose box contains this one, and floored by any contained
+  one.
+
+Monotonicity across unseen query pairs and consistency cannot be
+enforced by a stateless wrapper (the paper's point that constraints
+must move into model design), so violations of those remain possible.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Query
+from ..core.table import Table
+from ..core.workload import Workload
+
+
+def _query_key(query: Query) -> tuple:
+    return tuple((p.column, p.lo, p.hi) for p in query.predicates)
+
+
+def _contains(outer: Query, inner: Query) -> bool:
+    """True when ``outer``'s box contains ``inner``'s box.
+
+    Every predicate of the outer query must exist (same column) in the
+    inner query and contain its interval; columns unconstrained in the
+    outer query are unbounded and contain anything.
+    """
+    for pred in outer.predicates:
+        inner_pred = inner.predicate_on(pred.column)
+        if inner_pred is None or not pred.contains(inner_pred):
+            return False
+    return True
+
+
+class LogicalGuard(CardinalityEstimator):
+    """Wraps an estimator and enforces the cheap logical rules."""
+
+    requires_workload = False  # set from the inner estimator in __init__
+
+    def __init__(self, inner: CardinalityEstimator, memo_size: int = 4096) -> None:
+        super().__init__()
+        if memo_size < 0:
+            raise ValueError("memo_size must be non-negative")
+        self.inner = inner
+        self.name = f"guarded-{inner.name}"
+        self.requires_workload = inner.requires_workload
+        self.memo_size = memo_size
+        self._memo: OrderedDict[tuple, tuple[Query, float]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        self._memo.clear()
+        self.inner.fit(table, workload)
+
+    def _update(self, table, appended, workload) -> None:
+        self._memo.clear()
+        self.inner.update(table, appended, workload)
+
+    # ------------------------------------------------------------------
+    def _estimate(self, query: Query) -> float:
+        # Fidelity-B: contradictory predicates match nothing.
+        if any(p.is_empty for p in query.predicates):
+            return 0.0
+        # Stability: repeat queries return the memoised answer.
+        key = _query_key(query)
+        if key in self._memo:
+            self._memo.move_to_end(key)
+            return self._memo[key][1]
+        # Fidelity-A: the full-domain query is the table size.
+        if self._covers_all_columns(query):
+            return float(self.table.num_rows)
+
+        estimate = max(0.0, min(self.inner.estimate(query), self.table.num_rows))
+        estimate = self._monotone_clamp(query, estimate)
+        self._remember(key, query, estimate)
+        return estimate
+
+    def _covers_all_columns(self, query: Query) -> bool:
+        if query.num_predicates < self.table.num_columns:
+            return False
+        for pred in query.predicates:
+            column = self.table.columns[pred.column]
+            lo_open = pred.lo is None or pred.lo <= column.domain_min
+            hi_open = pred.hi is None or pred.hi >= column.domain_max
+            if not (lo_open and hi_open):
+                return False
+        return True
+
+    def _monotone_clamp(self, query: Query, estimate: float) -> float:
+        """Cap by cached containing queries, floor by contained ones."""
+        for cached_query, cached_estimate in self._memo.values():
+            if _contains(cached_query, query):
+                estimate = min(estimate, cached_estimate)
+            elif _contains(query, cached_query):
+                estimate = max(estimate, cached_estimate)
+        return estimate
+
+    def _remember(self, key: tuple, query: Query, estimate: float) -> None:
+        if self.memo_size == 0:
+            return
+        self._memo[key] = (query, estimate)
+        while len(self._memo) > self.memo_size:
+            self._memo.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def model_size_bytes(self) -> int:
+        return self.inner.model_size_bytes()

@@ -1,0 +1,99 @@
+"""Experiment scale presets.
+
+The paper trains on 100K queries, tests on 10K and uses datasets up to
+11.6M rows on a 16-core Xeon + P100 GPU.  This reproduction runs numpy
+on one CPU, so every experiment is parameterised by a :class:`Scale`:
+
+* ``Scale.ci()`` — seconds per experiment; used by the test suite.
+* ``Scale.default()`` — minutes overall; used by ``benchmarks/``.
+* ``Scale.paper()`` — closest to the paper's counts; hours (documented
+  in EXPERIMENTS.md, not run in CI).
+
+Set the ``REPRO_SCALE`` environment variable to ``ci``/``default``/
+``paper`` to override the benchmark harness's choice.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity to the paper's counts for wall-clock."""
+
+    name: str
+    #: multiplier on the default simulated dataset row counts
+    row_fraction: float
+    #: labelled queries for training query-driven methods (paper: 100K)
+    train_queries: int
+    #: labelled queries for evaluation (paper: 10K)
+    test_queries: int
+    #: epochs for MSCN / LW-NN
+    nn_epochs: int
+    #: epochs for Naru
+    naru_epochs: int
+    #: queries generated for a dynamic-environment model update
+    update_queries: int
+    #: rows of each Section 6 synthetic dataset (paper: 1M)
+    synthetic_rows: int
+    #: Naru progressive-sampling width (paper: 2000)
+    naru_samples: int
+
+    @classmethod
+    def ci(cls) -> "Scale":
+        return cls(
+            name="ci",
+            row_fraction=0.25,
+            train_queries=400,
+            test_queries=150,
+            nn_epochs=8,
+            naru_epochs=4,
+            update_queries=300,
+            synthetic_rows=6000,
+            naru_samples=100,
+        )
+
+    @classmethod
+    def default(cls) -> "Scale":
+        return cls(
+            name="default",
+            row_fraction=1.0,
+            train_queries=2000,
+            test_queries=600,
+            nn_epochs=30,
+            naru_epochs=10,
+            update_queries=1200,
+            synthetic_rows=25_000,
+            naru_samples=200,
+        )
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls(
+            name="paper",
+            row_fraction=4.0,
+            train_queries=20_000,
+            test_queries=4000,
+            nn_epochs=150,
+            naru_epochs=30,
+            update_queries=6000,
+            synthetic_rows=200_000,
+            naru_samples=1000,
+        )
+
+    @classmethod
+    def from_name(cls, name: str) -> "Scale":
+        presets = {"ci": cls.ci, "default": cls.default, "paper": cls.paper}
+        try:
+            return presets[name]()
+        except KeyError:
+            raise KeyError(
+                f"unknown scale {name!r}; choose from {sorted(presets)}"
+            ) from None
+
+    @classmethod
+    def from_environment(cls, fallback: str = "default") -> "Scale":
+        """Scale named by ``$REPRO_SCALE``, or the fallback preset."""
+        return cls.from_name(os.environ.get("REPRO_SCALE", fallback))

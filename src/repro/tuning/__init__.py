@@ -1,0 +1,21 @@
+"""Hyper-parameter search strategies (paper Section 7.1)."""
+
+from .search import (
+    SearchSpace,
+    Trial,
+    TuningResult,
+    grid_search,
+    random_search,
+    successive_halving,
+    validation_score,
+)
+
+__all__ = [
+    "SearchSpace",
+    "Trial",
+    "TuningResult",
+    "grid_search",
+    "random_search",
+    "successive_halving",
+    "validation_score",
+]

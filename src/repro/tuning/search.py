@@ -1,0 +1,229 @@
+"""Hyper-parameter search strategies (paper Section 7.1).
+
+Table 5 shows that untuned neural estimators can be worse by factors up
+to 10^5, and the paper names random search [Bergstra & Bengio 2012] and
+bandit-based successive halving [Li et al. 2017, "Hyperband"] as the
+tools to control tuning cost.  This module implements three strategies
+behind one interface:
+
+* :func:`grid_search` — exhaustive over a :class:`SearchSpace`;
+* :func:`random_search` — a fixed number of sampled configurations;
+* :func:`successive_halving` — start many configurations on a small
+  epoch budget, keep the best ``1/eta`` fraction, grow the budget.
+
+Scores are validation-workload q-errors: query-driven methods tune on
+held-out queries, data-driven ones may use the same signal or their own
+training loss (the paper tunes Naru by loss; pass ``score="loss"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.metrics import qerrors
+from ..core.table import Table
+from ..core.workload import Workload
+
+#: A builder takes a configuration dict and returns an unfit estimator.
+Builder = Callable[[Mapping[str, object]], CardinalityEstimator]
+
+
+class SearchSpace:
+    """A finite hyper-parameter space: name -> list of candidate values."""
+
+    def __init__(self, axes: Mapping[str, list]) -> None:
+        if not axes:
+            raise ValueError("search space must have at least one axis")
+        for name, values in axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no candidate values")
+        self.axes = {name: list(values) for name, values in axes.items()}
+
+    def grid(self) -> list[dict[str, object]]:
+        """Every combination, in a deterministic order."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]
+
+    def sample(self, rng: np.random.Generator) -> dict[str, object]:
+        """One uniformly random configuration."""
+        return {
+            name: values[int(rng.integers(len(values)))]
+            for name, values in self.axes.items()
+        }
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated configuration."""
+
+    config: dict[str, object]
+    score: float
+    fit_seconds: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a search: the winner plus the full trial history."""
+
+    best_config: dict[str, object]
+    best_score: float
+    best_estimator: CardinalityEstimator
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def total_fit_seconds(self) -> float:
+        """Total training cost of the search (the Table 5 pain point)."""
+        return sum(t.fit_seconds for t in self.trials)
+
+    @property
+    def worst_best_ratio(self) -> float:
+        """Table 5's metric: worst / best score across all trials."""
+        scores = [t.score for t in self.trials]
+        return max(scores) / max(min(scores), 1e-12)
+
+
+def validation_score(
+    estimator: CardinalityEstimator, validation: Workload
+) -> float:
+    """Geometric-mean q-error on the validation workload (lower = better)."""
+    estimates = estimator.estimate_many(list(validation.queries))
+    errors = qerrors(estimates, validation.cardinalities)
+    return float(np.exp(np.log(errors).mean()))
+
+
+def _run_trial(
+    build: Builder,
+    config: Mapping[str, object],
+    table: Table,
+    train: Workload | None,
+    validation: Workload,
+) -> tuple[CardinalityEstimator, Trial]:
+    estimator = build(config)
+    estimator.fit(table, train if estimator.requires_workload else None)
+    score = validation_score(estimator, validation)
+    trial = Trial(dict(config), score, estimator.timing.fit_seconds)
+    return estimator, trial
+
+
+def grid_search(
+    build: Builder,
+    space: SearchSpace,
+    table: Table,
+    train: Workload | None,
+    validation: Workload,
+    max_trials: int | None = None,
+) -> TuningResult:
+    """Exhaustive search (optionally truncated to ``max_trials``)."""
+    configs = space.grid()
+    if max_trials is not None:
+        configs = configs[:max_trials]
+    return _search_over(build, configs, table, train, validation)
+
+
+def random_search(
+    build: Builder,
+    space: SearchSpace,
+    table: Table,
+    train: Workload | None,
+    validation: Workload,
+    num_trials: int,
+    rng: np.random.Generator,
+) -> TuningResult:
+    """Evaluate ``num_trials`` uniformly sampled configurations."""
+    if num_trials < 1:
+        raise ValueError("need at least one trial")
+    configs = [space.sample(rng) for _ in range(num_trials)]
+    return _search_over(build, configs, table, train, validation)
+
+
+def _search_over(
+    build: Builder,
+    configs: list[dict[str, object]],
+    table: Table,
+    train: Workload | None,
+    validation: Workload,
+) -> TuningResult:
+    if not configs:
+        raise ValueError("no configurations to evaluate")
+    trials: list[Trial] = []
+    best: tuple[float, CardinalityEstimator, dict] | None = None
+    for config in configs:
+        estimator, trial = _run_trial(build, config, table, train, validation)
+        trials.append(trial)
+        if best is None or trial.score < best[0]:
+            best = (trial.score, estimator, trial.config)
+    assert best is not None
+    return TuningResult(
+        best_config=best[2],
+        best_score=best[0],
+        best_estimator=best[1],
+        trials=trials,
+    )
+
+
+def successive_halving(
+    build: Builder,
+    space: SearchSpace,
+    table: Table,
+    train: Workload | None,
+    validation: Workload,
+    rng: np.random.Generator,
+    num_configs: int = 8,
+    eta: int = 2,
+    min_epochs: int = 1,
+    max_epochs: int = 8,
+    epochs_key: str = "epochs",
+) -> TuningResult:
+    """Successive halving over the epoch budget.
+
+    All configurations start at ``min_epochs``; each rung keeps the best
+    ``1/eta`` and multiplies the budget by ``eta`` until ``max_epochs``.
+    The configuration dict's ``epochs_key`` entry is overridden with the
+    rung's budget (the builder must honour it).
+    """
+    if num_configs < 2:
+        raise ValueError("need at least two configurations to halve")
+    if eta < 2:
+        raise ValueError("eta must be at least 2")
+    survivors = [space.sample(rng) for _ in range(num_configs)]
+    epochs = min_epochs
+    trials: list[Trial] = []
+    best: tuple[float, CardinalityEstimator, dict] | None = None
+    while True:
+        scored: list[tuple[float, dict]] = []
+        for config in survivors:
+            staged = dict(config)
+            staged[epochs_key] = epochs
+            estimator, trial = _run_trial(build, staged, table, train, validation)
+            trials.append(trial)
+            scored.append((trial.score, config))
+            if best is None or trial.score < best[0]:
+                best = (trial.score, estimator, staged)
+        if len(survivors) <= 1 or epochs >= max_epochs:
+            break
+        scored.sort(key=lambda pair: pair[0])
+        keep = max(1, len(scored) // eta)
+        survivors = [config for _, config in scored[:keep]]
+        epochs = min(epochs * eta, max_epochs)
+    assert best is not None
+    return TuningResult(
+        best_config=best[2],
+        best_score=best[0],
+        best_estimator=best[1],
+        trials=trials,
+    )

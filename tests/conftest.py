@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic tables and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Table, generate_workload
+from repro.datasets import census, generate_synthetic
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A 12-row, 3-column table with known contents."""
+    data = np.array(
+        [
+            [0, 10, 1],
+            [0, 20, 1],
+            [1, 20, 1],
+            [1, 30, 2],
+            [2, 30, 2],
+            [2, 40, 2],
+            [3, 40, 3],
+            [3, 50, 3],
+            [4, 50, 3],
+            [4, 60, 1],
+            [5, 60, 2],
+            [5, 70, 3],
+        ],
+        dtype=np.float64,
+    )
+    return Table("tiny", data, ["a", "b", "c"], [False, False, True])
+
+
+@pytest.fixture(scope="session")
+def small_census() -> Table:
+    return census(num_rows=2500)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic() -> Table:
+    rng = np.random.default_rng(7)
+    return generate_synthetic(4000, skew=1.0, correlation=0.8, domain_size=100, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def census_workloads(small_census):
+    """(train, test) workloads over the small census table."""
+    rng = np.random.default_rng(99)
+    train = generate_workload(small_census, 300, rng)
+    test = generate_workload(small_census, 120, rng)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def synthetic_workloads(small_synthetic):
+    rng = np.random.default_rng(98)
+    train = generate_workload(small_synthetic, 300, rng)
+    test = generate_workload(small_synthetic, 120, rng)
+    return train, test

@@ -1,0 +1,165 @@
+"""Integration tests for the benchmark harness (tiny scale).
+
+These exercise each experiment end-to-end on minuscule inputs; the
+numbers are meaningless at this size, but the plumbing — training,
+caching, mixing, formatting — must work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchContext
+from repro.bench.dynamic_exp import figure7, figure8, format_figure7, format_figure8
+from repro.bench.figure2 import comparison_graph, missing_edge_fraction
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.robustness import figure11, format_figure11
+from repro.bench.rules_exp import format_table6, table6
+from repro.bench.static import (
+    figure3,
+    figure4,
+    format_figure3,
+    format_figure4,
+    format_table3,
+    format_table4,
+    table3,
+    table4,
+)
+from repro.scale import Scale
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> Scale:
+    return Scale(
+        name="tiny",
+        row_fraction=0.1,
+        train_queries=120,
+        test_queries=60,
+        nn_epochs=2,
+        naru_epochs=2,
+        update_queries=60,
+        synthetic_rows=2000,
+        naru_samples=32,
+    )
+
+
+@pytest.fixture(scope="module")
+def ctx(tiny_scale) -> BenchContext:
+    return BenchContext(tiny_scale, seed=11)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "22"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_format_seconds(self):
+        assert format_seconds(0.005) == "5.0ms"
+        assert format_seconds(5.0) == "5.0s"
+        assert format_seconds(300.0) == "5.0min"
+
+
+class TestContext:
+    def test_tables_cached(self, ctx):
+        assert ctx.table("census") is ctx.table("census")
+
+    def test_estimators_cached(self, ctx):
+        a = ctx.estimator("postgres", "census")
+        assert ctx.estimator("postgres", "census") is a
+
+    def test_fresh_estimator_not_cached(self, ctx):
+        a = ctx.fresh_estimator("postgres", "census")
+        assert ctx.fresh_estimator("postgres", "census") is not a
+
+    def test_row_scaling(self, ctx):
+        from repro.datasets.realworld import DEFAULT_ROWS
+
+        assert ctx.table("census").num_rows == int(DEFAULT_ROWS["census"] * 0.1)
+
+
+class TestStaticExperiments:
+    def test_table3(self, ctx):
+        rows = table3(ctx)
+        assert [r["dataset"] for r in rows] == ["census", "forest", "power", "dmv"]
+        assert "10^" in format_table3(rows)
+
+    def test_figure3(self, ctx):
+        series = figure3(ctx)
+        for fracs in series.values():
+            assert fracs.sum() == pytest.approx(1.0, abs=1e-6)
+        assert "census" in format_figure3(series)
+
+    def test_table4_subset(self, ctx):
+        results = table4(ctx, datasets=["census"], methods=["postgres", "deepdb"])
+        assert set(results["census"]) == {"postgres", "deepdb"}
+        text = format_table4(results)
+        assert "L v.s. T" in text
+
+    def test_figure4_subset(self, ctx):
+        rows = figure4(ctx, datasets=["census"], methods=["postgres", "lw-xgb", "naru"])
+        by_method = {r.method: r for r in rows}
+        assert by_method["naru"].train_seconds_gpu < by_method["naru"].train_seconds_cpu
+        assert by_method["postgres"].train_seconds_gpu == by_method["postgres"].train_seconds_cpu
+        assert "Figure 4" in format_figure4(rows)
+
+
+class TestDynamicExperiments:
+    def test_figure7_shape(self, ctx):
+        points = figure7(ctx, datasets=("census",), epoch_grid=(1, 2))
+        assert len(points) == 2
+        assert points[0].epochs == 1
+        # More epochs -> longer update.
+        assert points[1].update_seconds > points[0].update_seconds
+        assert "Figure 7" in format_figure7(points)
+
+    def test_figure8_gpu_never_slower_for_naru(self, ctx):
+        cells = figure8(ctx, datasets=("census",), methods=("naru", "lw-nn"))
+        by = {(c.method, c.device): c for c in cells}
+        assert (
+            by[("naru", "gpu")].update_seconds
+            <= by[("naru", "cpu")].update_seconds
+        )
+        assert "Figure 8" in format_figure8(cells)
+
+
+class TestRobustnessExperiments:
+    def test_figure11_spread(self, ctx):
+        result = figure11(ctx, repeats=40)
+        assert len(result.estimates) == 40
+        assert result.spread >= 0.0
+        assert "Figure 11" in format_figure11(result)
+
+
+class TestRulesExperiment:
+    def test_table6_subset(self, ctx):
+        results = table6(ctx, methods=["lw-xgb", "deepdb"], num_checks=10)
+        text = format_table6(results)
+        assert "monotonicity" in text
+        assert all(r.satisfied for r in results["deepdb"].values())
+
+
+class TestFigure2:
+    def test_graph_nodes(self):
+        g = comparison_graph()
+        assert g.number_of_nodes() == 5
+
+    def test_missing_fraction_over_half(self):
+        assert missing_edge_fraction() > 0.5
+
+
+class TestCli:
+    def test_cli_runs_table3(self, capsys, tiny_scale, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_cli_rejects_unknown(self, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,110 @@
+"""Tests for the clustering / dependence substrate (KMeans, RDC)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans, rdc, rdc_matrix
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self, rng):
+        a = rng.normal(loc=0.0, size=(100, 2))
+        b = rng.normal(loc=10.0, size=(100, 2))
+        points = np.vstack([a, b])
+        labels, centers = kmeans(points, 2, rng)
+        # Each blob must be (almost) pure.
+        first, second = labels[:100], labels[100:]
+        assert np.mean(first == np.round(np.median(first))) > 0.95
+        assert np.mean(second == np.round(np.median(second))) > 0.95
+        assert np.median(first) != np.median(second)
+
+    def test_k_greater_than_n(self, rng):
+        points = rng.normal(size=(3, 2))
+        labels, centers = kmeans(points, 5, rng)
+        assert len(labels) == 3
+
+    def test_all_points_assigned(self, rng):
+        points = rng.normal(size=(50, 3))
+        labels, _ = kmeans(points, 4, rng)
+        assert labels.shape == (50,)
+        assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+    def test_identical_points(self, rng):
+        points = np.ones((20, 2))
+        labels, _ = kmeans(points, 2, rng)
+        assert len(labels) == 20
+
+    def test_validates_input(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 2, rng)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 1)), 0, rng)
+
+    def test_scale_invariance_of_clustering(self, rng):
+        """A huge-domain column must not dominate: standardisation works."""
+        x = np.concatenate([np.zeros(50), np.ones(50)])
+        noise = rng.normal(size=100) * 1e6
+        points = np.column_stack([x, noise])
+        labels, _ = kmeans(points, 2, rng)
+        # Clusters should follow the informative binary column at least
+        # roughly, not the million-scale noise (which is uninformative).
+        agreement = max(np.mean(labels == x), np.mean(labels == 1 - x))
+        assert agreement > 0.6
+
+
+class TestRdc:
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(size=1500)
+        y = rng.normal(size=1500)
+        assert rdc(x, y, rng) < 0.35
+
+    def test_linear_dependence_high(self, rng):
+        x = rng.normal(size=1500)
+        y = 2 * x + rng.normal(scale=0.01, size=1500)
+        assert rdc(x, y, rng) > 0.9
+
+    def test_nonlinear_dependence_detected(self, rng):
+        """RDC (unlike Pearson) sees y = x^2 on symmetric x."""
+        x = rng.uniform(-1, 1, size=1500)
+        y = x**2 + rng.normal(scale=0.01, size=1500)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.2
+        assert rdc(x, y, rng) > 0.5
+
+    def test_constant_column_zero(self, rng):
+        x = np.ones(100)
+        y = rng.normal(size=100)
+        assert rdc(x, y, rng) == 0.0
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            rdc(np.ones(5), np.ones(6), rng)
+
+    def test_range(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=300)
+            y = rng.normal(size=300) + 0.5 * x
+            score = rdc(x, y, rng)
+            assert 0.0 <= score <= 1.0
+
+
+class TestRdcMatrix:
+    def test_shape_and_diagonal(self, rng):
+        data = rng.normal(size=(300, 4))
+        m = rdc_matrix(data, rng)
+        assert m.shape == (4, 4)
+        np.testing.assert_array_equal(np.diag(m), np.ones(4))
+        np.testing.assert_allclose(m, m.T)
+
+    def test_detects_dependent_pair(self, rng):
+        a = rng.normal(size=500)
+        b = a + rng.normal(scale=0.05, size=500)
+        c = rng.normal(size=500)
+        m = rdc_matrix(np.column_stack([a, b, c]), rng)
+        assert m[0, 1] > 0.9
+        assert m[0, 2] < 0.5
+
+    def test_subsampling_cap(self, rng):
+        data = rng.normal(size=(5000, 2))
+        # Just verify it runs fast and returns sane values with the cap.
+        m = rdc_matrix(data, rng, max_rows=500)
+        assert 0.0 <= m[0, 1] <= 1.0

@@ -1,0 +1,142 @@
+"""Tests for dataset generators: synthetic sweeps, real-world simulators,
+and the dynamic-environment update procedure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    apply_update,
+    census,
+    correlated_append_rows,
+    correlation_sweep,
+    dataset_names,
+    dmv,
+    domain_sweep,
+    forest,
+    generate_synthetic,
+    load,
+    power,
+    skew_sweep,
+    skewed_uniform,
+)
+
+
+class TestSkewedUniform:
+    def test_uniform_at_zero_skew(self, rng):
+        vals = skewed_uniform(20_000, 0.0, rng)
+        assert abs(vals.mean() - 0.5) < 0.02
+        assert vals.min() >= 0.0 and vals.max() < 1.0
+
+    def test_skew_concentrates_near_zero(self, rng):
+        mild = skewed_uniform(20_000, 0.5, rng).mean()
+        heavy = skewed_uniform(20_000, 2.0, rng).mean()
+        assert heavy < mild < 0.5
+
+    def test_negative_skew_rejected(self, rng):
+        with pytest.raises(ValueError):
+            skewed_uniform(10, -1.0, rng)
+
+
+class TestSynthetic:
+    def test_shape_and_domain(self, rng):
+        t = generate_synthetic(5000, 1.0, 0.5, 100, rng)
+        assert t.num_rows == 5000
+        assert t.num_columns == 2
+        assert t.columns[0].num_distinct <= 100
+        assert t.columns[1].num_distinct <= 100
+
+    def test_full_correlation_is_functional_dependency(self, rng):
+        t = generate_synthetic(5000, 1.0, 1.0, 100, rng)
+        np.testing.assert_array_equal(t.data[:, 0], t.data[:, 1])
+
+    def test_zero_correlation_is_independent(self, rng):
+        t = generate_synthetic(30_000, 0.0, 0.0, 10, rng)
+        joint = np.corrcoef(t.data[:, 0], t.data[:, 1])[0, 1]
+        assert abs(joint) < 0.03
+
+    def test_correlation_monotone_in_c(self, rng):
+        def corr(c):
+            t = generate_synthetic(20_000, 0.0, c, 50, rng)
+            return np.corrcoef(t.data[:, 0], t.data[:, 1])[0, 1]
+
+        assert corr(0.25) < corr(0.75) < corr(1.0) + 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_synthetic(0, 1.0, 0.5, 10, rng)
+        with pytest.raises(ValueError):
+            generate_synthetic(10, 1.0, 2.0, 10, rng)
+        with pytest.raises(ValueError):
+            generate_synthetic(10, 1.0, 0.5, 1, rng)
+
+    def test_sweeps_have_expected_levels(self, rng):
+        assert set(correlation_sweep(500, rng)) == {0.0, 0.25, 0.5, 0.75, 1.0}
+        assert set(skew_sweep(500, rng)) == {0.0, 0.5, 1.0, 1.5, 2.0}
+        assert set(domain_sweep(500, rng, levels=(10, 100))) == {10, 100}
+
+
+class TestRealWorldSimulators:
+    def test_paper_shapes(self):
+        """Column counts and categorical mixes match Table 3."""
+        t = census(1000)
+        assert (t.num_columns, t.num_categorical) == (13, 8)
+        t = forest(1000)
+        assert (t.num_columns, t.num_categorical) == (10, 0)
+        t = power(1000)
+        assert (t.num_columns, t.num_categorical) == (7, 0)
+        t = dmv(1000)
+        assert (t.num_columns, t.num_categorical) == (11, 10)
+
+    def test_size_ordering_preserved(self):
+        sizes = [load(n).num_rows for n in dataset_names()]
+        assert sizes == sorted(sizes)
+
+    def test_deterministic(self):
+        a = census(800)
+        b = census(800)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_columns_are_correlated(self):
+        """The generators must produce AVI-violating dependence."""
+        t = power(5000)
+        corr = np.corrcoef(t.data.T)
+        off_diag = corr[~np.eye(t.num_columns, dtype=bool)]
+        assert np.abs(off_diag).max() > 0.3
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load("tpch")
+
+    def test_custom_row_count(self):
+        assert dmv(1234).num_rows == 1234
+
+
+class TestUpdates:
+    def test_appended_fraction(self, small_census, rng):
+        rows = correlated_append_rows(small_census, 0.2, rng)
+        assert len(rows) == round(0.2 * small_census.num_rows)
+
+    def test_appended_rows_from_sorted_copy(self, tiny_table, rng):
+        rows = correlated_append_rows(tiny_table, 0.5, rng)
+        # Every appended value must exist in the column's domain.
+        for d in range(tiny_table.num_columns):
+            assert set(rows[:, d]) <= set(tiny_table.columns[d].distinct_values)
+
+    def test_appended_data_maximises_rank_correlation(self, rng):
+        t = census(3000)
+        rows = correlated_append_rows(t, 1.0, rng)
+        # The sorted-copy construction aligns all columns by rank: the
+        # rank correlation of any numeric pair is (near) 1.
+        a = np.argsort(np.argsort(rows[:, 0]))
+        b = np.argsort(np.argsort(rows[:, 3]))
+        rho = np.corrcoef(a, b)[0, 1]
+        assert rho > 0.95
+
+    def test_apply_update(self, small_census, rng):
+        new_table, appended = apply_update(small_census, rng, fraction=0.2)
+        assert new_table.num_rows == small_census.num_rows + len(appended)
+        assert new_table.name.endswith("_updated")
+
+    def test_fraction_validated(self, small_census, rng):
+        with pytest.raises(ValueError):
+            correlated_append_rows(small_census, 0.0, rng)

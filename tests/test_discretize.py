@@ -1,0 +1,95 @@
+"""Tests for the shared column discretiser."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate
+from repro.estimators.discretize import ColumnDiscretizer, Discretizer
+
+
+class TestExactColumns:
+    def test_one_bin_per_distinct(self):
+        disc = ColumnDiscretizer(np.array([3.0, 1.0, 3.0, 7.0]), max_bins=10)
+        assert disc.exact
+        assert disc.num_bins == 3
+
+    def test_transform_roundtrip(self):
+        values = np.array([5.0, 1.0, 9.0, 5.0])
+        disc = ColumnDiscretizer(values, max_bins=10)
+        bins = disc.transform(values)
+        recovered = np.array([disc.bin_value(b) for b in bins])
+        np.testing.assert_array_equal(recovered, values)
+
+    def test_predicate_weights_indicator(self):
+        disc = ColumnDiscretizer(np.array([1.0, 2.0, 3.0, 4.0]), max_bins=10)
+        w = disc.predicate_weights(Predicate(0, 2.0, 3.0))
+        np.testing.assert_array_equal(w, [0, 1, 1, 0])
+
+    def test_open_range_weights(self):
+        disc = ColumnDiscretizer(np.array([1.0, 2.0, 3.0]), max_bins=10)
+        np.testing.assert_array_equal(
+            disc.predicate_weights(Predicate(0, None, 2.0)), [1, 1, 0]
+        )
+        np.testing.assert_array_equal(
+            disc.predicate_weights(Predicate(0, 2.0, None)), [0, 1, 1]
+        )
+
+    def test_empty_predicate_all_zero(self):
+        disc = ColumnDiscretizer(np.array([1.0, 2.0]), max_bins=10)
+        np.testing.assert_array_equal(
+            disc.predicate_weights(Predicate(0, 5.0, 1.0)), [0, 0]
+        )
+
+
+class TestBinnedColumns:
+    def test_falls_back_to_quantile_bins(self, rng):
+        values = rng.normal(size=5000)
+        disc = ColumnDiscretizer(values, max_bins=32)
+        assert not disc.exact
+        assert disc.num_bins <= 32
+        bins = disc.transform(values)
+        assert bins.min() >= 0 and bins.max() < disc.num_bins
+
+    def test_weights_in_unit_interval(self, rng):
+        values = rng.normal(size=5000)
+        disc = ColumnDiscretizer(values, max_bins=32)
+        w = disc.predicate_weights(Predicate(0, -0.5, 0.5))
+        assert (w >= 0).all() and (w <= 1).all()
+        assert w.sum() > 0
+
+    def test_full_range_weights_one(self, rng):
+        values = rng.normal(size=5000)
+        disc = ColumnDiscretizer(values, max_bins=32)
+        w = disc.predicate_weights(Predicate(0, values.min(), values.max()))
+        np.testing.assert_allclose(w, np.ones(disc.num_bins))
+
+    def test_weighted_counts_approximate_truth(self, rng):
+        """counts @ weights should track the true range count."""
+        values = rng.uniform(0, 100, size=20_000)
+        disc = ColumnDiscretizer(values, max_bins=64)
+        counts = np.bincount(disc.transform(values), minlength=disc.num_bins)
+        pred = Predicate(0, 25.0, 50.0)
+        approx = counts @ disc.predicate_weights(pred)
+        truth = np.count_nonzero((values >= 25.0) & (values <= 50.0))
+        assert abs(approx - truth) / truth < 0.05
+
+
+class TestTableDiscretizer:
+    def test_cardinalities(self, tiny_table):
+        disc = Discretizer(tiny_table, max_bins=256)
+        assert disc.cardinalities == [6, 7, 3]
+
+    def test_transform_shape(self, tiny_table):
+        disc = Discretizer(tiny_table, max_bins=256)
+        out = disc.transform(tiny_table.data)
+        assert out.shape == tiny_table.data.shape
+        assert out.dtype == np.int64
+
+    def test_max_bins_validated(self, tiny_table):
+        with pytest.raises(ValueError):
+            Discretizer(tiny_table, max_bins=1)
+
+    def test_predicate_weights_dispatch(self, tiny_table):
+        disc = Discretizer(tiny_table, max_bins=256)
+        w = disc.predicate_weights(Predicate(2, 2.0, 2.0))
+        np.testing.assert_array_equal(w, [0, 1, 0])

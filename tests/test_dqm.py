@@ -1,0 +1,111 @@
+"""Tests for the DQM-D / DQM-Q estimators (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate, Query, qerrors
+from repro.estimators.learned import DqmDEstimator, DqmQEstimator
+
+
+def _geo(errors: np.ndarray) -> float:
+    return float(np.exp(np.log(errors).mean()))
+
+
+class TestDqmD:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_synthetic):
+        return DqmDEstimator(epochs=6, num_samples=64, num_stages=2).fit(
+            small_synthetic
+        )
+
+    def test_beats_trivial_baseline(self, fitted, synthetic_workloads):
+        _, test = synthetic_workloads
+        errors = qerrors(
+            fitted.estimate_many(list(test.queries)), test.cardinalities
+        )
+        baseline = qerrors(np.ones(len(test)), test.cardinalities)
+        assert _geo(errors) < _geo(baseline)
+
+    def test_empty_predicate_zero(self, fitted):
+        assert fitted.estimate(Query((Predicate(0, 60.0, 40.0),))) == 0.0
+
+    def test_model_probabilities_are_probabilities(self, fitted, rng):
+        samples = rng.integers(0, 10, size=(16, 2))
+        p = fitted._model_probability(samples)
+        assert (p >= 0).all() and (p <= 1.0 + 1e-9).all()
+
+    def test_model_probability_sums_to_one(self, fitted):
+        """Summing P(x) over the full joint domain must give ~1."""
+        cards = fitted._disc.cardinalities
+        grid = np.array(
+            [(a, b) for a in range(cards[0]) for b in range(cards[1])]
+        )
+        # Only feasible on small synthetic domains; subsample if large.
+        if len(grid) > 20_000:
+            pytest.skip("domain too large for exhaustive check")
+        total = fitted._model_probability(grid).sum()
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_vegas_stages_refine(self, small_synthetic):
+        """More stages must not blow up the estimate distribution."""
+        one = DqmDEstimator(epochs=3, num_samples=64, num_stages=1, seed=5)
+        three = DqmDEstimator(epochs=3, num_samples=64, num_stages=3, seed=5)
+        one.fit(small_synthetic)
+        three.fit(small_synthetic)
+        q = Query((Predicate(0, 5.0, 60.0), Predicate(1, 5.0, 60.0)))
+        truth = small_synthetic.cardinality(q)
+        err = lambda est: qerrors(
+            np.array([est.estimate(q)]), np.array([truth])
+        )[0]
+        assert err(three) < max(err(one) * 3.0, 50.0)
+
+    def test_training_loss_decreases(self, fitted):
+        assert fitted.loss_history[-1] < fitted.loss_history[0]
+
+
+class TestDqmQ:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_synthetic, synthetic_workloads):
+        train, _ = synthetic_workloads
+        return DqmQEstimator(epochs=25).fit(small_synthetic, train)
+
+    def test_requires_workload(self, small_synthetic):
+        with pytest.raises(ValueError):
+            DqmQEstimator().fit(small_synthetic)
+
+    def test_beats_trivial_baseline(self, fitted, synthetic_workloads):
+        _, test = synthetic_workloads
+        errors = qerrors(
+            fitted.estimate_many(list(test.queries)), test.cardinalities
+        )
+        baseline = qerrors(np.ones(len(test)), test.cardinalities)
+        assert _geo(errors) < _geo(baseline)
+
+    def test_feature_encoding_marks_bounds(self, fitted):
+        q = Query((Predicate(0, 10.0, 60.0),))
+        feats = fitted.features(q)
+        total = sum(fitted._disc.cardinalities)
+        lo_hot = feats[:total]
+        hi_hot = feats[total:]
+        assert lo_hot.sum() == 1.0
+        assert hi_hot.sum() == 1.0
+        assert np.argmax(lo_hot) <= np.argmax(hi_hot)
+
+    def test_unpredicated_columns_all_zero(self, fitted):
+        q = Query((Predicate(0, 10.0, 60.0),))
+        feats = fitted.features(q)
+        cards = fitted._disc.cardinalities
+        total = sum(cards)
+        # Column 1's slots must be zero in both halves.
+        assert feats[cards[0]:total].sum() == 0.0
+        assert feats[total + cards[0]:].sum() == 0.0
+
+    def test_update_requires_workload(self, fitted, small_synthetic, rng):
+        from repro.datasets import apply_update
+
+        new_table, appended = apply_update(small_synthetic, rng)
+        with pytest.raises(ValueError):
+            fitted.update(new_table, appended, None)
+
+    def test_loss_decreases(self, fitted):
+        assert fitted.loss_history[-1] < fitted.loss_history[0]

@@ -1,0 +1,143 @@
+"""Tests for the dynamic-environment simulator and device model."""
+
+import numpy as np
+import pytest
+
+from repro.core import generate_workload
+from repro.datasets import apply_update
+from repro.dynamic import (
+    CPU,
+    GPU,
+    Device,
+    label_update_workload,
+    measure_update,
+    mix_for_horizon,
+    run_dynamic,
+)
+from repro.estimators.learned import DeepDbEstimator, LwXgbEstimator, NaruEstimator
+from repro.estimators.traditional import PostgresEstimator
+
+
+@pytest.fixture(scope="module")
+def update_setting(small_synthetic):
+    rng = np.random.default_rng(5)
+    new_table, appended = apply_update(small_synthetic, rng)
+    test = generate_workload(new_table, 100, rng)
+    return new_table, appended, test
+
+
+class TestDevice:
+    def test_cpu_identity(self):
+        assert CPU.model_seconds("naru", 10.0) == 10.0
+
+    def test_gpu_speedups(self):
+        assert GPU.model_seconds("naru", 8.0) == 1.0
+        assert GPU.model_seconds("lw-nn", 15.0) == 1.0
+        # MSCN is *slower* on GPU for small models (paper Section 4.3).
+        assert GPU.model_seconds("mscn", 1.0) > 1.0
+
+    def test_unknown_method_unchanged(self):
+        assert GPU.model_seconds("postgres", 3.0) == 3.0
+
+    def test_custom_device(self):
+        dev = Device("tpu", {"naru": 100.0})
+        assert dev.model_seconds("naru", 50.0) == 0.5
+
+
+class TestLabelUpdateWorkload:
+    def test_data_driven_gets_none(self, small_synthetic, update_setting, rng):
+        new_table, _, _ = update_setting
+        est = DeepDbEstimator().fit(small_synthetic)
+        workload, seconds = label_update_workload(est, new_table, 50, rng)
+        assert workload is None
+        assert seconds == 0.0
+
+    def test_query_driven_gets_labelled_queries(
+        self, small_synthetic, synthetic_workloads, update_setting, rng
+    ):
+        train, _ = synthetic_workloads
+        new_table, _, _ = update_setting
+        est = LwXgbEstimator(num_trees=8).fit(small_synthetic, train)
+        workload, seconds = label_update_workload(est, new_table, 50, rng)
+        assert workload is not None
+        assert len(workload) == 50
+        assert seconds > 0.0
+        # Labels are sample-scaled approximations of the new table.
+        assert (workload.cardinalities >= 0).all()
+
+
+class TestMeasureAndMix:
+    @pytest.fixture(scope="class")
+    def measurement(self, small_synthetic, update_setting):
+        new_table, appended, test = update_setting
+        est = DeepDbEstimator().fit(small_synthetic)
+        rng = np.random.default_rng(6)
+        return measure_update(est, new_table, appended, test, rng, 50)
+
+    def test_measurement_fields(self, measurement):
+        assert measurement.method == "deepdb"
+        assert measurement.model_seconds > 0.0
+        assert len(measurement.stale_qerrors) == len(measurement.updated_qerrors)
+
+    def test_long_horizon_uses_updated_model(self, measurement):
+        res = mix_for_horizon(measurement, horizon_seconds=1e9)
+        assert res.finished
+        assert res.stale_fraction < 0.01
+        np.testing.assert_allclose(
+            np.sort(res.dynamic_qerrors), np.sort(measurement.updated_qerrors)
+        )
+
+    def test_short_horizon_stale_only(self, measurement):
+        res = mix_for_horizon(measurement, horizon_seconds=1e-9)
+        assert not res.finished
+        assert res.stale_fraction == 1.0
+        np.testing.assert_array_equal(
+            res.dynamic_qerrors, measurement.stale_qerrors
+        )
+
+    def test_intermediate_horizon_mixes(self, measurement):
+        horizon = measurement.effective_update_seconds() * 2
+        res = mix_for_horizon(measurement, horizon)
+        assert res.finished
+        assert 0.0 < res.stale_fraction < 1.0
+
+    def test_gpu_reduces_stale_fraction_for_naru(
+        self, small_synthetic, update_setting
+    ):
+        new_table, appended, test = update_setting
+        est = NaruEstimator(epochs=2, update_epochs=1, num_samples=32)
+        est.fit(small_synthetic)
+        rng = np.random.default_rng(8)
+        meas = measure_update(est, new_table, appended, test, rng, 50)
+        horizon = meas.effective_update_seconds(CPU) * 1.5
+        cpu_res = mix_for_horizon(meas, horizon, CPU)
+        gpu_res = mix_for_horizon(meas, horizon, GPU)
+        assert gpu_res.stale_fraction < cpu_res.stale_fraction
+
+    def test_invalid_horizon(self, measurement):
+        with pytest.raises(ValueError):
+            mix_for_horizon(measurement, 0.0)
+
+
+class TestRunDynamic:
+    def test_stale_model_errs_after_correlated_append(
+        self, small_synthetic, update_setting
+    ):
+        """The sorted-copy append changes correlation: the stale model's
+        p99 should exceed the updated model's."""
+        new_table, appended, test = update_setting
+        est = PostgresEstimator().fit(small_synthetic)
+        rng = np.random.default_rng(9)
+        meas = measure_update(est, new_table, appended, test, rng, 50)
+        assert meas.stale_p99 >= meas.updated_p99
+
+    def test_run_dynamic_end_to_end(self, small_synthetic, update_setting):
+        new_table, appended, test = update_setting
+        est = DeepDbEstimator().fit(small_synthetic)
+        rng = np.random.default_rng(10)
+        res = run_dynamic(
+            est, new_table, appended, test, horizon_seconds=60.0, rng=rng,
+            update_query_count=50,
+        )
+        assert res.finished
+        assert res.p99 >= 1.0

@@ -1,0 +1,130 @@
+"""Tests for the LogicalGuard rule-enforcement wrapper (Section 7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CardinalityEstimator, Predicate, Query
+from repro.rules import check_all
+from repro.rules.enforce import LogicalGuard, _contains
+
+
+class NoisyOracle(CardinalityEstimator):
+    """True cardinality plus multiplicative noise; unstable by design."""
+
+    name = "noisy-oracle"
+
+    def __init__(self, noise: float = 0.3, seed: int = 0):
+        super().__init__()
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def _fit(self, table, workload):
+        pass
+
+    def _estimate(self, query):
+        truth = self.table.cardinality(query)
+        return truth * float(np.exp(self._rng.normal(scale=self.noise)))
+
+
+class TestContainment:
+    def test_same_query(self):
+        q = Query((Predicate(0, 1, 5),))
+        assert _contains(q, q)
+
+    def test_wider_contains_narrower(self):
+        outer = Query((Predicate(0, 0, 10),))
+        inner = Query((Predicate(0, 2, 8),))
+        assert _contains(outer, inner)
+        assert not _contains(inner, outer)
+
+    def test_fewer_predicates_contains_more(self):
+        outer = Query((Predicate(0, 0, 10),))
+        inner = Query((Predicate(0, 0, 10), Predicate(1, 3, 3)))
+        assert _contains(outer, inner)
+        assert not _contains(inner, outer)
+
+    def test_disjoint_columns_not_contained(self):
+        a = Query((Predicate(0, 0, 10),))
+        b = Query((Predicate(1, 0, 10),))
+        assert not _contains(a, b)
+
+
+class TestLogicalGuard:
+    @pytest.fixture
+    def guarded(self, small_synthetic):
+        return LogicalGuard(NoisyOracle()).fit(small_synthetic)
+
+    def test_fidelity_b_enforced(self, guarded):
+        assert guarded.estimate(Query((Predicate(0, 50.0, 10.0),))) == 0.0
+
+    def test_fidelity_a_enforced(self, guarded, small_synthetic):
+        preds = tuple(
+            Predicate(i, c.domain_min, c.domain_max)
+            for i, c in enumerate(small_synthetic.columns)
+        )
+        assert guarded.estimate(Query(preds)) == small_synthetic.num_rows
+
+    def test_stability_enforced(self, guarded):
+        q = Query((Predicate(0, 10.0, 60.0),))
+        first = guarded.estimate(q)
+        assert all(guarded.estimate(q) == first for _ in range(5))
+
+    def test_bounds_enforced(self, small_synthetic):
+        class Huge(CardinalityEstimator):
+            name = "huge"
+
+            def _fit(self, table, workload):
+                pass
+
+            def _estimate(self, query):
+                return 1e15
+
+        guarded = LogicalGuard(Huge()).fit(small_synthetic)
+        q = Query((Predicate(0, 0.0, 5.0),))
+        assert guarded.estimate(q) == small_synthetic.num_rows
+
+    def test_memoised_monotone_clamp(self, guarded):
+        wide = Query((Predicate(0, 0.0, 90.0),))
+        narrow = Query((Predicate(0, 20.0, 70.0),))
+        wide_est = guarded.estimate(wide)
+        narrow_est = guarded.estimate(narrow)
+        assert narrow_est <= wide_est
+
+    def test_passes_full_rule_suite(self, small_synthetic, rng):
+        guarded = LogicalGuard(NoisyOracle()).fit(small_synthetic)
+        reports = check_all(guarded, small_synthetic, rng, num_checks=15)
+        # The wrapper fixes stability and both fidelity rules; the
+        # consistency rule cannot be enforced statelessly.
+        assert reports["stability"].satisfied
+        assert reports["fidelity-a"].satisfied
+        assert reports["fidelity-b"].satisfied
+
+    def test_memo_cleared_on_update(self, small_synthetic, rng):
+        from repro.datasets import apply_update
+
+        guarded = LogicalGuard(NoisyOracle()).fit(small_synthetic)
+        q = Query((Predicate(0, 10.0, 60.0),))
+        before = guarded.estimate(q)
+        new_table, appended = apply_update(small_synthetic, rng)
+        guarded.update(new_table, appended)
+        after = guarded.estimate(q)
+        # A fresh memo: the estimate may legitimately change.
+        assert after != before or len(guarded._memo) == 1
+
+    def test_memo_eviction(self, small_synthetic):
+        guarded = LogicalGuard(NoisyOracle(), memo_size=3).fit(small_synthetic)
+        for lo in range(10):
+            guarded.estimate(Query((Predicate(0, float(lo), float(lo + 5)),)))
+        assert len(guarded._memo) <= 3
+
+    def test_requires_workload_propagates(self, small_synthetic):
+        from repro.estimators.learned import LwXgbEstimator
+
+        guarded = LogicalGuard(LwXgbEstimator())
+        assert guarded.requires_workload
+        with pytest.raises(ValueError):
+            guarded.fit(small_synthetic)
+
+    def test_invalid_memo_size(self):
+        with pytest.raises(ValueError):
+            LogicalGuard(NoisyOracle(), memo_size=-1)

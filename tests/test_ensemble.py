@@ -1,0 +1,94 @@
+"""Tests for the hierarchical and fallback ensembles (Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate, Query
+from repro.datasets import apply_update
+from repro.estimators.learned import (
+    FallbackEstimator,
+    HierarchicalEstimator,
+    LwXgbEstimator,
+)
+from repro.estimators.traditional import PostgresEstimator, SamplingEstimator
+
+
+class TestHierarchical:
+    @pytest.fixture
+    def hier(self, small_synthetic):
+        light = PostgresEstimator()
+        heavy = SamplingEstimator(fraction=0.2)
+        est = HierarchicalEstimator(light, heavy, predicate_threshold=2)
+        return est.fit(small_synthetic)
+
+    def test_routes_simple_queries_to_light(self, hier):
+        q = Query((Predicate(0, 0.0, 50.0),))
+        light_before = hier.light.timing.inference_count
+        hier.estimate(q)
+        assert hier.light.timing.inference_count == light_before + 1
+
+    def test_routes_complex_queries_to_heavy(self, hier):
+        q = Query((Predicate(0, 0.0, 50.0), Predicate(1, 0.0, 50.0)))
+        heavy_before = hier.heavy.timing.inference_count
+        hier.estimate(q)
+        assert hier.heavy.timing.inference_count == heavy_before + 1
+
+    def test_routing_fractions(self, hier):
+        queries = [
+            Query((Predicate(0, 0.0, 50.0),)),
+            Query((Predicate(0, 0.0, 50.0), Predicate(1, 0.0, 50.0))),
+        ]
+        light_frac, heavy_frac = hier.routing_fractions(queries)
+        assert light_frac == heavy_frac == 0.5
+
+    def test_query_driven_members_require_workload(self, small_synthetic):
+        est = HierarchicalEstimator(PostgresEstimator(), LwXgbEstimator())
+        assert est.requires_workload
+        with pytest.raises(ValueError):
+            est.fit(small_synthetic)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HierarchicalEstimator(
+                PostgresEstimator(), SamplingEstimator(), predicate_threshold=0
+            )
+
+    def test_combined_size(self, hier):
+        assert hier.model_size_bytes() == (
+            hier.light.model_size_bytes() + hier.heavy.model_size_bytes()
+        )
+
+
+class TestFallback:
+    @pytest.fixture
+    def fallback(self, small_synthetic):
+        est = FallbackEstimator(PostgresEstimator(), SamplingEstimator(fraction=0.2))
+        return est.fit(small_synthetic)
+
+    def test_serves_heavy_after_fit(self, fallback):
+        assert fallback.serving == "sampling"
+
+    def test_update_demotes_to_light(self, fallback, small_synthetic, rng):
+        new_table, appended = apply_update(small_synthetic, rng)
+        fallback.update(new_table, appended)
+        assert fallback.serving == "postgres"
+
+    def test_promote_restores_heavy(self, fallback, small_synthetic, rng):
+        new_table, appended = apply_update(small_synthetic, rng)
+        fallback.update(new_table, appended)
+        seconds = fallback.promote()
+        assert seconds > 0.0
+        assert fallback.serving == "sampling"
+
+    def test_promote_without_pending_is_noop(self, fallback):
+        assert fallback.promote() == 0.0
+
+    def test_estimates_follow_serving_model(self, fallback, small_synthetic, rng):
+        q = Query((Predicate(0, 0.0, 50.0),))
+        heavy_answer = fallback.estimate(q)
+        new_table, appended = apply_update(small_synthetic, rng)
+        fallback.update(new_table, appended)
+        light_count_before = fallback.light.timing.inference_count
+        fallback.estimate(q)
+        assert fallback.light.timing.inference_count == light_count_before + 1
+        assert np.isfinite(heavy_answer)

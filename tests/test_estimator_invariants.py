@@ -1,0 +1,114 @@
+"""Cross-cutting invariants every estimator must satisfy.
+
+These run each of the thirteen benchmark estimators (at tiny training
+budgets) through the same battery: probabilistic outputs in range,
+timing bookkeeping, update protocol, and robustness to edge-case
+queries (single-value domains, open ranges, predicates on every column).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Scale, estimator_names, make_estimator
+from repro.core import Predicate, Query, Table, generate_workload
+
+TINY = Scale(
+    name="tiny",
+    row_fraction=0.1,
+    train_queries=150,
+    test_queries=40,
+    nn_epochs=2,
+    naru_epochs=2,
+    update_queries=50,
+    synthetic_rows=1500,
+    naru_samples=32,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.datasets import generate_synthetic
+
+    rng = np.random.default_rng(17)
+    return generate_synthetic(2500, skew=1.0, correlation=0.6, domain_size=50, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def train(table):
+    rng = np.random.default_rng(18)
+    return generate_workload(table, TINY.train_queries, rng)
+
+
+@pytest.fixture(scope="module", params=estimator_names())
+def fitted(request, table, train):
+    est = make_estimator(request.param, TINY)
+    est.fit(table, train if est.requires_workload else None)
+    return est
+
+
+class TestOutputs:
+    def test_single_value_equality(self, fitted, table):
+        value = float(table.columns[0].distinct_values[0])
+        est = fitted.estimate(Query((Predicate(0, value, value),)))
+        assert 0.0 <= est
+        assert np.isfinite(est)
+
+    def test_open_ranges_both_sides(self, fitted):
+        for pred in (Predicate(0, None, 25.0), Predicate(0, 25.0, None)):
+            est = fitted.estimate(Query((pred,)))
+            assert np.isfinite(est) and est >= 0.0
+
+    def test_all_columns_predicated(self, fitted, table):
+        preds = tuple(
+            Predicate(i, c.domain_min, (c.domain_min + c.domain_max) / 2)
+            for i, c in enumerate(table.columns)
+        )
+        est = fitted.estimate(Query(preds))
+        assert np.isfinite(est) and est >= 0.0
+
+    def test_out_of_domain_range(self, fitted, table):
+        hi = table.columns[0].domain_max
+        est = fitted.estimate(Query((Predicate(0, hi + 100, hi + 200),)))
+        assert np.isfinite(est)
+        # Nothing lives out there; a calibrated model answers near zero.
+        assert est <= table.num_rows
+
+    def test_estimates_never_nan(self, fitted, table):
+        rng = np.random.default_rng(55)
+        workload = generate_workload(table, 25, rng)
+        estimates = fitted.estimate_many(list(workload.queries))
+        assert np.isfinite(estimates).all()
+
+
+class TestProtocol:
+    def test_fit_time_recorded(self, fitted):
+        assert fitted.timing.fit_seconds > 0.0
+
+    def test_inference_counter_advances(self, fitted):
+        before = fitted.timing.inference_count
+        fitted.estimate(Query((Predicate(0, 0.0, 10.0),)))
+        assert fitted.timing.inference_count == before + 1
+
+    def test_repr_mentions_name(self, fitted):
+        assert fitted.name in repr(fitted)
+
+
+class TestUpdateProtocol:
+    @pytest.fixture(params=estimator_names())
+    def fresh(self, request, table, train):
+        est = make_estimator(request.param, TINY)
+        est.fit(table, train if est.requires_workload else None)
+        return est
+
+    def test_update_then_estimate(self, fresh, table):
+        from repro.datasets import apply_update
+        from repro.dynamic import label_update_workload
+
+        rng = np.random.default_rng(3)
+        new_table, appended = apply_update(table, rng)
+        workload, _ = label_update_workload(fresh, new_table, 40, rng)
+        seconds = fresh.update(new_table, appended, workload)
+        assert seconds > 0.0
+        assert fresh.timing.update_seconds == seconds
+        est = fresh.estimate(Query((Predicate(0, 0.0, 25.0),)))
+        assert np.isfinite(est) and est >= 0.0

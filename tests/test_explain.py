@@ -1,0 +1,106 @@
+"""Tests for the interpretability helpers."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    TrainingInfluence,
+    lw_feature_importance,
+    permutation_importance,
+)
+
+
+class TestPermutationImportance:
+    def test_informative_feature_ranks_first(self, rng):
+        """Predictions depend only on feature 0; permuting it must hurt,
+        permuting the noise feature must not."""
+        features = rng.uniform(1, 100, size=(300, 2))
+        actuals = features[:, 0] * 10
+
+        def predict(x):
+            return x[:, 0] * 10
+
+        ranking = permutation_importance(predict, features, actuals, rng)
+        assert ranking[0].feature == 0
+        assert ranking[0].importance > 2.0
+        assert ranking[-1].feature == 1
+        assert ranking[-1].importance == pytest.approx(1.0, abs=0.05)
+
+    def test_names_attached(self, rng):
+        features = rng.uniform(1, 10, size=(50, 2))
+        actuals = np.ones(50)
+        ranking = permutation_importance(
+            lambda x: np.ones(len(x)), features, actuals, rng,
+            feature_names=["alpha", "beta"],
+        )
+        assert {fi.name for fi in ranking} == {"alpha", "beta"}
+
+    def test_constant_predictor_all_ones(self, rng):
+        features = rng.uniform(1, 10, size=(50, 3))
+        actuals = rng.uniform(1, 10, size=50)
+        ranking = permutation_importance(
+            lambda x: np.full(len(x), 5.0), features, actuals, rng
+        )
+        for fi in ranking:
+            assert fi.importance == pytest.approx(1.0)
+
+
+class TestLwFeatureImportance:
+    def test_ce_features_matter(self, small_synthetic, synthetic_workloads, rng):
+        from repro.estimators.learned import LwXgbEstimator
+
+        train, test = synthetic_workloads
+        est = LwXgbEstimator(num_trees=32).fit(small_synthetic, train)
+        ranking = lw_feature_importance(est, test, rng)
+        names = [fi.name for fi in ranking]
+        assert "log_avi" in names
+        # Something must carry signal on this model.
+        assert ranking[0].importance > 1.05
+
+    def test_works_for_nn_models(self, small_synthetic, synthetic_workloads, rng):
+        from repro.estimators.learned import LwNnEstimator
+
+        train, test = synthetic_workloads
+        est = LwNnEstimator(epochs=8).fit(small_synthetic, train)
+        ranking = lw_feature_importance(est, test, rng)
+        assert len(ranking) == est._featurizer.dimension
+
+    def test_rejects_non_lw_estimators(self, small_synthetic, rng, synthetic_workloads):
+        from repro.estimators.learned import DeepDbEstimator
+
+        _, test = synthetic_workloads
+        est = DeepDbEstimator().fit(small_synthetic)
+        with pytest.raises(TypeError):
+            lw_feature_importance(est, test, rng)
+
+
+class TestTrainingInfluence:
+    @pytest.fixture
+    def influence(self, small_synthetic, synthetic_workloads):
+        from repro.estimators.learned import LwFeaturizer
+
+        train, _ = synthetic_workloads
+        featurizer = LwFeaturizer(small_synthetic, use_ce_features=False)
+        return TrainingInfluence(featurizer.features, train)
+
+    def test_training_query_is_own_neighbour(self, influence):
+        probe = influence.workload.queries[7]
+        hits = influence.neighbours(probe, k=1)
+        assert hits[0].distance == pytest.approx(0.0, abs=1e-9)
+        assert hits[0].index == 7 or hits[0].distance < 1e-9
+
+    def test_neighbours_sorted_by_distance(self, influence):
+        probe = influence.workload.queries[0]
+        hits = influence.neighbours(probe, k=5)
+        distances = [h.distance for h in hits]
+        assert distances == sorted(distances)
+        assert len(hits) == 5
+
+    def test_labels_carried(self, influence):
+        probe = influence.workload.queries[3]
+        hits = influence.neighbours(probe, k=1)
+        assert hits[0].cardinality == influence.workload.cardinalities[hits[0].index]
+
+    def test_k_validated(self, influence):
+        with pytest.raises(ValueError):
+            influence.neighbours(influence.workload.queries[0], k=0)

@@ -1,0 +1,122 @@
+"""Tests for the gradient-boosted-trees substrate."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt import FeatureBinner, GradientBoostedTrees, RegressionTree
+
+
+class TestFeatureBinner:
+    def test_few_distinct_values_exact_bins(self, rng):
+        x = rng.choice([1.0, 5.0, 9.0], size=(100, 1))
+        binner = FeatureBinner(max_bins=64).fit(x)
+        binned = binner.transform(x)
+        assert set(np.unique(binned)) == {0, 1, 2}
+        # Same value always maps to the same bin.
+        assert len(np.unique(binned[x[:, 0] == 5.0])) == 1
+
+    def test_many_values_quantile_bins(self, rng):
+        x = rng.normal(size=(1000, 1))
+        binner = FeatureBinner(max_bins=8).fit(x)
+        binned = binner.transform(x)
+        assert binned.max() < 8
+        # Roughly balanced bins.
+        counts = np.bincount(binned[:, 0])
+        assert counts.min() > 50
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            FeatureBinner().transform(np.ones((2, 1)))
+
+    def test_monotone_binning(self, rng):
+        x = np.sort(rng.normal(size=(500, 1)), axis=0)
+        binner = FeatureBinner(max_bins=16).fit(x)
+        binned = binner.transform(x)[:, 0]
+        assert (np.diff(binned) >= 0).all()
+
+
+class TestRegressionTree:
+    def test_perfect_split(self):
+        binned = np.array([[0], [0], [1], [1]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        tree = RegressionTree(max_depth=2, min_samples_leaf=1).fit(binned, y)
+        np.testing.assert_allclose(tree.predict(binned), y)
+
+    def test_depth_zero_returns_mean(self):
+        binned = np.array([[0], [1], [2]])
+        y = np.array([1.0, 2.0, 9.0])
+        tree = RegressionTree(max_depth=0).fit(binned, y)
+        np.testing.assert_allclose(tree.predict(binned), [4.0, 4.0, 4.0])
+
+    def test_min_samples_leaf_respected(self):
+        binned = np.array([[0], [1], [1], [1], [1], [1]])
+        y = np.array([100.0, 1, 1, 1, 1, 1])
+        tree = RegressionTree(max_depth=3, min_samples_leaf=3).fit(binned, y)
+        # The single bin-0 row cannot be isolated with min_samples_leaf=3.
+        assert len(np.unique(tree.predict(binned))) == 1
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.ones((3, 1), dtype=int), np.ones(2))
+
+    def test_two_feature_interaction(self, rng):
+        binned = rng.integers(0, 2, size=(400, 2))
+        y = np.where(binned[:, 0] == binned[:, 1], 1.0, 0.0)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=5).fit(binned, y)
+        pred = tree.predict(binned)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_function(self, rng):
+        x = rng.uniform(-3, 3, size=(800, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1] ** 2
+        model = GradientBoostedTrees(num_trees=50, learning_rate=0.2).fit(x, y)
+        pred = model.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+    def test_more_trees_reduce_train_error(self, rng):
+        x = rng.uniform(-3, 3, size=(400, 2))
+        y = np.sin(x[:, 0]) * x[:, 1]
+        small = GradientBoostedTrees(num_trees=5).fit(x, y)
+        large = GradientBoostedTrees(num_trees=60).fit(x, y)
+        err = lambda m: np.mean((m.predict(x) - y) ** 2)
+        assert err(large) < err(small)
+
+    def test_constant_target(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = np.full(100, 3.5)
+        model = GradientBoostedTrees(num_trees=5).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-9)
+
+    def test_extend_adds_trees(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = x[:, 0] * 2
+        model = GradientBoostedTrees(num_trees=10).fit(x, y)
+        before = model.num_fitted_trees
+        model.extend(x, y, extra_trees=5)
+        assert model.num_fitted_trees == before + 5
+
+    def test_extend_improves_on_shifted_data(self, rng):
+        x = rng.normal(size=(300, 2))
+        model = GradientBoostedTrees(num_trees=20).fit(x, x[:, 0])
+        y_new = x[:, 0] + 5.0
+        err_before = np.mean((model.predict(x) - y_new) ** 2)
+        model.extend(x, y_new, extra_trees=20)
+        err_after = np.mean((model.predict(x) - y_new) ** 2)
+        assert err_after < err_before
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(num_trees=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.ones((1, 1)))
+
+    def test_num_nodes_positive(self, rng):
+        x = rng.normal(size=(100, 2))
+        model = GradientBoostedTrees(num_trees=3).fit(x, x[:, 0])
+        assert model.num_nodes() >= 3

@@ -1,0 +1,110 @@
+"""Tests for per-column statistics (equi-depth histograms, MCVs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate
+from repro.estimators.traditional.histograms import (
+    ColumnStatistics,
+    EquiDepthHistogram,
+    McvList,
+)
+
+
+class TestEquiDepthHistogram:
+    def test_full_range_fraction_is_one(self, rng):
+        values = rng.normal(size=2000)
+        hist = EquiDepthHistogram(values, 50)
+        assert hist.range_fraction(None, None) == pytest.approx(1.0)
+
+    def test_half_range_uniform_data(self, rng):
+        values = rng.uniform(0, 100, size=50_000)
+        hist = EquiDepthHistogram(values, 100)
+        assert hist.range_fraction(0.0, 50.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_empty_range(self, rng):
+        hist = EquiDepthHistogram(rng.normal(size=100), 10)
+        assert hist.range_fraction(5.0, 1.0) == 0.0
+
+    def test_out_of_domain_range(self, rng):
+        hist = EquiDepthHistogram(rng.uniform(0, 1, 100), 10)
+        assert hist.range_fraction(5.0, 9.0) == 0.0
+
+    def test_equality_on_heavy_hitter(self):
+        values = np.concatenate([np.zeros(800), np.arange(1, 201)])
+        hist = EquiDepthHistogram(values, 50)
+        frac = hist.equality_fraction(0.0)
+        assert frac == pytest.approx(0.8, abs=0.05)
+
+    def test_equality_outside_domain(self, rng):
+        hist = EquiDepthHistogram(rng.uniform(0, 1, 100), 10)
+        assert hist.equality_fraction(5.0) == 0.0
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram(np.array([]), 10)
+
+    def test_more_buckets_than_values(self):
+        hist = EquiDepthHistogram(np.array([1.0, 2.0, 3.0]), 100)
+        assert hist.num_buckets <= 3
+
+
+class TestMcvList:
+    def test_top_values_kept(self):
+        values = np.concatenate([np.zeros(500), np.ones(300), np.arange(2, 202)])
+        mcvs = McvList(values, limit=2)
+        assert set(mcvs.values) == {0.0, 1.0}
+        assert mcvs.equality_fraction(0.0) == pytest.approx(0.5)
+        assert mcvs.equality_fraction(1.0) == pytest.approx(0.3)
+
+    def test_misses_return_none(self):
+        values = np.concatenate([np.zeros(500), np.arange(1, 101)])
+        mcvs = McvList(values, limit=5)
+        assert mcvs.equality_fraction(57.0) is None
+
+    def test_only_genuinely_common_values(self, rng):
+        """Uniform data has no value above average frequency."""
+        values = np.arange(1000, dtype=float)
+        mcvs = McvList(values, limit=100)
+        assert len(mcvs) == 0
+
+    def test_range_fraction(self):
+        values = np.concatenate([np.zeros(400), np.full(400, 10.0), np.arange(20, 220)])
+        mcvs = McvList(values, limit=5)
+        assert mcvs.range_fraction(0.0, 10.0) == pytest.approx(0.8)
+        assert mcvs.range_fraction(5.0, None) == pytest.approx(0.4)
+
+
+class TestColumnStatistics:
+    def test_equality_selectivity_mcv(self):
+        values = np.concatenate([np.zeros(900), np.arange(1, 101)])
+        stats = ColumnStatistics(values, num_buckets=20)
+        assert stats.selectivity(Predicate(0, 0.0, 0.0)) == pytest.approx(0.9)
+
+    def test_equality_selectivity_non_mcv(self):
+        values = np.concatenate([np.zeros(900), np.arange(1, 101)])
+        stats = ColumnStatistics(values, num_buckets=20)
+        sel = stats.selectivity(Predicate(0, 42.0, 42.0))
+        # Uniform over the ~100 non-MCV distinct values of the leftover mass.
+        assert sel == pytest.approx(0.1 / 100, rel=0.2)
+
+    def test_range_selectivity_accuracy(self, rng):
+        values = rng.exponential(scale=10, size=20_000)
+        stats = ColumnStatistics(values, num_buckets=100)
+        truth = np.mean((values >= 5) & (values <= 15))
+        est = stats.selectivity(Predicate(0, 5.0, 15.0))
+        assert est == pytest.approx(truth, abs=0.02)
+
+    def test_empty_predicate(self, rng):
+        stats = ColumnStatistics(rng.normal(size=100), num_buckets=10)
+        assert stats.selectivity(Predicate(0, 9.0, 1.0)) == 0.0
+
+    def test_open_ranges(self, rng):
+        values = rng.uniform(0, 1, size=10_000)
+        stats = ColumnStatistics(values, num_buckets=50)
+        assert stats.selectivity(Predicate(0, None, 0.25)) == pytest.approx(
+            0.25, abs=0.02
+        )
+        assert stats.selectivity(Predicate(0, 0.75, None)) == pytest.approx(
+            0.25, abs=0.02
+        )

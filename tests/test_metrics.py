@@ -1,0 +1,99 @@
+"""Tests for the q-error metric and its summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import QErrorSummary, qerror, qerrors, summarize
+from repro.core.metrics import format_qerror, top_fraction, win_lose
+
+
+class TestQError:
+    def test_exact_estimate(self):
+        assert qerror(100, 100) == 1.0
+
+    def test_symmetric(self):
+        assert qerror(10, 100) == qerror(100, 10) == 10.0
+
+    def test_clamps_zero_actual(self):
+        # A zero-cardinality query with estimate 5 -> error 5, not inf.
+        assert qerror(5, 0) == 5.0
+
+    def test_clamps_zero_estimate(self):
+        assert qerror(0, 50) == 50.0
+
+    def test_both_zero(self):
+        assert qerror(0, 0) == 1.0
+
+    def test_vectorised_matches_scalar(self):
+        est = np.array([1, 10, 0, 200])
+        act = np.array([10, 10, 7, 2])
+        expected = [qerror(e, a) for e, a in zip(est, act)]
+        np.testing.assert_allclose(qerrors(est, act), expected)
+
+    def test_never_below_one(self, rng):
+        est = rng.uniform(0, 1000, 100)
+        act = rng.uniform(0, 1000, 100)
+        assert (qerrors(est, act) >= 1.0).all()
+
+
+class TestSummary:
+    def test_percentiles(self):
+        errors = np.arange(1, 101, dtype=float)
+        s = QErrorSummary.from_errors(errors)
+        assert s.p50 == pytest.approx(50.5)
+        assert s.max == 100.0
+        assert s.p95 < s.p99 < s.max
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QErrorSummary.from_errors(np.array([]))
+
+    def test_summarize_end_to_end(self):
+        s = summarize(np.array([10.0, 10.0]), np.array([10.0, 100.0]))
+        assert s.p50 == pytest.approx(5.5)
+        assert s.max == 10.0
+
+
+class TestTopFraction:
+    def test_keeps_largest(self):
+        errors = np.array([1, 5, 3, 100, 2], dtype=float)
+        np.testing.assert_array_equal(top_fraction(errors, 0.2), [100.0])
+
+    def test_at_least_one(self):
+        assert len(top_fraction(np.array([1.0, 2.0]), 0.01)) == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction(np.array([1.0]), 0.0)
+
+
+class TestFormatting:
+    def test_small_value(self):
+        assert format_qerror(1.234) == "1.23"
+
+    def test_hundreds(self):
+        assert format_qerror(384.2) == "384"
+
+    def test_scientific(self):
+        assert format_qerror(2.3e5) == "2e5"
+
+
+class TestWinLose:
+    def test_learned_wins_everywhere(self):
+        t = {"pg": QErrorSummary(2, 20, 50, 500)}
+        l = {"naru": QErrorSummary(1, 10, 40, 400)}
+        assert win_lose(t, l) == {
+            "p50": "win", "p95": "win", "p99": "win", "max": "win"
+        }
+
+    def test_mixed_verdict_uses_best_of_each_group(self):
+        t = {
+            "pg": QErrorSummary(1.0, 20, 50, 500),
+            "bayes": QErrorSummary(1.5, 5, 10, 100),
+        }
+        l = {"naru": QErrorSummary(1.2, 5, 8, 50)}
+        verdict = win_lose(t, l)
+        assert verdict["p50"] == "lose"  # 1.2 > best traditional 1.0
+        assert verdict["p95"] == "win"  # ties count as win
+        assert verdict["p99"] == "win"
+        assert verdict["max"] == "win"

@@ -1,0 +1,108 @@
+"""Gap-filling tests: timing records, config corners, composed wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Predicate,
+    Query,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_workload,
+)
+from repro.core.estimator import TimingRecord
+from repro.estimators.discretize import ColumnDiscretizer
+
+
+class TestTimingRecord:
+    def test_mean_inference_with_no_queries(self):
+        assert TimingRecord().mean_inference_ms == 0.0
+
+    def test_mean_inference_math(self):
+        t = TimingRecord(total_inference_seconds=0.5, inference_count=100)
+        assert t.mean_inference_ms == pytest.approx(5.0)
+
+    def test_estimator_records_accumulate(self, small_synthetic):
+        from repro.estimators.traditional import SamplingEstimator
+
+        est = SamplingEstimator().fit(small_synthetic)
+        est.estimate(Query((Predicate(0, 0.0, 10.0),)))
+        est.estimate(Query((Predicate(0, 0.0, 20.0),)))
+        assert est.timing.inference_count == 2
+        assert est.timing.total_inference_seconds > 0.0
+
+
+class TestWorkloadConfigCorners:
+    def test_max_predicates_cap(self, small_census, rng):
+        gen = WorkloadGenerator(
+            small_census, WorkloadConfig(max_predicates=2)
+        )
+        for _ in range(30):
+            assert gen.generate_query(rng).num_predicates <= 2
+
+    def test_fixed_predicate_count(self, small_census, rng):
+        gen = WorkloadGenerator(
+            small_census, WorkloadConfig(min_predicates=3, max_predicates=3)
+        )
+        for _ in range(20):
+            assert gen.generate_query(rng).num_predicates == 3
+
+    def test_all_uniform_widths(self, small_census, rng):
+        gen = WorkloadGenerator(
+            small_census, WorkloadConfig(exponential_width_probability=0.0)
+        )
+        wl = gen.generate(20, rng)
+        assert len(wl) == 20
+
+
+class TestDiscretizerBinnedEquality:
+    def test_equality_on_binned_column_is_partial(self, rng):
+        """An equality on a quantile-binned wide column covers at most
+        one bin, with weight shrinking as the bin widens."""
+        values = rng.uniform(0, 1000, size=10_000)
+        disc = ColumnDiscretizer(values, max_bins=16)
+        assert not disc.exact
+        w = disc.predicate_weights(Predicate(0, 500.0, 500.0))
+        assert np.count_nonzero(w) == 1
+        assert 0.0 < w.max() <= 1.0
+
+
+class TestComposedWrappers:
+    def test_guard_around_ensemble(self, small_synthetic):
+        """LogicalGuard composes over a hierarchical ensemble."""
+        from repro.estimators.learned import HierarchicalEstimator
+        from repro.estimators.traditional import (
+            PostgresEstimator,
+            SamplingEstimator,
+        )
+        from repro.rules.enforce import LogicalGuard
+
+        inner = HierarchicalEstimator(PostgresEstimator(), SamplingEstimator())
+        guarded = LogicalGuard(inner).fit(small_synthetic)
+        assert guarded.estimate(Query((Predicate(0, 9.0, 1.0),))) == 0.0
+        q = Query((Predicate(0, 0.0, 50.0),))
+        assert guarded.estimate(q) == guarded.estimate(q)
+
+    def test_guarded_estimator_persists(self, small_synthetic, tmp_path):
+        from repro.estimators.traditional import PostgresEstimator
+        from repro.persistence import load_estimator, save_estimator
+        from repro.rules.enforce import LogicalGuard
+
+        guarded = LogicalGuard(PostgresEstimator()).fit(small_synthetic)
+        q = Query((Predicate(0, 0.0, 40.0),))
+        expected = guarded.estimate(q)
+        path = tmp_path / "guarded.repro"
+        save_estimator(guarded, path)
+        assert load_estimator(path).estimate(q) == pytest.approx(expected)
+
+
+class TestWorkloadDeterminismAcrossProcesses:
+    def test_same_seed_same_labels(self, small_census):
+        a = generate_workload(small_census, 25, np.random.default_rng(123))
+        b = generate_workload(small_census, 25, np.random.default_rng(123))
+        np.testing.assert_array_equal(a.cardinalities, b.cardinalities)
+
+    def test_different_seed_different_queries(self, small_census):
+        a = generate_workload(small_census, 25, np.random.default_rng(1))
+        b = generate_workload(small_census, 25, np.random.default_rng(2))
+        assert a.queries != b.queries

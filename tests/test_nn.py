@@ -1,0 +1,257 @@
+"""Tests for the neural substrate: numeric gradient checks, masks, Adam."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    MaskedLinear,
+    ReLU,
+    ResMade,
+    SGD,
+    Sequential,
+    mse_loss,
+    qerror_loss,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradient_check_weight(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return float(np.sum((layer.forward(x) - target) ** 2))
+
+        layer.zero_grad()
+        diff = layer.forward(x) - target
+        layer.backward(2 * diff)
+        numeric = numeric_gradient(loss, layer.weight.value)
+        np.testing.assert_allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_gradient_check_input(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 2))
+        diff = layer.forward(x) - target
+        grad_in = layer.backward(2 * diff)
+
+        def loss():
+            return float(np.sum((layer.forward(x) - target) ** 2))
+
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-5)
+
+
+class TestMaskedLinear:
+    def test_mask_zeroes_connections(self, rng):
+        mask = np.array([[1.0, 0.0], [0.0, 1.0]])
+        layer = MaskedLinear(2, 2, mask, rng)
+        x = np.array([[1.0, 0.0]])
+        out = layer.forward(x)
+        # Second output must not see the first input.
+        assert out[0, 1] == pytest.approx(layer.bias.value[1])
+
+    def test_masked_weights_never_update(self, rng):
+        mask = np.array([[1.0, 0.0], [1.0, 1.0]])
+        layer = MaskedLinear(2, 2, mask, rng)
+        opt = SGD(layer.parameters(), 0.1)
+        for _ in range(3):
+            out = layer.forward(np.ones((4, 2)))
+            layer.zero_grad()
+            layer.backward(np.ones_like(out))
+            opt.step()
+        assert layer.weight.value[0, 1] * mask[0, 1] == 0.0
+        assert (layer.weight.grad * (1 - mask) == 0.0).all()
+
+    def test_mask_shape_validated(self, rng):
+        with pytest.raises(ValueError):
+            MaskedLinear(2, 3, np.ones((2, 2)), rng)
+
+
+class TestSequentialAndReLU:
+    def test_relu(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_mlp_gradient_check(self, rng):
+        model = Sequential(Linear(3, 5, rng), ReLU(), Linear(5, 1, rng))
+        x = rng.normal(size=(6, 3))
+        y = rng.normal(size=(6, 1))
+
+        def loss():
+            return float(np.sum((model.forward(x) - y) ** 2))
+
+        model.zero_grad()
+        model.backward(2 * (model.forward(x) - y))
+        for p in model.parameters():
+            numeric = numeric_gradient(loss, p.value)
+            np.testing.assert_allclose(p.grad, numeric, atol=1e-4)
+
+    def test_mlp_learns_linear_function(self, rng):
+        model = Sequential(Linear(2, 16, rng), ReLU(), Linear(16, 1, rng))
+        opt = Adam(model.parameters(), 1e-2)
+        x = rng.normal(size=(256, 2))
+        y = (2 * x[:, :1] - 3 * x[:, 1:]) + 1.0
+        for _ in range(500):
+            pred = model.forward(x)
+            loss, grad = mse_loss(pred, y)
+            model.zero_grad()
+            model.backward(grad)
+            opt.step()
+        assert loss < 0.05
+
+
+class TestLosses:
+    def test_mse_gradient(self, rng):
+        pred = rng.normal(size=10)
+        target = rng.normal(size=10)
+        loss, grad = mse_loss(pred, target)
+        assert loss == pytest.approx(np.mean((pred - target) ** 2))
+        np.testing.assert_allclose(grad, 2 * (pred - target) / 10)
+
+    def test_qerror_loss_at_truth(self):
+        loss, grad = qerror_loss(np.array([3.0]), np.array([3.0]))
+        assert loss == pytest.approx(1.0)
+        np.testing.assert_array_equal(grad, [0.0])
+
+    def test_qerror_loss_value(self):
+        # est = e^2, act = e^0 -> qerror = e^2
+        loss, _ = qerror_loss(np.array([2.0]), np.array([0.0]))
+        assert loss == pytest.approx(np.exp(2.0))
+
+    def test_qerror_loss_clipped(self):
+        loss, grad = qerror_loss(np.array([100.0]), np.array([0.0]), clip=5.0)
+        assert loss == pytest.approx(np.exp(5.0))
+        assert np.isfinite(grad).all()
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(4, 7)) * 50)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+        assert (probs >= 0).all()
+
+    def test_cross_entropy_gradient_check(self, rng):
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([0, 2, 3])
+
+        def loss():
+            return softmax_cross_entropy(logits, targets)[0]
+
+        _, grad = softmax_cross_entropy(logits, targets)
+        numeric = numeric_gradient(loss, logits)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+
+class TestOptimizers:
+    def test_adam_converges_on_quadratic(self, rng):
+        layer = Linear(1, 1, rng)
+        opt = Adam(layer.parameters(), 0.05)
+        x = np.array([[1.0]])
+        for _ in range(200):
+            out = layer.forward(x)
+            layer.zero_grad()
+            layer.backward(2 * (out - 7.0))
+            opt.step()
+        assert layer.forward(x)[0, 0] == pytest.approx(7.0, abs=1e-2)
+
+    def test_learning_rate_validated(self, rng):
+        layer = Linear(1, 1, rng)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), 0.0)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), -1.0)
+
+
+class TestResMade:
+    def test_autoregressive_property(self, rng):
+        """Output logits for column i must not depend on columns >= i."""
+        cards = [3, 4, 2]
+        model = ResMade(cards, hidden_units=16, hidden_layers=3, rng=rng)
+        base = np.array([[0, 1, 0]])
+        x0 = model.encode(base)
+        for col in range(3):
+            # Perturb a later column; logits for `col` must not move.
+            for later in range(col, 3):
+                for new_val in range(cards[later]):
+                    row = base.copy()
+                    row[0, later] = new_val
+                    x1 = model.encode(row)
+                    l0 = model.column_logits(model.forward(x0), col)
+                    l1 = model.column_logits(model.forward(x1), col)
+                    np.testing.assert_allclose(l0, l1, atol=1e-12)
+
+    def test_encode_one_hot(self, rng):
+        model = ResMade([2, 3], 8, 2, rng)
+        enc = model.encode(np.array([[1, 2]]))
+        np.testing.assert_array_equal(enc, [[0, 1, 0, 0, 1]])
+
+    def test_encode_rejects_out_of_range(self, rng):
+        model = ResMade([2, 3], 8, 2, rng)
+        with pytest.raises(ValueError):
+            model.encode(np.array([[2, 0]]))
+
+    def test_distributions_sum_to_one(self, rng):
+        model = ResMade([3, 4], 8, 2, rng)
+        x = model.encode(np.array([[0, 0], [2, 3]]))
+        logits = model.forward(x)
+        for col in range(2):
+            dist = model.column_distribution(logits, col)
+            np.testing.assert_allclose(dist.sum(axis=1), [1.0, 1.0])
+
+    def test_nll_training_learns_marginal(self, rng):
+        """A single-column MADE should learn the empirical distribution."""
+        data = rng.choice(3, size=(600, 1), p=[0.7, 0.2, 0.1])
+        model = ResMade([3], hidden_units=8, hidden_layers=2, rng=rng)
+        opt = Adam(model.parameters(), 2e-2)
+        for _ in range(300):
+            loss, grad = model.nll_step(data)
+            model.zero_grad()
+            model.backward(grad)
+            opt.step()
+        dist = model.column_distribution(
+            model.forward(model.encode(np.array([[0]]))), 0
+        )[0]
+        empirical = np.bincount(data[:, 0], minlength=3) / len(data)
+        np.testing.assert_allclose(dist, empirical, atol=0.05)
+
+    def test_nll_decreases(self, rng):
+        data = rng.integers(0, 4, size=(400, 3))
+        model = ResMade([4, 4, 4], 16, 2, rng)
+        opt = Adam(model.parameters(), 1e-2)
+        losses = []
+        for _ in range(30):
+            loss, grad = model.nll_step(data)
+            model.zero_grad()
+            model.backward(grad)
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0]

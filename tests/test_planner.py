@@ -1,0 +1,88 @@
+"""Tests for the plan-quality substrate (cost model, plan regret)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate, Query
+from repro.planner import AccessPath, CostModel, SingleTablePlanner
+
+
+class TestCostModel:
+    def test_seq_scan_cost_independent_of_matches(self):
+        model = CostModel()
+        a = model.cost(AccessPath.SEQUENTIAL_SCAN, 1, 100_000)
+        b = model.cost(AccessPath.SEQUENTIAL_SCAN, 99_999, 100_000)
+        assert a == b
+
+    def test_index_scan_scales_with_matches(self):
+        model = CostModel()
+        few = model.cost(AccessPath.INDEX_SCAN, 10, 100_000)
+        many = model.cost(AccessPath.INDEX_SCAN, 10_000, 100_000)
+        assert many > few * 100
+
+    def test_index_beats_seq_for_selective_queries(self):
+        model = CostModel()
+        rows = 100_000
+        assert model.cost(AccessPath.INDEX_SCAN, 5, rows) < model.cost(
+            AccessPath.SEQUENTIAL_SCAN, 5, rows
+        )
+
+    def test_seq_beats_index_for_broad_queries(self):
+        model = CostModel()
+        rows = 100_000
+        assert model.cost(AccessPath.SEQUENTIAL_SCAN, rows, rows) < model.cost(
+            AccessPath.INDEX_SCAN, rows, rows
+        )
+
+    def test_matches_clamped(self):
+        model = CostModel()
+        assert model.cost(AccessPath.INDEX_SCAN, -5, 1000) == model.cost(
+            AccessPath.INDEX_SCAN, 0, 1000
+        )
+        assert model.cost(AccessPath.INDEX_SCAN, 1e9, 1000) == model.cost(
+            AccessPath.INDEX_SCAN, 1000, 1000
+        )
+
+
+class TestPlanner:
+    @pytest.fixture
+    def planner(self, small_synthetic):
+        return SingleTablePlanner(small_synthetic)
+
+    @pytest.fixture
+    def query(self):
+        return Query((Predicate(0, 0.0, 10.0),))
+
+    def test_selective_query_gets_index(self, planner, query):
+        choice = planner.choose(query, estimated_rows=3)
+        assert choice.path is AccessPath.INDEX_SCAN
+
+    def test_broad_query_gets_seq_scan(self, planner, query, small_synthetic):
+        choice = planner.choose(query, estimated_rows=small_synthetic.num_rows)
+        assert choice.path is AccessPath.SEQUENTIAL_SCAN
+
+    def test_perfect_estimate_no_regret(self, planner, query):
+        for actual in (1.0, 100.0, 3000.0):
+            assert planner.regret(query, actual, actual) == pytest.approx(1.0)
+
+    def test_underestimate_causes_regret(self, planner, query, small_synthetic):
+        """Believing 1 row matches when most of the table does forces an
+        index scan where a sequential scan was right."""
+        actual = float(small_synthetic.num_rows)
+        regret = planner.regret(query, estimated_rows=1.0, actual_rows=actual)
+        assert regret > 5.0
+
+    def test_regret_at_least_one(self, planner, query, rng):
+        for _ in range(50):
+            est = float(rng.uniform(0, 4000))
+            act = float(rng.uniform(0, 4000))
+            assert planner.regret(query, est, act) >= 1.0 - 1e-9
+
+    def test_regret_grows_with_qerror_on_average(self, planner, query, rng):
+        """The Moerkotte link: larger q-errors mean larger average regret."""
+        actual = 2000.0
+        small_err = [planner.regret(query, actual * f, actual)
+                     for f in (0.5, 0.8, 1.25, 2.0)]
+        large_err = [planner.regret(query, actual * f, actual)
+                     for f in (1e-3, 0.01, 100.0, 1000.0)]
+        assert np.mean(large_err) >= np.mean(small_err)

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import Predicate, Query, Table, qerror, qerrors
+from repro.core.metrics import QErrorSummary, top_fraction
+from repro.estimators.discretize import ColumnDiscretizer
+from repro.estimators.traditional.histograms import EquiDepthHistogram
+from repro.gbdt import FeatureBinner
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+positive = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+values_1d = hnp.arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=300),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+class TestQErrorProperties:
+    @COMMON
+    @given(positive, positive)
+    def test_symmetry(self, a, b):
+        assert qerror(a, b) == pytest.approx(qerror(b, a))
+
+    @COMMON
+    @given(positive, positive)
+    def test_at_least_one(self, a, b):
+        assert qerror(a, b) >= 1.0
+
+    @COMMON
+    @given(positive)
+    def test_identity(self, a):
+        assert qerror(a, a) == 1.0
+
+    @COMMON
+    @given(st.floats(min_value=1.0, max_value=1e6),
+           st.floats(min_value=1.0, max_value=1e3))
+    def test_scaling(self, actual, factor):
+        """Overestimating by a factor f gives q-error exactly f."""
+        assert qerror(actual * factor, actual) == pytest.approx(factor)
+
+    @COMMON
+    @given(hnp.arrays(np.float64, st.integers(2, 50),
+                      elements=st.floats(0, 1e9, allow_nan=False)))
+    def test_summary_ordering(self, errors):
+        errors = np.maximum(errors, 1.0)
+        s = QErrorSummary.from_errors(errors)
+        assert s.p50 <= s.p95 <= s.p99 <= s.max
+
+    @COMMON
+    @given(hnp.arrays(np.float64, st.integers(5, 100),
+                      elements=st.floats(1, 1e6, allow_nan=False)),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_top_fraction_contains_max(self, errors, fraction):
+        top = top_fraction(errors, fraction)
+        assert top.max() == errors.max()
+        assert len(top) <= len(errors)
+
+
+class TestTableQueryProperties:
+    @COMMON
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 80), st.integers(1, 4)),
+                   elements=st.floats(-100, 100, allow_nan=False)),
+        st.data(),
+    )
+    def test_cardinality_matches_bruteforce(self, data, draw):
+        table = Table("h", data)
+        col = draw.draw(st.integers(0, table.num_columns - 1))
+        lo = draw.draw(st.floats(-120, 120, allow_nan=False))
+        hi = draw.draw(st.floats(-120, 120, allow_nan=False))
+        q = Query((Predicate(col, lo, hi),))
+        expected = int(np.sum((data[:, col] >= lo) & (data[:, col] <= hi)))
+        assert table.cardinality(q) == expected
+
+    @COMMON
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(2, 60), st.integers(2, 4)),
+                   elements=st.floats(-50, 50, allow_nan=False)),
+        st.data(),
+    )
+    def test_conjunction_monotone(self, data, draw):
+        """Adding a predicate can only shrink the result."""
+        table = Table("h", data)
+        col_a = 0
+        col_b = draw.draw(st.integers(1, table.num_columns - 1))
+        p_a = Predicate(col_a, -10.0, 10.0)
+        p_b = Predicate(col_b, draw.draw(st.floats(-60, 60)), None)
+        single = table.cardinality(Query((p_a,)))
+        double = table.cardinality(Query((p_a, p_b)))
+        assert double <= single
+
+    @COMMON
+    @given(values_1d)
+    def test_full_domain_query_selects_everything(self, values):
+        table = Table("h", values[:, None])
+        col = table.columns[0]
+        q = Query((Predicate(0, col.domain_min, col.domain_max),))
+        assert table.cardinality(q) == table.num_rows
+
+
+class TestHistogramProperties:
+    @COMMON
+    @given(values_1d, st.integers(2, 40))
+    def test_range_fraction_bounds(self, values, buckets):
+        hist = EquiDepthHistogram(values, buckets)
+        lo, hi = np.percentile(values, [20, 70])
+        frac = hist.range_fraction(lo, hi)
+        assert 0.0 <= frac <= 1.0
+
+    @COMMON
+    @given(values_1d, st.integers(2, 40))
+    def test_full_range_is_total(self, values, buckets):
+        hist = EquiDepthHistogram(values, buckets)
+        assert hist.range_fraction(None, None) == pytest.approx(1.0)
+
+    @COMMON
+    @given(values_1d, st.integers(2, 40), st.data())
+    def test_monotone_in_range_width(self, values, buckets, draw):
+        hist = EquiDepthHistogram(values, buckets)
+        lo = draw.draw(st.floats(-1e6, 1e6, allow_nan=False))
+        width_a = draw.draw(st.floats(0, 1e5, allow_nan=False))
+        width_b = draw.draw(st.floats(0, 1e5, allow_nan=False))
+        small, large = sorted([width_a, width_b])
+        assert hist.range_fraction(lo, lo + small) <= hist.range_fraction(
+            lo, lo + large
+        ) + 1e-9
+
+
+class TestDiscretizerProperties:
+    @COMMON
+    @given(values_1d, st.integers(2, 32))
+    def test_transform_in_range(self, values, max_bins):
+        disc = ColumnDiscretizer(values, max_bins)
+        bins = disc.transform(values)
+        assert bins.min() >= 0
+        assert bins.max() < disc.num_bins
+
+    @COMMON
+    @given(values_1d, st.integers(2, 32), st.data())
+    def test_weights_unit_interval(self, values, max_bins, draw):
+        disc = ColumnDiscretizer(values, max_bins)
+        lo = draw.draw(st.floats(-1e6, 1e6, allow_nan=False))
+        hi = draw.draw(st.floats(-1e6, 1e6, allow_nan=False))
+        w = disc.predicate_weights(Predicate(0, lo, hi))
+        assert (w >= 0.0).all() and (w <= 1.0 + 1e-12).all()
+
+    @COMMON
+    @given(values_1d, st.integers(2, 32))
+    def test_full_domain_weights_cover_data(self, values, max_bins):
+        """counts @ weights over the full domain equals the row count."""
+        disc = ColumnDiscretizer(values, max_bins)
+        counts = np.bincount(disc.transform(values), minlength=disc.num_bins)
+        w = disc.predicate_weights(
+            Predicate(0, float(values.min()), float(values.max()))
+        )
+        assert counts @ w == pytest.approx(len(values))
+
+
+class TestBinnerProperties:
+    @COMMON
+    @given(values_1d)
+    def test_binning_preserves_order(self, values):
+        binner = FeatureBinner(max_bins=16).fit(values[:, None])
+        ordered = np.sort(values)
+        bins = binner.transform(ordered[:, None])[:, 0]
+        assert (np.diff(bins) >= 0).all()
+
+    @COMMON
+    @given(values_1d)
+    def test_equal_values_equal_bins(self, values):
+        doubled = np.concatenate([values, values])
+        binner = FeatureBinner(max_bins=16).fit(doubled[:, None])
+        bins = binner.transform(doubled[:, None])[:, 0]
+        assert (bins[: len(values)] == bins[len(values):]).all()

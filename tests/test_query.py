@@ -1,0 +1,70 @@
+"""Tests for predicates and conjunctive queries."""
+
+import pytest
+
+from repro.core import Predicate, Query, closed_range, equality, query_of
+
+
+class TestPredicate:
+    def test_requires_one_bound(self):
+        with pytest.raises(ValueError):
+            Predicate(0, None, None)
+
+    def test_equality_detection(self):
+        assert Predicate(0, 5, 5).is_equality
+        assert not Predicate(0, 5, 6).is_equality
+        assert not Predicate(0, None, 5).is_equality
+
+    def test_open_detection(self):
+        assert Predicate(0, None, 5).is_open
+        assert Predicate(0, 5, None).is_open
+        assert not Predicate(0, 1, 5).is_open
+
+    def test_empty_detection(self):
+        assert Predicate(0, 10, 1).is_empty
+        assert not Predicate(0, 1, 10).is_empty
+        assert not Predicate(0, None, 10).is_empty
+
+    def test_contains(self):
+        outer = Predicate(0, 0, 10)
+        assert outer.contains(Predicate(0, 2, 8))
+        assert outer.contains(Predicate(0, 0, 10))
+        assert not outer.contains(Predicate(0, -1, 5))
+        assert not outer.contains(Predicate(1, 2, 8))
+        assert not outer.contains(Predicate(0, 2, None))
+
+    def test_render_forms(self):
+        assert Predicate(0, 5, 5).render("a") == "a = 5"
+        assert Predicate(0, None, 5).render("a") == "a <= 5"
+        assert Predicate(0, 5, None).render("a") == "a >= 5"
+        assert Predicate(0, 1, 5).render("a") == "1 <= a <= 5"
+
+
+class TestQuery:
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError, match="at most one predicate"):
+            Query((Predicate(0, 1, 2), Predicate(0, 3, 4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Query(())
+
+    def test_columns_and_lookup(self):
+        q = query_of(closed_range(2, 1, 5), equality(0, 3))
+        assert q.num_predicates == 2
+        assert set(q.columns) == {0, 2}
+        assert q.predicate_on(2) == Predicate(2, 1, 5)
+        assert q.predicate_on(1) is None
+
+    def test_replace(self):
+        q = query_of(closed_range(0, 1, 5), equality(1, 3))
+        q2 = q.replace(0, closed_range(0, 2, 4))
+        assert q2.predicate_on(0) == Predicate(0, 2, 4)
+        assert q2.predicate_on(1) == Predicate(1, 3, 3)
+        # original untouched
+        assert q.predicate_on(0) == Predicate(0, 1, 5)
+
+    def test_to_sql(self, tiny_table):
+        q = query_of(closed_range(0, 1, 3), equality(2, 1))
+        sql = q.to_sql(tiny_table)
+        assert sql == "SELECT COUNT(*) FROM tiny WHERE 1 <= a <= 3 AND c = 1"

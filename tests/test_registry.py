@@ -1,0 +1,71 @@
+"""Tests for the estimator registry and scale presets."""
+
+import pytest
+
+from repro import (
+    LEARNED_NAMES,
+    TRADITIONAL_NAMES,
+    Scale,
+    estimator_names,
+    make_estimator,
+    make_learned,
+    make_traditional,
+)
+
+
+class TestScale:
+    def test_presets_exist(self):
+        for name in ("ci", "default", "paper"):
+            scale = Scale.from_name(name)
+            assert scale.name == name
+
+    def test_preset_ordering(self):
+        ci, default, paper = Scale.ci(), Scale.default(), Scale.paper()
+        assert ci.train_queries < default.train_queries < paper.train_queries
+        assert ci.nn_epochs < default.nn_epochs < paper.nn_epochs
+        assert ci.synthetic_rows < default.synthetic_rows < paper.synthetic_rows
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            Scale.from_name("huge")
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert Scale.from_environment().name == "ci"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert Scale.from_environment("paper").name == "paper"
+
+
+class TestRegistry:
+    def test_thirteen_estimators(self):
+        assert len(estimator_names()) == 13
+        assert len(TRADITIONAL_NAMES) == 8
+        assert len(LEARNED_NAMES) == 5
+
+    def test_every_name_constructs(self):
+        for name in estimator_names():
+            est = make_estimator(name, Scale.ci())
+            assert est.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            make_estimator("oracle")
+
+    def test_group_constructors(self):
+        assert [e.name for e in make_traditional(Scale.ci())] == TRADITIONAL_NAMES
+        assert [e.name for e in make_learned(Scale.ci())] == LEARNED_NAMES
+
+    def test_scale_affects_epochs(self):
+        small = make_estimator("naru", Scale.ci())
+        large = make_estimator("naru", Scale.paper())
+        assert small.epochs < large.epochs
+
+    def test_query_driven_flags(self):
+        flags = {
+            name: make_estimator(name, Scale.ci()).requires_workload
+            for name in estimator_names()
+        }
+        assert flags["mscn"] and flags["lw-xgb"] and flags["lw-nn"]
+        assert flags["quicksel"] and flags["kde-fb"]
+        assert not flags["naru"] and not flags["deepdb"]
+        assert not flags["postgres"] and not flags["sampling"]

@@ -1,0 +1,140 @@
+"""Tests for the logical-rule checker (Section 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CardinalityEstimator, Predicate, Query
+from repro.rules import (
+    RuleReport,
+    check_all,
+    check_consistency,
+    check_fidelity_a,
+    check_fidelity_b,
+    check_monotonicity,
+    check_stability,
+)
+
+
+class OracleEstimator(CardinalityEstimator):
+    """Answers every query exactly — must satisfy every rule."""
+
+    name = "oracle"
+
+    def _fit(self, table, workload):
+        pass
+
+    def _estimate(self, query):
+        return float(self.table.cardinality(query))
+
+
+class ConstantEstimator(CardinalityEstimator):
+    """Always answers the same number — breaks both fidelity rules."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 500.0):
+        super().__init__()
+        self.value = value
+
+    def _fit(self, table, workload):
+        pass
+
+    def _estimate(self, query):
+        return self.value
+
+
+class NoisyEstimator(CardinalityEstimator):
+    """Random answers — breaks stability (and almost everything else)."""
+
+    name = "noisy"
+
+    def __init__(self):
+        super().__init__()
+        self._rng = np.random.default_rng(0)
+
+    def _fit(self, table, workload):
+        pass
+
+    def _estimate(self, query):
+        return float(self._rng.uniform(0, 1000))
+
+
+class AntiMonotoneEstimator(CardinalityEstimator):
+    """Estimates grow as ranges shrink — breaks monotonicity."""
+
+    name = "anti"
+
+    def _fit(self, table, workload):
+        pass
+
+    def _estimate(self, query):
+        width = sum(
+            (p.hi - p.lo) for p in query.predicates
+            if p.lo is not None and p.hi is not None
+        )
+        return 1e6 / (1.0 + width)
+
+
+class TestOracleSatisfiesEverything:
+    def test_all_rules(self, small_synthetic, rng):
+        est = OracleEstimator().fit(small_synthetic)
+        reports = check_all(est, small_synthetic, rng, num_checks=25)
+        assert all(r.satisfied for r in reports.values())
+
+
+class TestViolationsDetected:
+    def test_constant_breaks_fidelity(self, small_synthetic, rng):
+        est = ConstantEstimator().fit(small_synthetic)
+        assert not check_fidelity_a(est, small_synthetic).satisfied
+        assert not check_fidelity_b(est, small_synthetic, rng).satisfied
+
+    def test_constant_satisfies_monotonicity(self, small_synthetic, rng):
+        est = ConstantEstimator().fit(small_synthetic)
+        assert check_monotonicity(est, small_synthetic, rng, 20).satisfied
+
+    def test_noisy_breaks_stability(self, small_synthetic, rng):
+        est = NoisyEstimator().fit(small_synthetic)
+        assert not check_stability(est, small_synthetic, rng).satisfied
+
+    def test_anti_monotone_detected(self, small_synthetic, rng):
+        est = AntiMonotoneEstimator().fit(small_synthetic)
+        assert not check_monotonicity(est, small_synthetic, rng, 20).satisfied
+
+    def test_constant_breaks_consistency(self, small_synthetic, rng):
+        # est(q) = 500 but est(q1) + est(q2) = 1000.
+        est = ConstantEstimator().fit(small_synthetic)
+        assert not check_consistency(est, small_synthetic, rng, 20).satisfied
+
+
+class TestRuleReport:
+    def test_rates(self):
+        report = RuleReport("monotonicity", checks=10, violations=3)
+        assert report.violation_rate == pytest.approx(0.3)
+        assert not report.satisfied
+        assert "x" in str(report)
+
+    def test_zero_checks(self):
+        report = RuleReport("stability", checks=0, violations=0)
+        assert report.violation_rate == 0.0
+        assert report.satisfied
+
+
+class TestPaperTable6Shape:
+    """The headline result: DeepDB satisfies all rules; Naru is unstable."""
+
+    def test_deepdb_column(self, small_synthetic, rng):
+        from repro.estimators.learned import DeepDbEstimator
+
+        est = DeepDbEstimator().fit(small_synthetic)
+        reports = check_all(est, small_synthetic, rng, num_checks=20)
+        assert all(r.satisfied for r in reports.values())
+
+    def test_naru_stability_violated(self, small_synthetic, rng):
+        from repro.estimators.learned import NaruEstimator
+
+        est = NaruEstimator(epochs=2, num_samples=32).fit(small_synthetic)
+        reports = check_all(est, small_synthetic, rng, num_checks=15)
+        assert not reports["stability"].satisfied
+        # Naru's fidelity rules hold natively (paper Table 6).
+        assert reports["fidelity-a"].satisfied
+        assert reports["fidelity-b"].satisfied

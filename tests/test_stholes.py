@@ -1,0 +1,89 @@
+"""Tests for the STHoles query-driven histogram."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate, Query, qerrors
+from repro.estimators.traditional import QuickSelEstimator, StHolesEstimator
+
+
+class TestStHoles:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_synthetic, synthetic_workloads):
+        train, _ = synthetic_workloads
+        return StHolesEstimator(max_buckets=300).fit(small_synthetic, train)
+
+    def test_requires_workload(self, small_synthetic):
+        with pytest.raises(ValueError):
+            StHolesEstimator().fit(small_synthetic)
+
+    def test_bucket_budget_respected(self, fitted):
+        assert fitted.num_buckets <= 300
+
+    def test_root_frequency_conserved(self, fitted, small_synthetic):
+        """Total frequency across buckets equals the table size."""
+        total = sum(b.frequency for b in fitted._root.walk())
+        assert total == pytest.approx(small_synthetic.num_rows, rel=1e-6)
+
+    def test_children_disjoint(self, fitted):
+        for bucket in fitted._root.walk():
+            kids = bucket.children
+            for i in range(len(kids)):
+                for j in range(i + 1, len(kids)):
+                    assert kids[i].intersect(kids[j].lows, kids[j].highs) is None
+
+    def test_full_domain_estimate(self, fitted, small_synthetic):
+        preds = tuple(
+            Predicate(i, c.domain_min, c.domain_max)
+            for i, c in enumerate(small_synthetic.columns)
+        )
+        est = fitted.estimate(Query(preds))
+        assert est == pytest.approx(small_synthetic.num_rows, rel=0.05)
+
+    def test_empty_predicate(self, fitted):
+        assert fitted.estimate(Query((Predicate(0, 90.0, 10.0),))) == 0.0
+
+    def test_beats_trivial_baseline(self, fitted, synthetic_workloads):
+        _, test = synthetic_workloads
+        errors = qerrors(
+            fitted.estimate_many(list(test.queries)), test.cardinalities
+        )
+        baseline = qerrors(np.ones(len(test)), test.cardinalities)
+        geo = lambda e: float(np.exp(np.log(e).mean()))
+        assert geo(errors) < geo(baseline)
+
+    def test_feedback_improves_over_root_only(
+        self, small_synthetic, synthetic_workloads
+    ):
+        """A refined histogram beats the single uniform root bucket."""
+        train, test = synthetic_workloads
+        refined = StHolesEstimator(max_buckets=300).fit(small_synthetic, train)
+        root_only = StHolesEstimator(max_buckets=1).fit(small_synthetic, train)
+        queries = list(test.queries)
+        geo = lambda est: float(
+            np.exp(
+                np.log(
+                    qerrors(est.estimate_many(queries), test.cardinalities)
+                ).mean()
+            )
+        )
+        assert geo(refined) < geo(root_only)
+
+    def test_quicksel_beats_stholes(
+        self, small_synthetic, synthetic_workloads
+    ):
+        """The claim the paper cites from QuickSel's evaluation."""
+        train, test = synthetic_workloads
+        stholes = StHolesEstimator().fit(small_synthetic, train)
+        quicksel = QuickSelEstimator(num_kernels=100).fit(small_synthetic, train)
+        queries = list(test.queries)
+        p95 = lambda est: float(
+            np.percentile(
+                qerrors(est.estimate_many(queries), test.cardinalities), 95
+            )
+        )
+        assert p95(quicksel) <= p95(stholes) * 1.5
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            StHolesEstimator(max_buckets=0)

@@ -1,0 +1,118 @@
+"""Tests for the Table substrate (exact query evaluation, metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate, Query, Table
+
+
+class TestConstruction:
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Table("bad", np.arange(5.0))
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            Table("bad", np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            Table("bad", np.array([[1.0, np.nan]]))
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValueError, match="column_names"):
+            Table("bad", np.ones((2, 2)), column_names=["only_one"])
+
+    def test_rejects_mismatched_categorical(self):
+        with pytest.raises(ValueError, match="categorical"):
+            Table("bad", np.ones((2, 2)), categorical=[True])
+
+    def test_default_column_names(self):
+        t = Table("t", np.ones((2, 3)))
+        assert t.column_names == ["col0", "col1", "col2"]
+
+    def test_shape_properties(self, tiny_table):
+        assert tiny_table.num_rows == 12
+        assert tiny_table.num_columns == 3
+        assert tiny_table.num_categorical == 1
+
+
+class TestColumnMetadata:
+    def test_distinct_values_sorted(self, tiny_table):
+        col = tiny_table.columns[0]
+        assert list(col.distinct_values) == [0, 1, 2, 3, 4, 5]
+        assert col.num_distinct == 6
+
+    def test_domain_bounds(self, tiny_table):
+        col = tiny_table.columns[1]
+        assert col.domain_min == 10
+        assert col.domain_max == 70
+        assert col.domain_size == 60
+
+    def test_column_index_lookup(self, tiny_table):
+        assert tiny_table.column_index("b") == 1
+        with pytest.raises(KeyError):
+            tiny_table.column_index("nope")
+
+    def test_log10_domain_product(self, tiny_table):
+        expected = np.log10(6) + np.log10(7) + np.log10(3)
+        assert tiny_table.log10_domain_product() == pytest.approx(expected)
+
+
+class TestQueryEvaluation:
+    def test_closed_range(self, tiny_table):
+        q = Query((Predicate(0, 1, 3),))
+        assert tiny_table.cardinality(q) == 6
+
+    def test_equality(self, tiny_table):
+        q = Query((Predicate(2, 1, 1),))
+        assert tiny_table.cardinality(q) == 4
+
+    def test_open_range_lower_only(self, tiny_table):
+        q = Query((Predicate(1, 50, None),))
+        assert tiny_table.cardinality(q) == 5
+
+    def test_open_range_upper_only(self, tiny_table):
+        q = Query((Predicate(1, None, 20),))
+        assert tiny_table.cardinality(q) == 3
+
+    def test_conjunction(self, tiny_table):
+        q = Query((Predicate(0, 0, 2), Predicate(2, 1, 1)))
+        assert tiny_table.cardinality(q) == 3
+
+    def test_empty_predicate_matches_nothing(self, tiny_table):
+        q = Query((Predicate(0, 3, 1),))
+        assert tiny_table.cardinality(q) == 0
+
+    def test_selectivity(self, tiny_table):
+        q = Query((Predicate(2, 2, 2),))
+        assert tiny_table.selectivity(q) == pytest.approx(4 / 12)
+
+    def test_cardinalities_batch(self, tiny_table):
+        qs = [Query((Predicate(0, 0, 0),)), Query((Predicate(0, 5, 5),))]
+        np.testing.assert_array_equal(tiny_table.cardinalities(qs), [2, 2])
+
+
+class TestDerivedTables:
+    def test_sample_size_and_metadata(self, tiny_table, rng):
+        s = tiny_table.sample(0.5, rng)
+        assert s.num_rows == 6
+        assert s.column_names == tiny_table.column_names
+        assert [c.is_categorical for c in s.columns] == [False, False, True]
+
+    def test_sample_fraction_validation(self, tiny_table, rng):
+        with pytest.raises(ValueError):
+            tiny_table.sample(0.0, rng)
+        with pytest.raises(ValueError):
+            tiny_table.sample(1.5, rng)
+
+    def test_append_rows(self, tiny_table):
+        new = tiny_table.append_rows(np.array([[9.0, 99.0, 9.0]]))
+        assert new.num_rows == 13
+        assert new.columns[0].domain_max == 9.0
+        # original untouched
+        assert tiny_table.num_rows == 12
+
+    def test_append_rejects_wrong_width(self, tiny_table):
+        with pytest.raises(ValueError):
+            tiny_table.append_rows(np.ones((2, 2)))

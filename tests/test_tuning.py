@@ -1,0 +1,159 @@
+"""Tests for the hyper-parameter search strategies (Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.learned import LwXgbEstimator
+from repro.tuning import (
+    SearchSpace,
+    grid_search,
+    random_search,
+    successive_halving,
+    validation_score,
+)
+
+
+def _lw_builder(config):
+    return LwXgbEstimator(
+        num_trees=int(config.get("num_trees", 16)),
+        max_depth=int(config.get("max_depth", 4)),
+    )
+
+
+@pytest.fixture(scope="module")
+def tuning_setting(small_synthetic, synthetic_workloads):
+    train, test = synthetic_workloads
+    valid, holdout = test.split(60)
+    return small_synthetic, train, valid
+
+
+class TestSearchSpace:
+    def test_grid_size(self):
+        space = SearchSpace({"a": [1, 2], "b": [10, 20, 30]})
+        assert space.size == 6
+        assert len(space.grid()) == 6
+
+    def test_grid_covers_combinations(self):
+        space = SearchSpace({"a": [1, 2], "b": ["x"]})
+        assert {tuple(sorted(c.items())) for c in space.grid()} == {
+            (("a", 1), ("b", "x")),
+            (("a", 2), ("b", "x")),
+        }
+
+    def test_sample_in_space(self, rng):
+        space = SearchSpace({"a": [1, 2, 3]})
+        for _ in range(10):
+            assert space.sample(rng)["a"] in (1, 2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})
+        with pytest.raises(ValueError):
+            SearchSpace({"a": []})
+
+
+class TestValidationScore:
+    def test_perfect_oracle_scores_one(self, small_synthetic, synthetic_workloads):
+        from repro.core import CardinalityEstimator
+
+        class Oracle(CardinalityEstimator):
+            name = "oracle"
+
+            def _fit(self, table, workload):
+                pass
+
+            def _estimate(self, query):
+                return float(self.table.cardinality(query))
+
+        _, test = synthetic_workloads
+        est = Oracle().fit(small_synthetic)
+        assert validation_score(est, test) == pytest.approx(1.0)
+
+
+class TestGridSearch:
+    def test_finds_best_of_grid(self, tuning_setting):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [2, 32], "max_depth": [2, 5]})
+        result = grid_search(_lw_builder, space, table, train, valid)
+        assert len(result.trials) == 4
+        assert result.best_score == min(t.score for t in result.trials)
+        # More capacity should win over the tiny configuration.
+        assert result.best_config["num_trees"] == 32
+
+    def test_max_trials_truncates(self, tuning_setting):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [2, 8, 32]})
+        result = grid_search(_lw_builder, space, table, train, valid, max_trials=2)
+        assert len(result.trials) == 2
+
+    def test_table5_metric(self, tuning_setting):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [1, 64]})
+        result = grid_search(_lw_builder, space, table, train, valid)
+        assert result.worst_best_ratio >= 1.0
+        assert result.total_fit_seconds > 0.0
+
+
+class TestRandomSearch:
+    def test_runs_requested_trials(self, tuning_setting, rng):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [2, 8, 16, 32], "max_depth": [2, 4, 6]})
+        result = random_search(
+            _lw_builder, space, table, train, valid, num_trials=3, rng=rng
+        )
+        assert len(result.trials) == 3
+        assert result.best_estimator is not None
+
+    def test_invalid_trials(self, tuning_setting, rng):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [2]})
+        with pytest.raises(ValueError):
+            random_search(_lw_builder, space, table, train, valid, 0, rng)
+
+
+class TestSuccessiveHalving:
+    def test_halves_down_to_one(self, tuning_setting, rng):
+        table, train, valid = tuning_setting
+
+        def builder(config):
+            from repro.estimators.learned import LwNnEstimator
+
+            return LwNnEstimator(
+                hidden_units=config["hidden_units"],
+                epochs=int(config["epochs"]),
+            )
+
+        space = SearchSpace({"hidden_units": [(8,), (16,), (32, 32), (64,)]})
+        result = successive_halving(
+            builder, space, table, train, valid, rng,
+            num_configs=4, eta=2, min_epochs=1, max_epochs=4,
+        )
+        # Rung sizes 4 + 2 + 1 = 7 trials.
+        assert len(result.trials) == 7
+        assert result.best_config["epochs"] >= 1
+
+    def test_budget_grows_by_eta(self, tuning_setting, rng):
+        table, train, valid = tuning_setting
+
+        def builder(config):
+            return LwXgbEstimator(num_trees=int(config["epochs"]))
+
+        space = SearchSpace({"max_depth": [2, 3, 4, 5]})
+        result = successive_halving(
+            builder, space, table, train, valid, rng,
+            num_configs=4, eta=2, min_epochs=2, max_epochs=8,
+        )
+        budgets = sorted({t.config["epochs"] for t in result.trials})
+        assert budgets == [2, 4, 8]
+
+    def test_validation(self, tuning_setting, rng):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"a": [1]})
+        with pytest.raises(ValueError):
+            successive_halving(
+                _lw_builder, space, table, train, valid, rng, num_configs=1
+            )
+        with pytest.raises(ValueError):
+            successive_halving(
+                _lw_builder, space, table, train, valid, rng, eta=1
+            )

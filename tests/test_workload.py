@@ -1,0 +1,98 @@
+"""Tests for the unified workload generator (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkloadConfig, WorkloadGenerator, generate_workload
+
+
+class TestConfig:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(ood_probability=1.5)
+
+    def test_rejects_zero_predicates(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_predicates=0)
+
+    def test_min_above_columns_rejected(self, tiny_table):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(tiny_table, WorkloadConfig(min_predicates=10))
+
+
+class TestGeneratedQueries:
+    def test_predicate_count_range(self, small_census, rng):
+        gen = WorkloadGenerator(small_census)
+        for _ in range(50):
+            q = gen.generate_query(rng)
+            assert 1 <= q.num_predicates <= small_census.num_columns
+
+    def test_distinct_columns(self, small_census, rng):
+        gen = WorkloadGenerator(small_census)
+        q = gen.generate_query(rng)
+        assert len(set(q.columns)) == q.num_predicates
+
+    def test_categorical_columns_get_equality(self, small_census, rng):
+        gen = WorkloadGenerator(small_census)
+        for _ in range(100):
+            q = gen.generate_query(rng)
+            for p in q.predicates:
+                if small_census.columns[p.column].is_categorical:
+                    assert p.is_equality
+
+    def test_data_centered_queries_nonempty(self, small_census, rng):
+        """With OOD disabled, the center tuple always satisfies the query."""
+        gen = WorkloadGenerator(small_census, WorkloadConfig(ood_probability=0.0))
+        wl = gen.generate(60, rng)
+        assert (wl.cardinalities >= 1).all()
+
+    def test_ood_only_queries_can_be_empty(self, small_synthetic, rng):
+        gen = WorkloadGenerator(
+            small_synthetic, WorkloadConfig(ood_probability=1.0)
+        )
+        wl = gen.generate(200, rng)
+        # OOD centers on correlated data produce some empty queries.
+        assert (wl.cardinalities == 0).any()
+
+    def test_bounds_stay_inside_or_open(self, small_census, rng):
+        gen = WorkloadGenerator(small_census)
+        for _ in range(100):
+            q = gen.generate_query(rng)
+            for p in q.predicates:
+                col = small_census.columns[p.column]
+                if p.lo is not None:
+                    assert p.lo >= col.domain_min - col.domain_size
+                if p.hi is not None:
+                    assert p.hi <= col.domain_max + col.domain_size
+
+
+class TestWorkloadContainer:
+    def test_labels_match_table(self, small_census, rng):
+        wl = generate_workload(small_census, 30, rng)
+        recomputed = small_census.cardinalities(list(wl.queries))
+        np.testing.assert_array_equal(wl.cardinalities, recomputed)
+
+    def test_selectivities(self, small_census, rng):
+        wl = generate_workload(small_census, 10, rng)
+        np.testing.assert_allclose(
+            wl.selectivities(small_census) * small_census.num_rows,
+            wl.cardinalities,
+        )
+
+    def test_split(self, small_census, rng):
+        wl = generate_workload(small_census, 20, rng)
+        head, tail = wl.split(5)
+        assert len(head) == 5 and len(tail) == 15
+        assert head.queries == wl.queries[:5]
+
+    def test_split_bounds(self, small_census, rng):
+        wl = generate_workload(small_census, 5, rng)
+        with pytest.raises(ValueError):
+            wl.split(0)
+        with pytest.raises(ValueError):
+            wl.split(5)
+
+    def test_determinism(self, small_census):
+        a = generate_workload(small_census, 20, np.random.default_rng(5))
+        b = generate_workload(small_census, 20, np.random.default_rng(5))
+        assert a.queries == b.queries
