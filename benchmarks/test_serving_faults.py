@@ -1,0 +1,57 @@
+"""Serving under faults: availability and degradation of the fallback
+chain while the primary estimator misbehaves (see repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.serving_exp import (
+    default_scenarios,
+    format_serving,
+    run_scenario,
+    serving_experiment,
+)
+
+PRIMARY = "naru"
+
+
+@pytest.fixture(scope="module")
+def results(ctx, record_result):
+    out = serving_experiment(ctx, primary=PRIMARY)
+    record_result("serving_faults", format_serving(out, primary=PRIMARY))
+    return {r.scenario: r for r in out}
+
+
+def test_every_scenario_fully_available(results):
+    """The acceptance bar: whatever the fault, every query is answered
+    with a finite, in-bounds estimate."""
+    for r in results.values():
+        assert r.availability == 1.0, r.scenario
+
+
+def test_total_failure_trips_the_breaker(results):
+    for name in ("nan-storm", "exception-storm"):
+        r = results[name]
+        assert r.unguarded_availability == 0.0
+        assert r.primary_breaker == "open"
+        assert r.primary_trips >= 1
+        assert r.fallback_rate > 0.9
+
+
+def test_no_fault_baseline_stays_on_primary(results):
+    r = results["no-fault"]
+    assert r.fallback_rate == 0.0
+    assert r.primary_trips == 0
+
+
+def test_stale_model_degrades_accuracy_not_availability(results):
+    r = results["stale-model"]
+    assert r.availability == 1.0
+    # staleness is the quiet failure mode: finite answers, worse errors
+    assert r.primary_breaker == "closed"
+
+
+def test_serving_replay_benchmark(ctx, benchmark, results):
+    """Benchmark the no-fault serve hot path (chain + breaker overhead)."""
+    scenario = default_scenarios()[0]
+    result = benchmark(lambda: run_scenario(ctx, scenario, primary="sampling"))
+    assert result.availability == 1.0

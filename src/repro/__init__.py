@@ -26,7 +26,17 @@ Quickstart::
     print(summarize(naru.estimate_many(list(test.queries)), test.cardinalities))
 """
 
-from . import datasets, dynamic, explain, persistence, planner, rules, tuning
+from . import (
+    datasets,
+    dynamic,
+    explain,
+    faults,
+    persistence,
+    planner,
+    rules,
+    serve,
+    tuning,
+)
 from .core import (
     CardinalityEstimator,
     Predicate,
@@ -43,22 +53,28 @@ from .core import (
 )
 from .registry import (
     DBMS_NAMES,
+    DEFAULT_FALLBACK_NAMES,
     EXTRA_NAMES,
     LEARNED_NAMES,
     TRADITIONAL_NAMES,
     estimator_names,
     make_estimator,
+    make_fallback_chain,
     make_learned,
+    make_service,
     make_traditional,
 )
 from .scale import Scale
+from .serve import EstimatorService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CardinalityEstimator",
     "DBMS_NAMES",
+    "DEFAULT_FALLBACK_NAMES",
     "EXTRA_NAMES",
+    "EstimatorService",
     "LEARNED_NAMES",
     "Predicate",
     "QErrorSummary",
@@ -73,15 +89,19 @@ __all__ = [
     "dynamic",
     "estimator_names",
     "explain",
+    "faults",
     "generate_workload",
     "make_estimator",
+    "make_fallback_chain",
     "make_learned",
+    "make_service",
     "make_traditional",
     "persistence",
     "planner",
     "qerror",
     "qerrors",
     "rules",
+    "serve",
     "summarize",
     "tuning",
 ]

@@ -15,6 +15,7 @@ import time
 from ..scale import Scale
 from . import figure2, robustness, rules_exp
 from .context import BenchContext
+from .serving_exp import format_serving, serving_experiment
 from .dynamic_exp import (
     figure6,
     figure7,
@@ -61,6 +62,7 @@ def _experiments(ctx: BenchContext) -> dict[str, callable]:
         ),
         "figure11": lambda: robustness.format_figure11(figure11(ctx)),
         "table6": lambda: format_table6(table6(ctx)),
+        "serving": lambda: format_serving(serving_experiment(ctx)),
     }
 
 

@@ -1,0 +1,242 @@
+"""Serving-under-faults experiment: replay a workload through the
+fault-tolerant service while the primary estimator misbehaves.
+
+For each fault scenario the same workload is replayed twice: once
+through an :class:`~repro.serve.EstimatorService` whose primary tier is
+wrapped in the scenario's fault injector, and once against an
+*unguarded* copy of the same faulty primary (same seed, so the same
+fault schedule).  The comparison quantifies what the serving layer buys:
+availability (fraction of queries answered with a finite, in-bounds
+estimate), fallback rate, and the q-error cost of degrading to
+traditional tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.metrics import format_qerror, qerrors
+from ..datasets.updates import apply_update
+from ..dynamic.environment import label_update_workload
+from ..faults import (
+    CorruptionFault,
+    ExceptionFault,
+    LatencyFault,
+    NaNFault,
+    StaleModelFault,
+)
+from ..registry import DEFAULT_FALLBACK_NAMES, make_estimator
+from ..rules.enforce import is_sane
+from ..serve import BreakerConfig, EstimatorService
+from .context import BenchContext
+from .reporting import render_table
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault configuration applied to the primary tier."""
+
+    name: str
+    #: wraps the fitted primary in a fault injector (identity for baseline)
+    wrap: Callable[[CardinalityEstimator, int], CardinalityEstimator]
+    #: per-query deadline handed to the service, milliseconds
+    deadline_ms: float = 250.0
+    #: True to apply a Section 5 data update before the replay
+    update: bool = False
+
+
+def default_scenarios() -> list[Scenario]:
+    """The fault matrix replayed by :func:`serving_experiment`."""
+    return [
+        Scenario("no-fault", lambda est, seed: est),
+        Scenario(
+            "nan-storm",
+            lambda est, seed: NaNFault(est, probability=1.0, seed=seed),
+        ),
+        Scenario(
+            "exception-storm",
+            lambda est, seed: ExceptionFault(est, probability=1.0, seed=seed),
+        ),
+        Scenario(
+            "flaky-25%",
+            lambda est, seed: ExceptionFault(est, probability=0.25, seed=seed),
+        ),
+        Scenario(
+            "slow-primary",
+            lambda est, seed: LatencyFault(
+                est, delay_seconds=0.05, probability=1.0, seed=seed
+            ),
+            deadline_ms=10.0,
+        ),
+        Scenario(
+            "corrupted-artifact",
+            lambda est, seed: CorruptionFault(est, probability=1.0, seed=seed),
+        ),
+        Scenario(
+            "stale-model",
+            lambda est, seed: StaleModelFault(est, seed=seed),
+            update=True,
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Guarded-vs-unguarded outcome of one fault scenario."""
+
+    scenario: str
+    queries: int
+    availability: float
+    unguarded_availability: float
+    fallback_rate: float
+    last_resort_rate: float
+    primary_breaker: str
+    primary_trips: int
+    service_p50: float
+    service_p99: float
+    #: q-errors over only the queries the unguarded primary answered
+    #: sanely; None when it answered none at all
+    unguarded_p50: float | None
+    unguarded_p99: float | None
+    p50_latency_ms: float
+
+
+def run_scenario(
+    ctx: BenchContext,
+    scenario: Scenario,
+    primary: str = "naru",
+    dataset: str = "census",
+    fallbacks: list[str] | None = None,
+) -> ScenarioResult:
+    """Replay the test workload under one fault scenario."""
+    table = ctx.table(dataset)
+    test = ctx.test_workload(dataset)
+    seed = ctx.seed + 17
+
+    guarded = scenario.wrap(ctx.fresh_estimator(primary, dataset), seed)
+    unguarded = scenario.wrap(ctx.fresh_estimator(primary, dataset), seed)
+    tiers: list[CardinalityEstimator] = [guarded]
+    for name in fallbacks if fallbacks is not None else DEFAULT_FALLBACK_NAMES:
+        tier = make_estimator(name, ctx.scale)
+        workload = ctx.train_workload(dataset) if tier.requires_workload else None
+        tiers.append(tier.fit(table, workload))
+    service = EstimatorService(
+        tiers,
+        deadline_ms=scenario.deadline_ms,
+        breaker=BreakerConfig(failure_threshold=5, recovery_seconds=30.0),
+    )
+
+    queries = list(test.queries)
+    actuals = test.cardinalities
+    if scenario.update:
+        rng = np.random.default_rng(ctx.seed + 7)
+        new_table, appended = apply_update(table, rng)
+        actuals = new_table.cardinalities(queries)
+        update_workload, _ = label_update_workload(
+            service, new_table, ctx.scale.update_queries, rng
+        )
+        service.update(new_table, appended, update_workload)
+        unguarded.update(new_table, appended, update_workload)
+        table = new_table
+
+    served = service.serve_many(queries)
+    estimates = np.array([s.estimate for s in served])
+    sane = [is_sane(e, table.num_rows) for e in estimates]
+    service_q = qerrors(estimates, actuals)
+    health = service.health()
+    primary_tier = health.tiers[0]
+
+    answered_idx, answered_vals = [], []
+    for i, query in enumerate(queries):
+        try:
+            value = unguarded.estimate(query)
+        except Exception:
+            continue
+        if is_sane(value, table.num_rows):
+            answered_idx.append(i)
+            answered_vals.append(value)
+    if answered_idx:
+        unguarded_q = qerrors(np.array(answered_vals), actuals[answered_idx])
+        unguarded_p50 = float(np.percentile(unguarded_q, 50.0))
+        unguarded_p99 = float(np.percentile(unguarded_q, 99.0))
+    else:
+        unguarded_p50 = unguarded_p99 = None
+
+    return ScenarioResult(
+        scenario=scenario.name,
+        queries=len(queries),
+        availability=float(np.mean(sane)),
+        unguarded_availability=len(answered_idx) / len(queries),
+        fallback_rate=float(np.mean([s.degraded for s in served])),
+        last_resort_rate=float(np.mean([s.tier == "last-resort" for s in served])),
+        primary_breaker=primary_tier.state,
+        primary_trips=primary_tier.trips,
+        service_p50=float(np.percentile(service_q, 50.0)),
+        service_p99=float(np.percentile(service_q, 99.0)),
+        unguarded_p50=unguarded_p50,
+        unguarded_p99=unguarded_p99,
+        p50_latency_ms=float(
+            np.percentile([1000.0 * s.latency_seconds for s in served], 50.0)
+        ),
+    )
+
+
+def serving_experiment(
+    ctx: BenchContext,
+    primary: str = "naru",
+    dataset: str = "census",
+    scenarios: list[Scenario] | None = None,
+) -> list[ScenarioResult]:
+    """Run every fault scenario against one primary estimator."""
+    return [
+        run_scenario(ctx, scenario, primary, dataset)
+        for scenario in (scenarios or default_scenarios())
+    ]
+
+
+def format_serving(results: list[ScenarioResult], primary: str = "naru") -> str:
+    def pct(x: float) -> str:
+        return f"{100.0 * x:.0f}%"
+
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.scenario,
+                pct(r.availability),
+                pct(r.unguarded_availability),
+                pct(r.fallback_rate),
+                pct(r.last_resort_rate),
+                f"{r.primary_breaker}/{r.primary_trips}",
+                format_qerror(r.service_p50),
+                format_qerror(r.service_p99),
+                "-" if r.unguarded_p50 is None else format_qerror(r.unguarded_p50),
+                "-" if r.unguarded_p99 is None else format_qerror(r.unguarded_p99),
+                f"{r.p50_latency_ms:.2f}",
+            ]
+        )
+    return render_table(
+        [
+            "scenario",
+            "avail",
+            "raw-avail",
+            "fallback",
+            "last-resort",
+            "breaker/trips",
+            "p50",
+            "p99",
+            "raw-p50",
+            "raw-p99",
+            "lat-p50(ms)",
+        ],
+        rows,
+        title=(
+            f"Serving under faults: {primary} primary behind "
+            "sampling -> postgres -> heuristic (avail = finite in-bounds "
+            "answers; raw = unguarded primary)"
+        ),
+    )

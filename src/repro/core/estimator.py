@@ -34,7 +34,10 @@ class TimingRecord:
     """Wall-clock costs captured by the harness for one estimator."""
 
     fit_seconds: float = 0.0
+    #: cumulative wall-clock across every update() call (a dynamic run
+    #: updates many times; per-call times are returned by update())
     update_seconds: float = 0.0
+    update_count: int = 0
     total_inference_seconds: float = 0.0
     inference_count: int = 0
 
@@ -43,6 +46,12 @@ class TimingRecord:
         if self.inference_count == 0:
             return 0.0
         return 1000.0 * self.total_inference_seconds / self.inference_count
+
+    @property
+    def mean_update_seconds(self) -> float:
+        if self.update_count == 0:
+            return 0.0
+        return self.update_seconds / self.update_count
 
 
 class CardinalityEstimator(ABC):
@@ -102,7 +111,8 @@ class CardinalityEstimator(ABC):
         self._table = table
         self._update(table, appended, workload)
         elapsed = time.perf_counter() - start
-        self.timing.update_seconds = elapsed
+        self.timing.update_seconds += elapsed
+        self.timing.update_count += 1
         return elapsed
 
     # ------------------------------------------------------------------

@@ -1,0 +1,21 @@
+"""Fault-injection harness: seeded, composable estimator wrappers that
+misbehave on purpose, used to prove the serving layer degrades
+gracefully."""
+
+from .wrappers import (
+    CorruptionFault,
+    ExceptionFault,
+    FaultInjector,
+    LatencyFault,
+    NaNFault,
+    StaleModelFault,
+)
+
+__all__ = [
+    "CorruptionFault",
+    "ExceptionFault",
+    "FaultInjector",
+    "LatencyFault",
+    "NaNFault",
+    "StaleModelFault",
+]

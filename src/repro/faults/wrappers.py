@@ -1,0 +1,246 @@
+"""Composable fault-injecting estimator wrappers.
+
+Each wrapper implements the estimator protocol around an inner
+estimator and misbehaves on a seeded schedule, reproducing the failure
+modes the paper documents (and the ones operations people meet in
+production):
+
+* :class:`LatencyFault` — estimates stall, blowing the serving deadline.
+* :class:`ExceptionFault` — estimates raise.
+* :class:`NaNFault` — estimates come back NaN (or any chosen garbage
+  value, e.g. ``inf``), bypassing the base-class clamp exactly like a
+  buggy model wrapper would.
+* :class:`CorruptionFault` — the model's numpy arrays are perturbed in
+  place once, simulating a corrupted/bad artifact shipped to serving.
+* :class:`StaleModelFault` — ``update()`` silently does nothing, so the
+  model keeps answering from pre-update state (the Section 5 staleness
+  hazard, composable with :mod:`repro.dynamic`'s environment machinery).
+
+Faults fire with probability ``probability`` per call after the first
+``after`` calls, driven by a dedicated ``numpy`` generator, so a given
+``seed`` yields an identical fault schedule on every run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Query
+from ..core.table import Table
+from ..core.workload import Workload
+
+
+class FaultInjector(CardinalityEstimator):
+    """Base wrapper: delegate to ``inner``, inject a fault on schedule.
+
+    Subclasses override :meth:`_fault`.  The public :meth:`estimate` is
+    overridden (rather than ``_estimate``) so injected garbage reaches
+    the caller unclamped — the whole point is to exercise the serving
+    layer's defenses, not the base class's.
+    """
+
+    kind = "fault"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if after < 0:
+            raise ValueError("after must be non-negative")
+        self.inner = inner
+        self.probability = probability
+        self.after = after
+        self.name = f"{self.kind}({inner.name})"
+        self.requires_workload = inner.requires_workload
+        self._rng = np.random.default_rng(seed)
+        self._calls = 0
+        self.faults_fired = 0
+        # Adopt an already-fitted inner estimator.
+        try:
+            self._table = inner.table
+        except RuntimeError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        self.inner.fit(table, workload)
+
+    def _update(self, table: Table, appended, workload: Workload | None) -> None:
+        self.inner.update(table, appended, workload)
+
+    def estimate(self, query: Query) -> float:
+        if self._table is None:
+            raise RuntimeError(f"{self.name} must be fit before estimating")
+        self._calls += 1
+        if self._calls > self.after and self._rng.random() < self.probability:
+            self.faults_fired += 1
+            return self._fault(query)
+        return self.inner.estimate(query)
+
+    def _estimate(self, query: Query) -> float:
+        return self.inner.estimate(query)
+
+    def model_size_bytes(self) -> int:
+        return self.inner.model_size_bytes()
+
+    # ------------------------------------------------------------------
+    def _fault(self, query: Query) -> float:
+        """Produce one faulty response (may raise or stall)."""
+        raise NotImplementedError
+
+
+class LatencyFault(FaultInjector):
+    """Stall for ``delay_seconds`` before answering correctly."""
+
+    kind = "latency"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        delay_seconds: float = 0.05,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        if delay_seconds < 0.0:
+            raise ValueError("delay_seconds must be non-negative")
+        self.delay_seconds = delay_seconds
+
+    def _fault(self, query: Query) -> float:
+        time.sleep(self.delay_seconds)
+        return self.inner.estimate(query)
+
+
+class ExceptionFault(FaultInjector):
+    """Raise instead of answering."""
+
+    kind = "exception"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        message: str = "injected estimator fault",
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        self.message = message
+
+    def _fault(self, query: Query) -> float:
+        raise RuntimeError(self.message)
+
+
+class NaNFault(FaultInjector):
+    """Answer with NaN (or any chosen garbage value, e.g. ``inf``)."""
+
+    kind = "nan"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        value: float = float("nan"),
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        self.value = float(value)
+
+    def _fault(self, query: Query) -> float:
+        return self.value
+
+
+class CorruptionFault(FaultInjector):
+    """Perturb the inner model's float arrays once — a bad artifact.
+
+    On the first scheduled firing, every float ndarray reachable from
+    the inner estimator (model weights, histogram counts, SPN
+    parameters; the training :class:`Table` itself is left alone) gets
+    additive Gaussian noise of ``magnitude`` standard deviations.  From
+    then on the corrupted model answers natively — typically garbage,
+    often out of bounds, exactly what a truncated or bit-flipped
+    artifact produces after a clean unpickle.
+    """
+
+    kind = "corruption"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        magnitude: float = 5.0,
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        if magnitude <= 0.0:
+            raise ValueError("magnitude must be positive")
+        self.magnitude = magnitude
+        self.corrupted = False
+        self.arrays_corrupted = 0
+
+    def _fault(self, query: Query) -> float:
+        if not self.corrupted:
+            self.corrupted = True
+            self.arrays_corrupted = self._corrupt(self.inner, set(), depth=0)
+        return self.inner.estimate(query)
+
+    def _corrupt(self, obj, seen: set[int], depth: int) -> int:
+        if id(obj) in seen or depth > 8:
+            return 0
+        seen.add(id(obj))
+        count = 0
+        if isinstance(obj, np.ndarray):
+            if np.issubdtype(obj.dtype, np.floating) and obj.size:
+                scale = self.magnitude * (float(obj.std()) + 1.0)
+                obj += self._rng.normal(0.0, scale, size=obj.shape)
+                count += 1
+            return count
+        if isinstance(obj, Table):
+            return 0  # corrupt the model, not the data it was built from
+        if isinstance(obj, dict):
+            values = obj.values()
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            values = obj
+        elif hasattr(obj, "__dict__"):
+            values = vars(obj).values()
+        else:
+            return 0
+        for value in values:
+            count += self._corrupt(value, seen, depth + 1)
+        return count
+
+
+class StaleModelFault(FaultInjector):
+    """Silently drop updates: the model keeps serving pre-update state.
+
+    This is the Section 5 hazard as a serving fault: the wrapper accepts
+    ``update()`` calls (and reports near-zero update cost) but never
+    propagates them to the inner model, so after a data update —
+    e.g. one produced by :func:`repro.datasets.updates.apply_update` and
+    replayed through :mod:`repro.dynamic`'s environment machinery —
+    every estimate comes from the stale model.
+    """
+
+    kind = "stale"
+
+    def __init__(self, inner: CardinalityEstimator, seed: int = 0) -> None:
+        super().__init__(inner, probability=0.0, seed=seed)
+        self.dropped_updates = 0
+
+    def _update(self, table: Table, appended, workload: Workload | None) -> None:
+        self.dropped_updates += 1
+
+    def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
+        return self.inner.estimate(query)

@@ -7,21 +7,26 @@ Python pickling, with integrity checks on load.
 
 Estimators are plain Python objects over numpy arrays, so pickle is both
 complete and compact here; the header guards against loading artifacts
-from incompatible library versions.
+from incompatible library versions, and a SHA-256 content checksum makes
+a truncated or bit-flipped artifact fail loudly instead of unpickling
+garbage into the serving path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
 from .core.estimator import CardinalityEstimator
 
-#: Bumped whenever a change breaks estimator attribute layout.
-FORMAT_VERSION = 1
+#: Bumped whenever a change breaks estimator attribute layout or the
+#: on-disk container (version 2 added the payload checksum).
+FORMAT_VERSION = 2
 
 _MAGIC = b"repro-estimator"
+_DIGEST_BYTES = hashlib.sha256().digest_size
 
 
 @dataclass(frozen=True)
@@ -54,8 +59,9 @@ def save_estimator(estimator: CardinalityEstimator, path: str | Path) -> Artifac
     )
     payload = pickle.dumps({"info": info, "estimator": estimator},
                            protocol=pickle.HIGHEST_PROTOCOL)
+    checksum = hashlib.sha256(payload).digest()
     path = Path(path)
-    path.write_bytes(_MAGIC + payload)
+    path.write_bytes(_MAGIC + checksum + payload)
     return info
 
 
@@ -77,8 +83,16 @@ def _load(path: str | Path) -> dict:
     data = Path(path).read_bytes()
     if not data.startswith(_MAGIC):
         raise PersistenceError(f"{path} is not a repro estimator artifact")
+    body = data[len(_MAGIC):]
+    if len(body) < _DIGEST_BYTES:
+        raise PersistenceError(f"{path} is truncated (no checksum header)")
+    checksum, payload = body[:_DIGEST_BYTES], body[_DIGEST_BYTES:]
+    if hashlib.sha256(payload).digest() != checksum:
+        raise PersistenceError(
+            f"{path} failed its content checksum; the artifact is corrupted"
+        )
     try:
-        bundle = pickle.loads(data[len(_MAGIC):])
+        bundle = pickle.loads(payload)
     except Exception as exc:  # pickle raises many concrete types
         raise PersistenceError(f"could not unpickle {path}: {exc}") from exc
     info = bundle.get("info")

@@ -7,7 +7,8 @@ estimators the same way (the paper's "models of Table 4").
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+from difflib import get_close_matches
 
 from .core.estimator import CardinalityEstimator
 from .estimators.learned import (
@@ -31,6 +32,7 @@ from .estimators.traditional import (
     StHolesEstimator,
 )
 from .scale import Scale
+from .serve import EstimatorService, HeuristicConstantEstimator
 
 #: Paper ordering of the traditional methods (Table 4, upper half).
 TRADITIONAL_NAMES = [
@@ -55,6 +57,10 @@ DBMS_NAMES = ["postgres", "mysql", "dbms-a"]
 #: paper compares against.  Available via :func:`make_estimator` but not
 #: part of Table 4.
 EXTRA_NAMES = ["dqm-d", "dqm-q", "stholes", "naru-transformer"]
+
+#: Default serving fallback chain appended after a primary estimator:
+#: cheap, data-driven, and ending in a tier that cannot fail.
+DEFAULT_FALLBACK_NAMES = ["sampling", "postgres", "heuristic"]
 
 
 def _factories(scale: Scale) -> dict[str, Callable[[], CardinalityEstimator]]:
@@ -95,6 +101,9 @@ def _factories(scale: Scale) -> dict[str, Callable[[], CardinalityEstimator]]:
             num_samples=scale.naru_samples,
             block="transformer",
         ),
+        # Serving-layer last resort (see repro.serve): magic-constant
+        # selectivities, cannot fail.
+        "heuristic": lambda: HeuristicConstantEstimator(),
     }
 
 
@@ -105,8 +114,10 @@ def make_estimator(name: str, scale: Scale | None = None) -> CardinalityEstimato
     try:
         return factories[name]()
     except KeyError:
+        close = get_close_matches(name, factories, n=3, cutoff=0.5)
+        hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
         raise KeyError(
-            f"unknown estimator {name!r}; choose from {sorted(factories)}"
+            f"unknown estimator {name!r}{hint}; choose from {sorted(factories)}"
         ) from None
 
 
@@ -121,3 +132,38 @@ def make_traditional(scale: Scale | None = None) -> list[CardinalityEstimator]:
 
 def make_learned(scale: Scale | None = None) -> list[CardinalityEstimator]:
     return [make_estimator(n, scale) for n in LEARNED_NAMES]
+
+
+def make_fallback_chain(
+    primary: str | CardinalityEstimator,
+    fallbacks: Sequence[str] | None = None,
+    scale: Scale | None = None,
+) -> list[CardinalityEstimator]:
+    """The tier list for a serving chain: ``primary`` then ``fallbacks``.
+
+    ``primary`` may be an estimator name or an already-constructed (even
+    already-fitted, even fault-wrapped) instance; fallbacks default to
+    :data:`DEFAULT_FALLBACK_NAMES`.
+    """
+    if isinstance(primary, str):
+        primary = make_estimator(primary, scale)
+    names = DEFAULT_FALLBACK_NAMES if fallbacks is None else list(fallbacks)
+    return [primary] + [make_estimator(n, scale) for n in names]
+
+
+def make_service(
+    primary: str | CardinalityEstimator,
+    fallbacks: Sequence[str] | None = None,
+    scale: Scale | None = None,
+    **service_kwargs,
+) -> EstimatorService:
+    """A fault-tolerant :class:`EstimatorService` around ``primary``.
+
+    Keyword arguments (``deadline_ms``, ``breaker``, ``clock``) are
+    forwarded to the service.  The fallback tiers are constructed fresh,
+    so call ``fit`` once on the returned service to fit the whole chain
+    (a pre-fitted ``primary`` instance is refit along with it).
+    """
+    return EstimatorService(
+        make_fallback_chain(primary, fallbacks, scale), **service_kwargs
+    )

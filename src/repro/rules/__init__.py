@@ -9,10 +9,20 @@ from .checks import (
     check_monotonicity,
     check_stability,
 )
-from .enforce import LogicalGuard
+from .enforce import (
+    LogicalGuard,
+    clamp_to_bounds,
+    covers_all_columns,
+    is_sane,
+    trivial_answer,
+)
 
 __all__ = [
     "LogicalGuard",
+    "clamp_to_bounds",
+    "covers_all_columns",
+    "is_sane",
+    "trivial_answer",
     "RuleReport",
     "check_all",
     "check_consistency",

@@ -24,12 +24,51 @@ must move into model design), so violations of those remain possible.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 
 from ..core.estimator import CardinalityEstimator
 from ..core.query import Query
 from ..core.table import Table
 from ..core.workload import Workload
+
+
+def clamp_to_bounds(value: float, num_rows: int) -> float:
+    """The Bounds rule: an estimate lives in ``[0, num_rows]``."""
+    return max(0.0, min(float(value), float(num_rows)))
+
+
+def is_sane(value: float, num_rows: int) -> bool:
+    """True when ``value`` is finite and already within bounds."""
+    return math.isfinite(value) and 0.0 <= value <= num_rows
+
+
+def trivial_answer(query: Query, table: Table) -> float | None:
+    """The rule-implied answer that needs no model, or ``None``.
+
+    Fidelity-B: a contradictory predicate matches nothing.  Fidelity-A:
+    a query covering every column's full domain matches the whole table.
+    Both :class:`LogicalGuard` and the serving layer short-circuit on
+    these before invoking any estimator.
+    """
+    if any(p.is_empty for p in query.predicates):
+        return 0.0
+    if covers_all_columns(query, table):
+        return float(table.num_rows)
+    return None
+
+
+def covers_all_columns(query: Query, table: Table) -> bool:
+    """True when every column's full domain is covered (Fidelity-A)."""
+    if query.num_predicates < table.num_columns:
+        return False
+    for pred in query.predicates:
+        column = table.columns[pred.column]
+        lo_open = pred.lo is None or pred.lo <= column.domain_min
+        hi_open = pred.hi is None or pred.hi >= column.domain_max
+        if not (lo_open and hi_open):
+            return False
+    return True
 
 
 def _query_key(query: Query) -> tuple:
@@ -76,33 +115,20 @@ class LogicalGuard(CardinalityEstimator):
 
     # ------------------------------------------------------------------
     def _estimate(self, query: Query) -> float:
-        # Fidelity-B: contradictory predicates match nothing.
-        if any(p.is_empty for p in query.predicates):
-            return 0.0
+        # Fidelity-B / Fidelity-A: rule-implied answers skip the model.
+        trivial = trivial_answer(query, self.table)
+        if trivial is not None:
+            return trivial
         # Stability: repeat queries return the memoised answer.
         key = _query_key(query)
         if key in self._memo:
             self._memo.move_to_end(key)
             return self._memo[key][1]
-        # Fidelity-A: the full-domain query is the table size.
-        if self._covers_all_columns(query):
-            return float(self.table.num_rows)
 
-        estimate = max(0.0, min(self.inner.estimate(query), self.table.num_rows))
+        estimate = clamp_to_bounds(self.inner.estimate(query), self.table.num_rows)
         estimate = self._monotone_clamp(query, estimate)
         self._remember(key, query, estimate)
         return estimate
-
-    def _covers_all_columns(self, query: Query) -> bool:
-        if query.num_predicates < self.table.num_columns:
-            return False
-        for pred in query.predicates:
-            column = self.table.columns[pred.column]
-            lo_open = pred.lo is None or pred.lo <= column.domain_min
-            hi_open = pred.hi is None or pred.hi >= column.domain_max
-            if not (lo_open and hi_open):
-                return False
-        return True
 
     def _monotone_clamp(self, query: Query, estimate: float) -> float:
         """Cap by cached containing queries, floor by contained ones."""

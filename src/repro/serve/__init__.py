@@ -1,0 +1,25 @@
+"""Fault-tolerant estimator serving: fallback chains, circuit breakers,
+output sanitization and health reporting (the production guardrails the
+paper's findings call for)."""
+
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .heuristic import HeuristicConstantEstimator
+from .service import (
+    LAST_RESORT_SELECTIVITY,
+    EstimatorService,
+    ServedEstimate,
+    ServiceHealth,
+    TierHealth,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "EstimatorService",
+    "HeuristicConstantEstimator",
+    "LAST_RESORT_SELECTIVITY",
+    "ServedEstimate",
+    "ServiceHealth",
+    "TierHealth",
+]

@@ -1,0 +1,40 @@
+"""The last-resort tier: a magic-constant selectivity guess.
+
+When every model tier of a fallback chain is broken, the service still
+has to hand the optimizer *a* number.  Optimizers have shipped with
+magic selectivity constants since System R (1/10 per predicate is the
+textbook figure); this estimator reproduces that behaviour.  It cannot
+fail: no model state, no arithmetic that can overflow, microsecond
+latency.
+"""
+
+from __future__ import annotations
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Query
+from ..core.table import Table
+from ..core.workload import Workload
+
+
+class HeuristicConstantEstimator(CardinalityEstimator):
+    """System-R-style constant selectivity per predicate."""
+
+    name = "heuristic"
+
+    def __init__(self, selectivity: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 < selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        self.selectivity = selectivity
+        self._num_rows = 0
+
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        self._num_rows = table.num_rows
+
+    def _estimate(self, query: Query) -> float:
+        if any(p.is_empty for p in query.predicates):
+            return 0.0
+        return self._num_rows * self.selectivity**query.num_predicates
+
+    def _update(self, table: Table, appended, workload: Workload | None) -> None:
+        self._num_rows = table.num_rows

@@ -1,0 +1,394 @@
+"""Fault-tolerant estimator serving (the ByteCard-style deployment story).
+
+The paper's verdict is that learned estimators are accurate *until they
+aren't*: stale after updates (Section 5), illogical (Section 6.3), and
+pathological under correlation shifts (Section 6).  Production systems
+that shipped learned cardinality estimation anyway did it by wrapping
+the model in guardrails with traditional fallbacks.  This module is that
+wrapper:
+
+:class:`EstimatorService` answers every query from a **fallback chain**
+of estimator tiers (e.g. ``naru -> sampling -> postgres -> heuristic``).
+For each query it walks the chain and returns the first acceptable
+answer, where a tier's answer is rejected when it
+
+* raises an exception,
+* exceeds the remaining per-query **deadline budget**,
+* is NaN or infinite, or
+* (finite but out of bounds) — served after clamping, but counted as a
+  failure against the tier, reusing the :mod:`repro.rules` bounds
+  checks.
+
+Each tier sits behind a :class:`~repro.serve.breaker.CircuitBreaker`, so
+a tier that fails repeatedly is skipped without paying its latency until
+a recovery probe succeeds.  Rule-implied answers (contradictory or
+full-domain queries) are short-circuited before any model runs, exactly
+like :class:`~repro.rules.LogicalGuard`.  Per-tier health counters and
+latency quantiles are exposed via :meth:`EstimatorService.health`.
+
+The service is itself a :class:`CardinalityEstimator`, so it drops into
+every harness, can be persisted, and can even be a tier of another
+service.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Query
+from ..core.table import Table
+from ..core.workload import Workload
+from ..rules.enforce import clamp_to_bounds, trivial_answer
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+
+#: Per-predicate selectivity of the in-service emergency answer, used
+#: only when every tier of the chain is skipped or fails.
+LAST_RESORT_SELECTIVITY = 0.1
+
+#: Latency samples retained per tier for the p50/p99 estimates.
+_LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """The outcome of serving one query."""
+
+    estimate: float
+    #: name of the tier that produced the answer ("shortcut" when a
+    #: rule-implied answer skipped the chain, "last-resort" when every
+    #: tier failed)
+    tier: str
+    #: index of the serving tier in the chain; -1 for the shortcut path
+    tier_index: int
+    #: True when a tier other than the primary produced the answer
+    degraded: bool
+    latency_seconds: float
+    #: (tier, outcome) per chain step, e.g. ("naru", "nan")
+    attempts: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class TierHealth:
+    """Point-in-time health of one tier of the chain."""
+
+    tier: str
+    state: str
+    attempts: int
+    served: int
+    sanitized: int
+    failures: dict[str, int]
+    skipped_open: int
+    skipped_deadline: int
+    trips: int
+    p50_ms: float
+    p99_ms: float
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """Snapshot returned by :meth:`EstimatorService.health`."""
+
+    queries: int
+    answered: int
+    degraded: int
+    shortcuts: int
+    last_resort: int
+    tiers: tuple[TierHealth, ...]
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered (the service answers them all)."""
+        return self.answered / self.queries if self.queries else 1.0
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of queries served by a fallback tier."""
+        return self.degraded / self.queries if self.queries else 0.0
+
+    def to_text(self) -> str:
+        """Monospace rendering for logs and demos."""
+        lines = [
+            f"queries={self.queries} availability={self.availability:.3f} "
+            f"degraded={self.degraded} ({self.degraded_rate:.1%}) "
+            f"shortcuts={self.shortcuts} last_resort={self.last_resort}"
+        ]
+        for t in self.tiers:
+            fails = (
+                " ".join(f"{k}={v}" for k, v in sorted(t.failures.items()))
+                or "none"
+            )
+            lines.append(
+                f"  [{t.state:9s}] {t.tier}: served={t.served}/{t.attempts} "
+                f"sanitized={t.sanitized} trips={t.trips} "
+                f"skipped(open={t.skipped_open}, deadline={t.skipped_deadline}) "
+                f"p50={t.p50_ms:.2f}ms p99={t.p99_ms:.2f}ms failures: {fails}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _TierStats:
+    attempts: int = 0
+    served: int = 0
+    sanitized: int = 0
+    failures: Counter = field(default_factory=Counter)
+    skipped_open: int = 0
+    skipped_deadline: int = 0
+    latencies: deque = field(default_factory=lambda: deque(maxlen=_LATENCY_WINDOW))
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return 1000.0 * float(np.percentile(np.array(self.latencies), q))
+
+
+class _Tier:
+    """One link of the fallback chain: estimator + breaker + stats."""
+
+    def __init__(
+        self,
+        name: str,
+        estimator: CardinalityEstimator,
+        breaker: CircuitBreaker,
+    ) -> None:
+        self.name = name
+        self.estimator = estimator
+        self.breaker = breaker
+        self.stats = _TierStats()
+
+    def health(self) -> TierHealth:
+        return TierHealth(
+            tier=self.name,
+            state=self.breaker.state.value,
+            attempts=self.stats.attempts,
+            served=self.stats.served,
+            sanitized=self.stats.sanitized,
+            failures=dict(self.stats.failures),
+            skipped_open=self.stats.skipped_open,
+            skipped_deadline=self.stats.skipped_deadline,
+            trips=self.breaker.trips,
+            p50_ms=self.stats.percentile_ms(50.0),
+            p99_ms=self.stats.percentile_ms(99.0),
+        )
+
+
+class EstimatorService(CardinalityEstimator):
+    """Serve estimates from a fallback chain of estimator tiers.
+
+    ``tiers[0]`` is the primary (typically the learned model); later
+    tiers are consulted in order when earlier ones fail.  Pre-fitted
+    tiers are adopted as-is; otherwise call :meth:`fit` to fit the whole
+    chain.
+    """
+
+    name = "service"
+
+    def __init__(
+        self,
+        tiers: Sequence[CardinalityEstimator],
+        *,
+        deadline_ms: float | None = 100.0,
+        breaker: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        super().__init__()
+        if not tiers:
+            raise ValueError("a service needs at least one tier")
+        if deadline_ms is not None and deadline_ms <= 0.0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        self._clock = clock
+        self._deadline = None if deadline_ms is None else deadline_ms / 1000.0
+        self.breaker_config = breaker or BreakerConfig()
+        self._tiers: list[_Tier] = []
+        seen: Counter = Counter()
+        for est in tiers:
+            seen[est.name] += 1
+            label = est.name if seen[est.name] == 1 else f"{est.name}#{seen[est.name]}"
+            self._tiers.append(
+                _Tier(label, est, CircuitBreaker(self.breaker_config, clock))
+            )
+        self.name = f"serve({'->'.join(t.name for t in self._tiers)})"
+        self.requires_workload = any(t.requires_workload for t in tiers)
+        # Adopt the table of an already-fitted chain so the service can
+        # answer immediately without a redundant refit.
+        for est in tiers:
+            try:
+                self._table = est.table
+                break
+            except RuntimeError:
+                continue
+        self._queries = 0
+        self._degraded = 0
+        self._shortcuts = 0
+        self._last_resort = 0
+
+    # ------------------------------------------------------------------
+    # Estimator protocol
+    # ------------------------------------------------------------------
+    def _fit(self, table: Table, workload: Workload | None) -> None:
+        for tier in self._tiers:
+            tier.estimator.fit(
+                table, workload if tier.estimator.requires_workload else None
+            )
+
+    def _update(self, table: Table, appended, workload: Workload | None) -> None:
+        for tier in self._tiers:
+            tier.estimator.update(
+                table, appended, workload if tier.estimator.requires_workload else None
+            )
+
+    def _estimate(self, query: Query) -> float:
+        return self.serve(query).estimate
+
+    def model_size_bytes(self) -> int:
+        return sum(t.estimator.model_size_bytes() for t in self._tiers)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, query: Query) -> ServedEstimate:
+        """Answer one query through the chain; never raises, never NaN."""
+        table = self.table
+        start = self._clock()
+        self._queries += 1
+
+        trivial = trivial_answer(query, table)
+        if trivial is not None:
+            self._shortcuts += 1
+            return ServedEstimate(
+                estimate=trivial,
+                tier="shortcut",
+                tier_index=-1,
+                degraded=False,
+                latency_seconds=self._clock() - start,
+                attempts=(("shortcut", "served"),),
+            )
+
+        attempts: list[tuple[str, str]] = []
+        last = len(self._tiers) - 1
+        for index, tier in enumerate(self._tiers):
+            if not tier.breaker.allows_request():
+                tier.stats.skipped_open += 1
+                attempts.append((tier.name, "skipped-open"))
+                continue
+            # The final tier is the designated cheap answer-of-last-model
+            # and is exempt from the deadline: an aborted primary must
+            # still degrade to *some* tier's estimate.
+            if index < last and self._budget_spent(start):
+                tier.stats.skipped_deadline += 1
+                attempts.append((tier.name, "skipped-deadline"))
+                continue
+
+            tier.stats.attempts += 1
+            call_start = self._clock()
+            try:
+                raw = float(tier.estimator.estimate(query))
+            except Exception:
+                self._record_failure(tier, "exception", call_start)
+                attempts.append((tier.name, "exception"))
+                continue
+            tier.stats.latencies.append(self._clock() - call_start)
+
+            if index < last and self._budget_spent(start):
+                # The answer arrived, but too late to be useful: the
+                # optimizer has moved on.  Discard and penalise the tier.
+                tier.stats.failures["timeout"] += 1
+                tier.breaker.record_failure()
+                attempts.append((tier.name, "timeout"))
+                continue
+            if math.isnan(raw):
+                self._record_failure(tier, "nan", None)
+                attempts.append((tier.name, "nan"))
+                continue
+            if math.isinf(raw):
+                self._record_failure(tier, "inf", None)
+                attempts.append((tier.name, "inf"))
+                continue
+
+            if 0.0 <= raw <= table.num_rows:
+                value, outcome = raw, "served"
+                tier.breaker.record_success()
+            else:
+                # Finite but illogical: serve the clamped value, count
+                # the incident against the tier's breaker.
+                value, outcome = clamp_to_bounds(raw, table.num_rows), "sanitized"
+                tier.stats.sanitized += 1
+                tier.breaker.record_failure()
+            tier.stats.served += 1
+            if index > 0:
+                self._degraded += 1
+            attempts.append((tier.name, outcome))
+            return ServedEstimate(
+                estimate=value,
+                tier=tier.name,
+                tier_index=index,
+                degraded=index > 0,
+                latency_seconds=self._clock() - start,
+                attempts=tuple(attempts),
+            )
+
+        # Every tier skipped or failed: the in-service emergency answer.
+        self._last_resort += 1
+        self._degraded += 1
+        attempts.append(("last-resort", "served"))
+        value = (
+            0.0
+            if any(p.is_empty for p in query.predicates)
+            else table.num_rows * LAST_RESORT_SELECTIVITY**query.num_predicates
+        )
+        return ServedEstimate(
+            estimate=clamp_to_bounds(value, table.num_rows),
+            tier="last-resort",
+            tier_index=len(self._tiers),
+            degraded=True,
+            latency_seconds=self._clock() - start,
+            attempts=tuple(attempts),
+        )
+
+    def serve_many(self, queries: Sequence[Query]) -> list[ServedEstimate]:
+        """Serve a batch, one by one (the harness replay path)."""
+        return [self.serve(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> ServiceHealth:
+        """Point-in-time snapshot of service and per-tier counters."""
+        return ServiceHealth(
+            queries=self._queries,
+            answered=self._queries,
+            degraded=self._degraded,
+            shortcuts=self._shortcuts,
+            last_resort=self._last_resort,
+            tiers=tuple(t.health() for t in self._tiers),
+        )
+
+    @property
+    def tier_names(self) -> list[str]:
+        return [t.name for t in self._tiers]
+
+    def breaker_state(self, tier: str) -> BreakerState:
+        """Current breaker state of the named tier."""
+        for t in self._tiers:
+            if t.name == tier:
+                return t.breaker.state
+        raise KeyError(f"no tier named {tier!r}; have {self.tier_names}")
+
+    # ------------------------------------------------------------------
+    def _budget_spent(self, start: float) -> bool:
+        return self._deadline is not None and self._clock() - start > self._deadline
+
+    def _record_failure(
+        self, tier: _Tier, kind: str, call_start: float | None
+    ) -> None:
+        if call_start is not None:
+            tier.stats.latencies.append(self._clock() - call_start)
+        tier.stats.failures[kind] += 1
+        tier.breaker.record_failure()

@@ -110,5 +110,24 @@ class TestUpdateProtocol:
         seconds = fresh.update(new_table, appended, workload)
         assert seconds > 0.0
         assert fresh.timing.update_seconds == seconds
+        assert fresh.timing.update_count == 1
         est = fresh.estimate(Query((Predicate(0, 0.0, 25.0),)))
         assert np.isfinite(est) and est >= 0.0
+
+    def test_update_timing_accumulates(self, fresh, table):
+        """Multi-update dynamic runs must report total cost, not the last
+        update's (the Figure 6 sweep updates many times)."""
+        from repro.datasets import apply_update
+        from repro.dynamic import label_update_workload
+
+        rng = np.random.default_rng(4)
+        current, totals = table, []
+        for _ in range(3):
+            current, appended = apply_update(current, rng)
+            workload, _ = label_update_workload(fresh, current, 40, rng)
+            totals.append(fresh.update(current, appended, workload))
+        assert fresh.timing.update_count == 3
+        assert fresh.timing.update_seconds == pytest.approx(sum(totals))
+        assert fresh.timing.mean_update_seconds == pytest.approx(
+            sum(totals) / 3
+        )

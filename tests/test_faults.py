@@ -1,0 +1,162 @@
+"""Tests for the fault-injection harness (repro.faults)."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Predicate, Query
+from repro.datasets import apply_update
+from repro.estimators.traditional import PostgresEstimator, SamplingEstimator
+from repro.faults import (
+    CorruptionFault,
+    ExceptionFault,
+    LatencyFault,
+    NaNFault,
+    StaleModelFault,
+)
+
+
+@pytest.fixture
+def query() -> Query:
+    return Query((Predicate(0, 0.0, 3.0),))
+
+
+def fault_pattern(wrapper, query, calls: int = 80) -> list[bool]:
+    """Which of ``calls`` estimates faulted (True) vs answered (False)."""
+    pattern = []
+    for _ in range(calls):
+        try:
+            value = wrapper.estimate(query)
+        except RuntimeError:
+            pattern.append(True)
+            continue
+        pattern.append(math.isnan(value) or math.isinf(value))
+    return pattern
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("fault_cls", [ExceptionFault, NaNFault])
+    def test_fixed_seed_is_deterministic(self, tiny_table, query, fault_cls):
+        runs = []
+        for _ in range(2):
+            wrapper = fault_cls(
+                SamplingEstimator().fit(tiny_table), probability=0.4, seed=11
+            )
+            runs.append(fault_pattern(wrapper, query))
+        assert runs[0] == runs[1]
+        assert any(runs[0]) and not all(runs[0])
+
+    def test_different_seeds_differ(self, tiny_table, query):
+        patterns = [
+            fault_pattern(
+                ExceptionFault(
+                    SamplingEstimator().fit(tiny_table), probability=0.5, seed=seed
+                ),
+                query,
+            )
+            for seed in (1, 2)
+        ]
+        assert patterns[0] != patterns[1]
+
+    def test_after_delays_onset(self, tiny_table, query):
+        wrapper = NaNFault(
+            SamplingEstimator().fit(tiny_table), probability=1.0, seed=0, after=5
+        )
+        pattern = fault_pattern(wrapper, query, calls=10)
+        assert pattern == [False] * 5 + [True] * 5
+        assert wrapper.faults_fired == 5
+
+    def test_probability_validation(self, tiny_table):
+        with pytest.raises(ValueError):
+            NaNFault(SamplingEstimator(), probability=1.5)
+        with pytest.raises(ValueError):
+            NaNFault(SamplingEstimator(), after=-1)
+
+    def test_unfitted_wrapper_rejected(self, query):
+        with pytest.raises(RuntimeError, match="must be fit"):
+            NaNFault(SamplingEstimator()).estimate(query)
+
+    def test_wrapping_a_fitted_inner_adopts_its_table(self, tiny_table, query):
+        wrapper = NaNFault(SamplingEstimator().fit(tiny_table), probability=0.0)
+        assert wrapper.table is tiny_table
+        assert np.isfinite(wrapper.estimate(query))
+
+
+class TestIndividualFaults:
+    def test_nan_fault_returns_nan_unclamped(self, tiny_table, query):
+        wrapper = NaNFault(SamplingEstimator().fit(tiny_table), probability=1.0)
+        assert math.isnan(wrapper.estimate(query))
+
+    def test_nan_fault_custom_value(self, tiny_table, query):
+        wrapper = NaNFault(
+            SamplingEstimator().fit(tiny_table),
+            probability=1.0,
+            value=float("inf"),
+        )
+        assert math.isinf(wrapper.estimate(query))
+
+    def test_exception_fault_raises(self, tiny_table, query):
+        wrapper = ExceptionFault(
+            SamplingEstimator().fit(tiny_table), probability=1.0, message="boom"
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            wrapper.estimate(query)
+
+    def test_latency_fault_stalls_then_answers(self, tiny_table, query):
+        inner = SamplingEstimator().fit(tiny_table)
+        expected = inner.estimate(query)
+        wrapper = LatencyFault(inner, delay_seconds=0.02, probability=1.0)
+        start = time.perf_counter()
+        value = wrapper.estimate(query)
+        assert time.perf_counter() - start >= 0.02
+        assert value == expected
+
+    def test_corruption_fires_once_and_changes_estimates(self, small_synthetic):
+        query = Query((Predicate(0, 10.0, 60.0),))
+        clean = PostgresEstimator().fit(small_synthetic)
+        baseline = clean.estimate(query)
+        wrapper = CorruptionFault(
+            PostgresEstimator().fit(small_synthetic), probability=1.0, seed=5
+        )
+        corrupted = wrapper.estimate(query)
+        assert wrapper.corrupted
+        assert wrapper.arrays_corrupted > 0
+        assert corrupted != pytest.approx(baseline)
+        # the corruption happened once; later answers come from the same
+        # broken model deterministically
+        assert wrapper.estimate(query) == pytest.approx(corrupted)
+
+    def test_corruption_is_deterministic_under_seed(self, small_synthetic):
+        query = Query((Predicate(0, 10.0, 60.0),))
+        values = []
+        for _ in range(2):
+            wrapper = CorruptionFault(
+                PostgresEstimator().fit(small_synthetic), probability=1.0, seed=9
+            )
+            values.append(wrapper.estimate(query))
+        assert values[0] == pytest.approx(values[1])
+
+    def test_corruption_leaves_the_table_alone(self, tiny_table):
+        query = Query((Predicate(0, 0.0, 3.0),))
+        before = tiny_table.data.copy()
+        wrapper = CorruptionFault(
+            PostgresEstimator().fit(tiny_table), probability=1.0, seed=5
+        )
+        wrapper.estimate(query)
+        np.testing.assert_array_equal(tiny_table.data, before)
+
+    def test_stale_model_drops_updates(self, small_census, rng, query):
+        stale = StaleModelFault(SamplingEstimator().fit(small_census))
+        fresh = SamplingEstimator().fit(small_census)
+        before = stale.estimate(query)
+
+        new_table, appended = apply_update(small_census, rng)
+        stale.update(new_table, appended)
+        fresh.update(new_table, appended)
+
+        assert stale.dropped_updates == 1
+        assert stale.inner.table.num_rows == small_census.num_rows
+        assert stale.estimate(query) == pytest.approx(before)
+        assert fresh.table.num_rows == new_table.num_rows

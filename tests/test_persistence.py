@@ -82,6 +82,24 @@ class TestFailureModes:
         with pytest.raises(PersistenceError):
             load_estimator(path)
 
+    def test_truncated_payload_fails_checksum(self, small_synthetic, tmp_path):
+        est = PostgresEstimator().fit(small_synthetic)
+        path = tmp_path / "pg.repro"
+        save_estimator(est, path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_estimator(path)
+
+    def test_bit_flip_fails_checksum(self, small_synthetic, tmp_path):
+        est = PostgresEstimator().fit(small_synthetic)
+        path = tmp_path / "pg.repro"
+        save_estimator(est, path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # corrupt one payload byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_estimator(path)
+
     def test_version_mismatch_rejected(self, small_synthetic, tmp_path, monkeypatch):
         est = PostgresEstimator().fit(small_synthetic)
         path = tmp_path / "pg.repro"

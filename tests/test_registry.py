@@ -51,6 +51,21 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown estimator"):
             make_estimator("oracle")
 
+    def test_typo_gets_a_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'naru'"):
+            make_estimator("nru")
+        with pytest.raises(KeyError, match="did you mean 'postgres'"):
+            make_estimator("postgress")
+
+    def test_far_off_name_gets_the_full_list(self):
+        with pytest.raises(KeyError, match="choose from"):
+            make_estimator("zzzzzz")
+
+    def test_heuristic_tier_constructs(self):
+        est = make_estimator("heuristic")
+        assert est.name == "heuristic"
+        assert not est.requires_workload
+
     def test_group_constructors(self):
         assert [e.name for e in make_traditional(Scale.ci())] == TRADITIONAL_NAMES
         assert [e.name for e in make_learned(Scale.ci())] == LEARNED_NAMES

@@ -1,0 +1,415 @@
+"""Tests for the fault-tolerant serving layer (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CardinalityEstimator, Predicate, Query
+from repro.faults import ExceptionFault, LatencyFault, NaNFault
+from repro.registry import (
+    DEFAULT_FALLBACK_NAMES,
+    make_estimator,
+    make_fallback_chain,
+    make_service,
+)
+from repro.serve import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    EstimatorService,
+    HeuristicConstantEstimator,
+)
+
+
+class StubEstimator(CardinalityEstimator):
+    """Answers a constant; fit is free."""
+
+    def __init__(self, value: float = 5.0, name: str = "stub") -> None:
+        super().__init__()
+        self.value = value
+        self.name = name
+
+    def _fit(self, table, workload) -> None:
+        pass
+
+    def _estimate(self, query) -> float:
+        return self.value
+
+
+class RawStub(StubEstimator):
+    """Returns its value unclamped (bypasses the base-class max(0, .))."""
+
+    def estimate(self, query) -> float:
+        return self.value
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def query() -> Query:
+    return Query((Predicate(0, 1.0, 3.0),))
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        config = BreakerConfig(
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            recovery_seconds=kwargs.pop("recovery_seconds", 10.0),
+            probe_successes=kwargs.pop("probe_successes", 2),
+        )
+        return CircuitBreaker(config, clock), clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows_request()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows_request()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker, _ = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_recovery_window(self):
+        breaker, clock = self.make(failure_threshold=1, recovery_seconds=10.0)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.now = 9.9
+        assert not breaker.allows_request()
+        clock.now = 10.0
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allows_request()
+
+    def test_probe_successes_close_the_breaker(self):
+        breaker, clock = self.make(
+            failure_threshold=1, recovery_seconds=1.0, probe_successes=2
+        )
+        breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self.make(failure_threshold=1, recovery_seconds=1.0)
+        breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        # the recovery window restarts from the re-trip
+        clock.now = 2.5
+        assert not breaker.allows_request()
+        clock.now = 3.0
+        assert breaker.allows_request()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(recovery_seconds=-1.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(probe_successes=0)
+
+
+class TestEstimatorService:
+    def service(self, tiers, table, **kwargs):
+        svc = EstimatorService(tiers, **kwargs)
+        svc.fit(table)
+        return svc
+
+    def test_primary_serves_when_healthy(self, tiny_table, query):
+        svc = self.service([StubEstimator(4.0), StubEstimator(9.0)], tiny_table)
+        served = svc.serve(query)
+        assert served.estimate == 4.0
+        assert served.tier_index == 0
+        assert not served.degraded
+
+    def test_exception_falls_back(self, tiny_table, query):
+        bad = ExceptionFault(StubEstimator(4.0, name="primary"), probability=1.0)
+        svc = self.service([bad, StubEstimator(9.0)], tiny_table)
+        served = svc.serve(query)
+        assert served.estimate == 9.0
+        assert served.degraded
+        assert served.attempts[0][1] == "exception"
+
+    def test_nan_and_inf_fall_back(self, tiny_table, query):
+        for garbage, kind in ((float("nan"), "nan"), (float("inf"), "inf")):
+            bad = NaNFault(StubEstimator(name="primary"), value=garbage)
+            svc = self.service([bad, StubEstimator(9.0)], tiny_table)
+            served = svc.serve(query)
+            assert served.estimate == 9.0
+            assert served.attempts[0][1] == kind
+
+    def test_out_of_bounds_is_sanitized_but_served(self, tiny_table, query):
+        wild = RawStub(10 * tiny_table.num_rows, name="wild")
+        svc = self.service([wild, StubEstimator(9.0)], tiny_table)
+        served = svc.serve(query)
+        assert served.estimate == tiny_table.num_rows
+        assert served.tier_index == 0  # clamped, not failed over
+        health = svc.health()
+        assert health.tiers[0].sanitized == 1
+
+    def test_negative_estimate_is_sanitized(self, tiny_table, query):
+        svc = self.service([RawStub(-50.0, name="neg")], tiny_table)
+        assert svc.serve(query).estimate == 0.0
+
+    def test_breaker_opens_and_skips_primary(self, tiny_table, query):
+        bad = ExceptionFault(StubEstimator(name="primary"), probability=1.0)
+        svc = self.service(
+            [bad, StubEstimator(9.0)],
+            tiny_table,
+            breaker=BreakerConfig(failure_threshold=3),
+        )
+        for _ in range(10):
+            assert svc.serve(query).estimate == 9.0
+        health = svc.health()
+        assert health.tiers[0].state == "open"
+        assert health.tiers[0].attempts == 3
+        assert health.tiers[0].skipped_open == 7
+        assert health.tiers[0].trips == 1
+        assert health.availability == 1.0
+
+    def test_breaker_recovers_after_probe(self, tiny_table, query):
+        clock = FakeClock()
+        flaky = ExceptionFault(StubEstimator(4.0, name="primary"), probability=1.0)
+        svc = EstimatorService(
+            [flaky, StubEstimator(9.0)],
+            breaker=BreakerConfig(
+                failure_threshold=1, recovery_seconds=5.0, probe_successes=1
+            ),
+            deadline_ms=None,
+            clock=clock,
+        )
+        svc.fit(tiny_table)
+        assert svc.serve(query).estimate == 9.0  # trips the breaker
+        assert svc.breaker_state(svc.tier_names[0]) is BreakerState.OPEN
+        flaky.probability = 0.0  # the primary heals
+        clock.now = 6.0
+        served = svc.serve(query)  # half-open probe succeeds
+        assert served.estimate == 4.0
+        assert svc.breaker_state(svc.tier_names[0]) is BreakerState.CLOSED
+
+    def test_deadline_aborts_slow_primary(self, tiny_table, query):
+        slow = LatencyFault(
+            StubEstimator(4.0, name="primary"), delay_seconds=0.05, probability=1.0
+        )
+        svc = self.service(
+            [slow, StubEstimator(9.0)], tiny_table, deadline_ms=10.0
+        )
+        served = svc.serve(query)
+        assert served.estimate == 9.0
+        assert served.attempts[0][1] == "timeout"
+        assert svc.health().tiers[0].failures["timeout"] == 1
+
+    def test_exhausted_budget_skips_to_final_tier(self, tiny_table, query):
+        clock = FakeClock()
+
+        def ticking() -> float:
+            clock.now += 1.0
+            return clock.now
+
+        svc = EstimatorService(
+            [StubEstimator(4.0), StubEstimator(9.0, name="final")],
+            deadline_ms=500.0,
+            clock=ticking,
+        )
+        svc.fit(tiny_table)
+        served = svc.serve(query)
+        # the intermediate tier is skipped, but the designated final tier
+        # is exempt from the deadline — the service must answer
+        assert served.tier == "final"
+        assert served.estimate == 9.0
+        assert svc.health().tiers[0].skipped_deadline == 1
+
+    def test_rule_shortcuts_skip_the_chain(self, tiny_table):
+        primary = StubEstimator(4.0)
+        svc = self.service([primary], tiny_table)
+        empty = Query((Predicate(0, 10.0, 1.0),))
+        assert svc.serve(empty).estimate == 0.0
+        assert svc.serve(empty).tier == "shortcut"
+        full = Query(
+            tuple(
+                Predicate(i, col.domain_min, col.domain_max)
+                for i, col in enumerate(tiny_table.columns)
+            )
+        )
+        assert svc.serve(full).estimate == tiny_table.num_rows
+        assert svc.health().shortcuts == 3
+        assert primary.timing.inference_count == 0
+
+    def test_last_resort_when_every_tier_fails(self, tiny_table, query):
+        bad = ExceptionFault(StubEstimator(name="only"), probability=1.0)
+        svc = self.service([bad], tiny_table)
+        served = svc.serve(query)
+        assert served.tier == "last-resort"
+        assert np.isfinite(served.estimate)
+        assert 0.0 <= served.estimate <= tiny_table.num_rows
+        assert svc.health().last_resort == 1
+
+    def test_estimator_protocol(self, tiny_table, query):
+        """The service is itself an estimator: estimate() never raises."""
+        bad = NaNFault(StubEstimator(name="primary"), probability=1.0)
+        svc = self.service([bad, StubEstimator(9.0)], tiny_table)
+        assert svc.estimate(query) == 9.0
+        batch = svc.estimate_many([query, query])
+        assert np.all(np.isfinite(batch))
+
+    def test_duplicate_tier_names_are_disambiguated(self, tiny_table):
+        svc = self.service(
+            [StubEstimator(1.0), StubEstimator(2.0)], tiny_table
+        )
+        assert svc.tier_names == ["stub", "stub#2"]
+
+    def test_update_propagates_to_all_tiers(self, tiny_table, rng):
+        from repro.datasets import apply_update
+
+        tiers = [make_estimator("sampling"), make_estimator("postgres")]
+        svc = self.service(tiers, tiny_table)
+        new_table, appended = apply_update(tiny_table, rng)
+        svc.update(new_table, appended)
+        assert tiers[0].table.num_rows == new_table.num_rows
+        assert tiers[1].table.num_rows == new_table.num_rows
+
+    def test_validation(self, tiny_table):
+        with pytest.raises(ValueError, match="at least one tier"):
+            EstimatorService([])
+        with pytest.raises(ValueError, match="deadline_ms"):
+            EstimatorService([StubEstimator()], deadline_ms=0.0)
+        svc = self.service([StubEstimator()], tiny_table)
+        with pytest.raises(KeyError, match="no tier"):
+            svc.breaker_state("nope")
+
+
+class TestHeuristicConstant:
+    def test_constant_selectivity(self, tiny_table):
+        est = HeuristicConstantEstimator(selectivity=0.1).fit(tiny_table)
+        one = est.estimate(Query((Predicate(0, 0.0, 1.0),)))
+        two = est.estimate(
+            Query((Predicate(0, 0.0, 1.0), Predicate(1, 0.0, 1.0)))
+        )
+        assert one == pytest.approx(0.1 * tiny_table.num_rows)
+        assert two == pytest.approx(0.01 * tiny_table.num_rows)
+
+    def test_empty_predicate_is_zero(self, tiny_table):
+        est = HeuristicConstantEstimator().fit(tiny_table)
+        assert est.estimate(Query((Predicate(0, 5.0, 1.0),))) == 0.0
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            HeuristicConstantEstimator(selectivity=0.0)
+
+
+class TestRegistryFactories:
+    def test_default_chain_composition(self):
+        chain = make_fallback_chain("mhist")
+        assert [e.name for e in chain] == ["mhist"] + DEFAULT_FALLBACK_NAMES
+
+    def test_chain_accepts_instances(self, tiny_table):
+        primary = StubEstimator(3.0, name="custom").fit(tiny_table)
+        chain = make_fallback_chain(primary, fallbacks=["postgres"])
+        assert chain[0] is primary
+        assert [e.name for e in chain] == ["custom", "postgres"]
+
+    def test_make_service_round_trip(self, tiny_table, query):
+        svc = make_service("mhist", deadline_ms=None)
+        assert svc.tier_names == ["mhist"] + DEFAULT_FALLBACK_NAMES
+        svc.fit(tiny_table)
+        assert 0.0 <= svc.estimate(query) <= tiny_table.num_rows
+
+
+@pytest.mark.slow
+class TestServingReplay:
+    """Full fault-matrix replay through bench.serving_exp (heavy)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.bench import BenchContext
+        from repro.bench.serving_exp import serving_experiment
+        from repro.scale import Scale
+
+        return {
+            r.scenario: r
+            for r in serving_experiment(
+                BenchContext(Scale.ci(), seed=42), primary="sampling"
+            )
+        }
+
+    def test_service_always_available(self, results):
+        for r in results.values():
+            assert r.availability == 1.0, r.scenario
+
+    def test_total_failure_storms(self, results):
+        for name in ("nan-storm", "exception-storm"):
+            r = results[name]
+            assert r.unguarded_availability == 0.0
+            assert r.primary_breaker == "open"
+            assert r.primary_trips >= 1
+            assert r.fallback_rate > 0.9
+
+    def test_baseline_stays_on_primary(self, results):
+        r = results["no-fault"]
+        assert r.fallback_rate == 0.0
+        assert r.primary_trips == 0
+        assert r.unguarded_availability == 1.0
+
+    def test_slow_primary_times_out_to_fallback(self, results):
+        r = results["slow-primary"]
+        assert r.availability == 1.0
+        assert r.primary_breaker == "open"
+
+    def test_format_mentions_every_scenario(self, results):
+        from repro.bench.serving_exp import format_serving
+
+        text = format_serving(list(results.values()), primary="sampling")
+        for name in results:
+            assert name in text
+
+
+class TestAcceptance:
+    """ISSUE acceptance: 100% primary failure still answers everything."""
+
+    @pytest.mark.parametrize("fault", ["nan", "exception"])
+    def test_total_primary_failure_full_availability(
+        self, small_census, census_workloads, fault
+    ):
+        train, test = census_workloads
+        primary = make_estimator("sampling").fit(small_census)
+        wrapped = (
+            NaNFault(primary, probability=1.0, seed=3)
+            if fault == "nan"
+            else ExceptionFault(primary, probability=1.0, seed=3)
+        )
+        svc = make_service(wrapped, fallbacks=["postgres", "heuristic"])
+        svc.fit(small_census)
+        served = svc.serve_many(list(test.queries))
+        assert all(
+            np.isfinite(s.estimate) and 0.0 <= s.estimate <= small_census.num_rows
+            for s in served
+        )
+        health = svc.health()
+        assert health.availability == 1.0
+        assert health.tiers[0].state == "open"
+        assert health.tiers[0].trips >= 1
