@@ -1,0 +1,79 @@
+"""Observability: the telemetry pipeline itself, run end to end.
+
+Regenerates the ``obs`` experiment (instrumented train + serve replay),
+leaves its span/metrics/event artifacts in ``benchmarks/results/``, and
+benchmarks the cost of serving with a span collector installed — the
+overhead the guarded fast paths are supposed to keep off the default
+configuration.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.obs_exp import format_obs, obs_experiment
+from repro.obs import parse_exposition
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PRIMARY = "lw-xgb"
+
+
+@pytest.fixture(scope="module")
+def report(ctx, record_result):
+    out = obs_experiment(ctx, primary=PRIMARY, out_dir=RESULTS_DIR)
+    record_result("observability", format_obs(out))
+    return out
+
+
+def test_training_epochs_captured_for_both_loops(report):
+    """Per-epoch loss telemetry for a GBDT loop and an NN loop."""
+    assert set(report.models) == {PRIMARY, "lw-nn"}
+    for model in report.models:
+        epochs, first, last = report.training[model]
+        assert epochs > 0, model
+
+
+def test_exposition_matches_service_health(report):
+    """The acceptance cross-check: per-tier latency sample counts in the
+    Prometheus exposition equal the ServiceHealth attempt counters."""
+    assert report.tier_check, "no tiers reported"
+    for tier, attempts, samples in report.tier_check:
+        assert attempts == samples, tier
+    # the primary actually served traffic
+    assert report.tier_check[0][1] > 0
+
+
+def test_artifacts_on_disk_and_parseable(report):
+    artifacts = report.artifacts
+    assert artifacts is not None and artifacts.spans_written > 0
+    spans = [
+        json.loads(line)
+        for line in open(artifacts.spans_path).read().splitlines()
+    ]
+    assert any(s["name"] == "serve" for s in spans)
+    parse_exposition(open(artifacts.metrics_text_path).read())
+    snapshot = json.loads(open(artifacts.metrics_json_path).read())
+    assert "repro_serve_tier_seconds" in snapshot
+    events = [
+        json.loads(line)
+        for line in open(artifacts.events_path).read().splitlines()
+    ]
+    assert artifacts.events_written == len(events)
+
+
+def test_serve_overhead_with_collector(ctx, benchmark):
+    """Serve hot path with full telemetry on (spans + metrics + events)."""
+    from repro.obs import install_collector, uninstall_collector
+    from repro.registry import make_service
+
+    svc = make_service("sampling", deadline_ms=None)
+    svc.fit(ctx.table("census"))
+    queries = list(ctx.test_workload("census").queries)
+    install_collector()
+    try:
+        served = benchmark(lambda: svc.serve_many(queries))
+    finally:
+        uninstall_collector()
+    assert len(served) == len(queries)

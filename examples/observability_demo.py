@@ -1,0 +1,101 @@
+"""Observability demo: watch a training run and a serving replay through
+the telemetry layer.
+
+Run::
+
+    python examples/observability_demo.py
+
+Installs a span collector and a training monitor, trains LW-NN and
+LW-XGB while streaming their per-epoch losses, then serves a workload
+through a fallback chain whose primary goes down mid-replay.  Afterwards
+it prints the span tree for one serve call, the breaker's transition
+narrative from the event log, and the Prometheus exposition of the
+metrics every layer reported into — the same text a scrape endpoint or
+dashboard would consume.
+"""
+
+import numpy as np
+
+from repro import Scale, datasets, generate_workload, make_estimator
+from repro.faults import ExceptionFault
+from repro.obs import (
+    get_events,
+    get_registry,
+    install_collector,
+    monitored_training,
+    reset_for_tests,
+)
+from repro.serve import BreakerConfig, EstimatorService
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Tiny unicode chart of a loss curve."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    spread = (hi - lo) or 1.0
+    return "".join(blocks[int(7 * (v - lo) / spread)] for v in values)
+
+
+def main() -> None:
+    reset_for_tests()
+    rng = np.random.default_rng(0)
+    scale = Scale.ci()
+    table = datasets.census()
+    train = generate_workload(table, 400, rng)
+    test = generate_workload(table, 120, rng)
+
+    collector = install_collector()
+
+    print("=== training under a TrainingMonitor ===")
+    with monitored_training() as monitor:
+        lw_nn = make_estimator("lw-nn", scale).fit(table, train)
+        lw_xgb = make_estimator("lw-xgb", scale).fit(table, train)
+    for model in monitor.models():
+        losses = monitor.losses(model)
+        print(f"{model:>7}: {len(losses):3d} epochs  "
+              f"loss {losses[0]:.3f} -> {losses[-1]:.3f}  {sparkline(losses)}")
+    print()
+
+    print("=== serving while the primary fails mid-replay ===")
+    flaky = ExceptionFault(lw_nn, probability=0.0, seed=7)
+    service = EstimatorService(
+        [flaky, lw_xgb, make_estimator("sampling", scale).fit(table)],
+        deadline_ms=250.0,
+        breaker=BreakerConfig(failure_threshold=5, recovery_seconds=30.0),
+    )
+    queries = list(test.queries)
+    half = len(queries) // 2
+    service.serve_many(queries[:half])
+    flaky.probability = 1.0  # the primary goes down
+    service.serve_many(queries[half:])
+    print(service.health().to_text())
+    print()
+
+    print("=== span tree of the last serve call ===")
+    last_serve = collector.spans("serve")[-1]
+    print(f"serve ({1000 * last_serve.duration_seconds:.2f}ms) "
+          f"tier={last_serve.attrs.get('tier')}")
+    for child in collector.children(last_serve):
+        print(f"  └─ {child.name} tier={child.attrs.get('tier')} "
+              f"outcome={child.attrs.get('outcome')} "
+              f"({1000 * child.duration_seconds:.2f}ms)")
+    print()
+
+    print("=== breaker narrative from the event log ===")
+    for event in get_events().events("breaker.transition"):
+        print(f"  {event['breaker']}: {event['old']} -> {event['new']}")
+    fallbacks = get_events().events("serve.fallback")
+    print(f"  ({len(fallbacks)} queries served by a fallback tier)")
+    print()
+
+    print("=== Prometheus exposition (first 25 lines) ===")
+    for line in get_registry().render_text().splitlines()[:25]:
+        print(f"  {line}")
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@ The package provides:
   the Section 6 synthetic generator;
 * :mod:`repro.dynamic` — the Section 5 dynamic-environment simulator;
 * :mod:`repro.rules` — the Section 6.3 logical-rule checker;
+* :mod:`repro.obs` — observability: metrics, tracing spans, events and
+  training telemetry (the substrate the cost figures flow through);
 * :mod:`repro.bench` — harnesses regenerating every table and figure.
 
 Quickstart::
@@ -31,6 +33,7 @@ from . import (
     dynamic,
     explain,
     faults,
+    obs,
     persistence,
     planner,
     rules,
@@ -96,6 +99,7 @@ __all__ = [
     "make_learned",
     "make_service",
     "make_traditional",
+    "obs",
     "persistence",
     "planner",
     "qerror",

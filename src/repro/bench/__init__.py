@@ -7,9 +7,11 @@ functions directly with a :class:`~repro.bench.context.BenchContext`.
 from .context import BenchContext
 from .dynamic_exp import figure6, figure7, figure8
 from .figure2 import comparison_graph, missing_edge_fraction
+from .obs_exp import obs_experiment
 from .reporting import format_seconds, render_table
 from .robustness import figure9a, figure9b, figure10, figure11
 from .rules_exp import table6
+from .serving_exp import serving_experiment
 from .static import figure3, figure4, table3, table4, table5
 
 __all__ = [
@@ -26,7 +28,9 @@ __all__ = [
     "figure9b",
     "format_seconds",
     "missing_edge_fraction",
+    "obs_experiment",
     "render_table",
+    "serving_experiment",
     "table3",
     "table4",
     "table5",

@@ -4,6 +4,13 @@ Usage::
 
     python -m repro.bench table4 [--scale ci|default|paper] [--seed N]
     python -m repro.bench all --scale ci
+    python -m repro.bench serving --trace-out          # + telemetry dump
+    python -m repro.bench obs --scale ci               # telemetry IS the output
+
+``--trace-out [DIR]`` installs a span collector and training monitor for
+the run and afterwards writes ``<experiment>_spans.jsonl``,
+``<experiment>_metrics.prom`` / ``.json`` and ``<experiment>_events.jsonl``
+into DIR (default ``benchmarks/results/``).
 """
 
 from __future__ import annotations
@@ -11,10 +18,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from collections.abc import Callable
+from pathlib import Path
 
+from .. import obs
 from ..scale import Scale
-from . import figure2, robustness, rules_exp
+from . import figure2, robustness, rules_exp  # noqa: F401  (rules_exp via table6)
 from .context import BenchContext
+from .obs_exp import format_obs, obs_experiment
 from .serving_exp import format_serving, serving_experiment
 from .dynamic_exp import (
     figure6,
@@ -39,31 +50,53 @@ from .static import (
     table5,
 )
 
+#: experiment id -> runner taking the shared context, returning report text.
+#: Module-level so ``--help`` can list every id without building a context.
+EXPERIMENTS: dict[str, Callable[[BenchContext], str]] = {
+    "table3": lambda ctx: format_table3(table3(ctx)),
+    "figure2": lambda ctx: figure2.format_figure2(),
+    "figure3": lambda ctx: format_figure3(figure3(ctx)),
+    "table4": lambda ctx: format_table4(table4(ctx)),
+    "figure4": lambda ctx: format_figure4(figure4(ctx)),
+    "table5": lambda ctx: format_table5(table5(ctx)),
+    "figure6": lambda ctx: format_figure6(figure6(ctx)),
+    "figure7": lambda ctx: format_figure7(figure7(ctx)),
+    "figure8": lambda ctx: format_figure8(figure8(ctx)),
+    "figure9a": lambda ctx: robustness.format_sweep(
+        figure9a(ctx), "c", "Figure 9a: correlation sweep"
+    ),
+    "figure9b": lambda ctx: robustness.format_sweep(
+        figure9b(ctx), "s", "Figure 9b: skew sweep"
+    ),
+    "figure10": lambda ctx: robustness.format_sweep(
+        figure10(ctx), "d", "Figure 10: domain-size sweep"
+    ),
+    "figure11": lambda ctx: robustness.format_figure11(figure11(ctx)),
+    "table6": lambda ctx: format_table6(table6(ctx)),
+    "serving": lambda ctx: format_serving(serving_experiment(ctx)),
+    "obs": lambda ctx: format_obs(obs_experiment(ctx)),
+}
 
-def _experiments(ctx: BenchContext) -> dict[str, callable]:
-    return {
-        "table3": lambda: format_table3(table3(ctx)),
-        "figure2": lambda: figure2.format_figure2(),
-        "figure3": lambda: format_figure3(figure3(ctx)),
-        "table4": lambda: format_table4(table4(ctx)),
-        "figure4": lambda: format_figure4(figure4(ctx)),
-        "table5": lambda: format_table5(table5(ctx)),
-        "figure6": lambda: format_figure6(figure6(ctx)),
-        "figure7": lambda: format_figure7(figure7(ctx)),
-        "figure8": lambda: format_figure8(figure8(ctx)),
-        "figure9a": lambda: robustness.format_sweep(
-            figure9a(ctx), "c", "Figure 9a: correlation sweep"
-        ),
-        "figure9b": lambda: robustness.format_sweep(
-            figure9b(ctx), "s", "Figure 9b: skew sweep"
-        ),
-        "figure10": lambda: robustness.format_sweep(
-            figure10(ctx), "d", "Figure 10: domain-size sweep"
-        ),
-        "figure11": lambda: robustness.format_figure11(figure11(ctx)),
-        "table6": lambda: format_table6(table6(ctx)),
-        "serving": lambda: format_serving(serving_experiment(ctx)),
-    }
+
+def experiment_names() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def _dump_trace(out_dir: Path, stem: str, collector: obs.SpanCollector) -> list[str]:
+    """Write spans/metrics/events collected during the run; return paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    spans_path = out_dir / f"{stem}_spans.jsonl"
+    metrics_text_path = out_dir / f"{stem}_metrics.prom"
+    metrics_json_path = out_dir / f"{stem}_metrics.json"
+    events_path = out_dir / f"{stem}_events.jsonl"
+    collector.to_jsonl(spans_path)
+    registry = obs.get_registry()
+    exposition = registry.render_text()
+    obs.parse_exposition(exposition)  # lint before publishing
+    metrics_text_path.write_text(exposition)
+    registry.to_json(metrics_json_path)
+    obs.get_events().to_jsonl(events_path)
+    return [str(p) for p in (spans_path, metrics_text_path, metrics_json_path, events_path)]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,27 +106,56 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (table3, table4, figure6, ... or 'all')",
+        help=f"experiment id or 'all'; one of: {', '.join(EXPERIMENTS)}",
     )
     parser.add_argument("--scale", default=None, help="ci | default | paper")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--trace-out",
+        nargs="?",
+        const="benchmarks/results",
+        default=None,
+        metavar="DIR",
+        help="collect spans/metrics/events during the run and dump "
+        "<experiment>_{spans.jsonl,metrics.prom,metrics.json,events.jsonl} "
+        "into DIR (default: benchmarks/results)",
+    )
     args = parser.parse_args(argv)
 
     scale = Scale.from_name(args.scale) if args.scale else Scale.from_environment()
     ctx = BenchContext(scale, seed=args.seed)
-    experiments = _experiments(ctx)
 
-    names = list(experiments) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in experiments]
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(
-            f"unknown experiment(s) {unknown}; choose from {sorted(experiments)}"
+            f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}"
         )
-    for name in names:
-        start = time.perf_counter()
-        print(experiments[name]())
-        print(f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]")
-        print()
+
+    collector = None
+    if args.trace_out is not None:
+        obs.get_registry().reset()
+        obs.get_events().clear()
+        collector = obs.install_collector()
+        obs.install_monitor()
+
+    try:
+        for name in names:
+            start = time.perf_counter()
+            print(EXPERIMENTS[name](ctx))
+            print(
+                f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]"
+            )
+            print()
+        if collector is not None and args.experiment != "obs":
+            # The obs experiment writes its own (richer) obs_* artifacts.
+            stem = args.experiment
+            for path in _dump_trace(Path(args.trace_out), stem, collector):
+                print(f"[trace written: {path}]")
+    finally:
+        if collector is not None:
+            obs.uninstall_collector()
+            obs.uninstall_monitor()
     return 0
 
 

@@ -1,0 +1,225 @@
+"""Observability experiment: an instrumented train-and-serve pass whose
+telemetry is the deliverable.
+
+Where every other experiment reports accuracy or cost numbers, this one
+exercises the :mod:`repro.obs` pipeline end to end and exports the raw
+telemetry: a learned primary (plus LW-NN, so both a data-driven and a
+query-driven training loop report per-epoch events) is trained under a
+:class:`~repro.obs.TrainingMonitor`, a fallback-chain service replays
+the test workload under a span collector, and the resulting spans /
+metrics / events are dumped to ``benchmarks/results/`` as
+``obs_spans.jsonl``, ``obs_metrics.prom`` (Prometheus exposition,
+linted), ``obs_metrics.json`` and ``obs_events.jsonl``.
+
+The report also cross-checks the two bookkeeping paths that must agree:
+per-tier attempt counts in :meth:`ServiceHealth <repro.serve.ServiceHealth>`
+versus per-tier latency-sample counts in the registry's exposition.
+
+The experiment resets the process-wide metrics registry and event log
+at entry (it is a measurement of the telemetry itself); the span
+collector and training monitor are installed for its duration and the
+previous ones restored after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..obs import (
+    SERVE_TIER_SECONDS,
+    Histogram,
+    get_collector,
+    get_events,
+    get_monitor,
+    get_registry,
+    install_collector,
+    install_monitor,
+    parse_exposition,
+    span,
+    uninstall_collector,
+    uninstall_monitor,
+)
+from ..registry import make_estimator
+from ..serve import EstimatorService
+from .context import BenchContext
+from .reporting import render_table
+
+#: Fallback tiers behind the instrumented primary.
+FALLBACKS = ["sampling", "postgres", "heuristic"]
+
+
+@dataclass(frozen=True)
+class ObsArtifacts:
+    """Files the experiment wrote (empty paths when out_dir is None)."""
+
+    spans_path: str
+    metrics_text_path: str
+    metrics_json_path: str
+    events_path: str
+    spans_written: int
+    events_written: int
+
+
+@dataclass(frozen=True)
+class ObsReport:
+    """Everything :func:`format_obs` renders."""
+
+    models: tuple[str, ...]
+    #: model -> (epochs recorded, first loss, last loss)
+    training: dict[str, tuple[int, float, float]]
+    #: (span name, count, total milliseconds)
+    span_summary: tuple[tuple[str, int, float], ...]
+    event_counts: dict[str, int]
+    #: (tier, health attempts, exposition latency samples)
+    tier_check: tuple[tuple[str, int, int], ...]
+    health_text: str
+    exposition_samples: int
+    artifacts: ObsArtifacts | None
+
+
+def obs_experiment(
+    ctx: BenchContext,
+    primary: str = "naru",
+    dataset: str = "census",
+    out_dir: str | Path | None = "benchmarks/results",
+) -> ObsReport:
+    """Train, serve, and export the telemetry both runs produced."""
+    registry = get_registry()
+    registry.reset()
+    events = get_events()
+    events.clear()
+    previous_collector = get_collector()
+    collector = install_collector()
+    previous_monitor = get_monitor()
+    monitor = install_monitor()
+    try:
+        table = ctx.table(dataset)
+        test = ctx.test_workload(dataset)
+        train = ctx.train_workload(dataset)
+
+        models = [primary] + (["lw-nn"] if primary != "lw-nn" else [])
+        tiers = []
+        with span("obs.train"):
+            for name in models:
+                est = make_estimator(name, ctx.scale)
+                est.fit(table, train if est.requires_workload else None)
+                tiers.append(est)
+        for name in FALLBACKS:
+            est = make_estimator(name, ctx.scale)
+            est.fit(table, train if est.requires_workload else None)
+            tiers.append(est)
+
+        service = EstimatorService(tiers, deadline_ms=250.0)
+        with span("obs.replay", queries=len(test.queries)):
+            service.serve_many(list(test.queries))
+        health = service.health()
+
+        exposition = registry.render_text()
+        samples = parse_exposition(exposition)  # lints as a side effect
+
+        tier_hist = registry.get(SERVE_TIER_SECONDS)
+        assert isinstance(tier_hist, Histogram)
+        tier_check = tuple(
+            (t.tier, t.attempts, tier_hist.count(tier=t.tier)) for t in health.tiers
+        )
+
+        training = {
+            model: (
+                len(monitor.records_for(model)),
+                monitor.losses(model)[0] if monitor.records_for(model) else 0.0,
+                monitor.losses(model)[-1] if monitor.records_for(model) else 0.0,
+            )
+            for model in models
+        }
+
+        totals: dict[str, tuple[int, float]] = {}
+        for s in collector.spans():
+            count, total = totals.get(s.name, (0, 0.0))
+            totals[s.name] = (count + 1, total + s.duration_seconds)
+        span_summary = tuple(
+            (name, count, 1000.0 * total)
+            for name, (count, total) in sorted(totals.items())
+        )
+
+        artifacts = None
+        if out_dir is not None:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            spans_path = out / "obs_spans.jsonl"
+            metrics_text_path = out / "obs_metrics.prom"
+            metrics_json_path = out / "obs_metrics.json"
+            events_path = out / "obs_events.jsonl"
+            spans_written = collector.to_jsonl(spans_path)
+            metrics_text_path.write_text(exposition)
+            registry.to_json(metrics_json_path)
+            events_written = events.to_jsonl(events_path)
+            artifacts = ObsArtifacts(
+                spans_path=str(spans_path),
+                metrics_text_path=str(metrics_text_path),
+                metrics_json_path=str(metrics_json_path),
+                events_path=str(events_path),
+                spans_written=spans_written,
+                events_written=events_written,
+            )
+
+        return ObsReport(
+            models=tuple(models),
+            training=training,
+            span_summary=span_summary,
+            event_counts=dict(events.kinds()),
+            tier_check=tier_check,
+            health_text=health.to_text(),
+            exposition_samples=len(samples),
+            artifacts=artifacts,
+        )
+    finally:
+        if previous_collector is not None:
+            install_collector(previous_collector)
+        else:
+            uninstall_collector()
+        if previous_monitor is not None:
+            install_monitor(previous_monitor)
+        else:
+            uninstall_monitor()
+
+
+def format_obs(report: ObsReport) -> str:
+    parts = [
+        render_table(
+            ["model", "epochs", "first loss", "last loss"],
+            [
+                [model, count, f"{first:.4f}", f"{last:.4f}"]
+                for model, (count, first, last) in report.training.items()
+            ],
+            title="Observability: per-epoch training telemetry captured",
+        ),
+        render_table(
+            ["span", "count", "total(ms)"],
+            [[n, c, f"{ms:.1f}"] for n, c, ms in report.span_summary],
+            title="Trace spans by name",
+        ),
+        render_table(
+            ["tier", "health attempts", "exposition samples", "agree"],
+            [
+                [tier, attempts, samples, "yes" if attempts == samples else "NO"]
+                for tier, attempts, samples in report.tier_check
+            ],
+            title="Cross-check: ServiceHealth counters vs metrics exposition",
+        ),
+        "Events: "
+        + (
+            " ".join(f"{k}={v}" for k, v in sorted(report.event_counts.items()))
+            or "none"
+        ),
+        f"Exposition: {report.exposition_samples} samples (lint passed)",
+        report.health_text,
+    ]
+    if report.artifacts is not None:
+        a = report.artifacts
+        parts.append(
+            f"Artifacts: {a.spans_path} ({a.spans_written} spans), "
+            f"{a.metrics_text_path}, {a.metrics_json_path}, "
+            f"{a.events_path} ({a.events_written} events)"
+        )
+    return "\n\n".join(parts)

@@ -22,6 +22,7 @@ from ..core.estimator import CardinalityEstimator
 from ..core.metrics import format_qerror, qerrors
 from ..datasets.updates import apply_update
 from ..dynamic.environment import label_update_workload
+from ..obs import percentile_ms
 from ..faults import (
     CorruptionFault,
     ExceptionFault,
@@ -179,9 +180,7 @@ def run_scenario(
         service_p99=float(np.percentile(service_q, 99.0)),
         unguarded_p50=unguarded_p50,
         unguarded_p99=unguarded_p99,
-        p50_latency_ms=float(
-            np.percentile([1000.0 * s.latency_seconds for s in served], 50.0)
-        ),
+        p50_latency_ms=percentile_ms((s.latency_seconds for s in served), 50.0),
     )
 
 

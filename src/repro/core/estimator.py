@@ -12,18 +12,21 @@ Every estimator implements:
   their original papers (e.g. Naru trains one more epoch, DeepDB inserts a
   sample into its SPN).
 
-The harness wraps these calls to capture wall-clock timings, which feed
-Figure 4 (training/inference cost) and Figures 6-8 (dynamic environments).
+The base class instruments these calls through :mod:`repro.obs` — every
+fit/estimate/update emits a tracing span (when a collector is installed)
+and a latency-histogram sample, and the same measurement feeds the
+backward-compatible :class:`TimingRecord` that Figure 4
+(training/inference cost) and Figures 6-8 (dynamic environments) read.
 """
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import observe_phase, timed_span
 from .query import Query
 from .table import Table
 from .workload import Workload
@@ -33,13 +36,22 @@ from .workload import Workload
 class TimingRecord:
     """Wall-clock costs captured by the harness for one estimator."""
 
+    #: cumulative wall-clock across every fit() call (a refit adds to
+    #: the total instead of silently overwriting the first fit's cost)
     fit_seconds: float = 0.0
+    fit_count: int = 0
     #: cumulative wall-clock across every update() call (a dynamic run
     #: updates many times; per-call times are returned by update())
     update_seconds: float = 0.0
     update_count: int = 0
     total_inference_seconds: float = 0.0
     inference_count: int = 0
+
+    @property
+    def mean_fit_seconds(self) -> float:
+        if self.fit_count == 0:
+            return 0.0
+        return self.fit_seconds / self.fit_count
 
     @property
     def mean_inference_ms(self) -> float:
@@ -73,20 +85,23 @@ class CardinalityEstimator(ABC):
         """Build the estimator from ``table`` (and queries, if query-driven)."""
         if self.requires_workload and workload is None:
             raise ValueError(f"{self.name} is query-driven and needs a workload")
-        start = time.perf_counter()
-        self._table = table
-        self._fit(table, workload)
-        self.timing.fit_seconds = time.perf_counter() - start
+        with timed_span("estimator.fit", estimator=self.name) as timer:
+            self._table = table
+            self._fit(table, workload)
+        self.timing.fit_seconds += timer.elapsed
+        self.timing.fit_count += 1
+        observe_phase("fit", self.name, timer.elapsed)
         return self
 
     def estimate(self, query: Query) -> float:
         """Estimated COUNT(*) for one query (clamped to be non-negative)."""
         if self._table is None:
             raise RuntimeError(f"{self.name} must be fit before estimating")
-        start = time.perf_counter()
-        value = self._estimate(query)
-        self.timing.total_inference_seconds += time.perf_counter() - start
+        with timed_span("estimator.estimate", estimator=self.name) as timer:
+            value = self._estimate(query)
+        self.timing.total_inference_seconds += timer.elapsed
         self.timing.inference_count += 1
+        observe_phase("estimate", self.name, timer.elapsed)
         return max(0.0, float(value))
 
     def estimate_many(self, queries: list[Query]) -> np.ndarray:
@@ -107,13 +122,13 @@ class CardinalityEstimator(ABC):
         """
         if self._table is None:
             raise RuntimeError(f"{self.name} must be fit before updating")
-        start = time.perf_counter()
-        self._table = table
-        self._update(table, appended, workload)
-        elapsed = time.perf_counter() - start
-        self.timing.update_seconds += elapsed
+        with timed_span("estimator.update", estimator=self.name) as timer:
+            self._table = table
+            self._update(table, appended, workload)
+        self.timing.update_seconds += timer.elapsed
         self.timing.update_count += 1
-        return elapsed
+        observe_phase("update", self.name, timer.elapsed)
+        return timer.elapsed
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -50,6 +50,7 @@ class LwXgbEstimator(CardinalityEstimator):
             num_trees=self.num_trees,
             learning_rate=self.learning_rate,
             max_depth=self.max_depth,
+            monitor_label=self.name,
         ).fit(features, labels)
 
     def _update(
@@ -66,6 +67,7 @@ class LwXgbEstimator(CardinalityEstimator):
             num_trees=self.update_trees,
             learning_rate=self.learning_rate,
             max_depth=self.max_depth,
+            monitor_label=self.name,
         ).fit(features, labels)
 
     # ------------------------------------------------------------------

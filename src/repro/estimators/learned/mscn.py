@@ -9,13 +9,16 @@ materialized-sample bitmap module.  The model minimises the mean q-error
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ...core.estimator import CardinalityEstimator
 from ...core.query import Query
 from ...core.table import Table
 from ...core.workload import Workload
-from ...nn import Adam, Linear, ReLU, Sequential, qerror_loss
+from ...nn import Adam, Linear, ReLU, Sequential, global_grad_norm, qerror_loss
+from ...obs import get_monitor
 from .featurize import MscnFeaturizer, log_cardinality_labels
 
 
@@ -156,7 +159,9 @@ class MscnEstimator(CardinalityEstimator):
         bitmaps = self._featurizer.bitmaps(queries)
         labels = log_cardinality_labels(workload.cardinalities)
         n = len(labels)
+        monitor = get_monitor()
         for _ in range(epochs):
+            epoch_start = time.perf_counter() if monitor is not None else 0.0
             order = rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -170,6 +175,14 @@ class MscnEstimator(CardinalityEstimator):
                 self._optimizer.step()
                 epoch_loss += loss * len(batch)
             self.loss_history.append(epoch_loss / n)
+            if monitor is not None:
+                monitor.on_epoch(
+                    self.name,
+                    epoch=len(self.loss_history) - 1,
+                    loss=self.loss_history[-1],
+                    grad_norm=global_grad_norm(self._network.parameters()),
+                    seconds=time.perf_counter() - epoch_start,
+                )
 
     def _update(
         self, table: Table, appended: np.ndarray, workload: Workload | None

@@ -15,14 +15,17 @@ differ (the Stability-rule violation of paper Section 6.3).  Pass
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ...core.estimator import CardinalityEstimator
 from ...core.query import Query
 from ...core.table import Table
 from ...core.workload import Workload
-from ...nn import Adam, ResMade
+from ...nn import Adam, ResMade, global_grad_norm
 from ...nn.transformer import TransformerAR
+from ...obs import get_monitor
 from ..discretize import Discretizer
 
 
@@ -111,7 +114,9 @@ class NaruEstimator(CardinalityEstimator):
         binned = self._disc.transform(table.data)
         n = len(binned)
         n_cols = binned.shape[1]
+        monitor = get_monitor()
         for _ in range(epochs):
+            epoch_start = time.perf_counter() if monitor is not None else 0.0
             order = rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -128,6 +133,14 @@ class NaruEstimator(CardinalityEstimator):
                 self._optimizer.step()
                 epoch_loss += loss * len(batch)
             self.loss_history.append(epoch_loss / n)
+            if monitor is not None:
+                monitor.on_epoch(
+                    self.name,
+                    epoch=len(self.loss_history) - 1,
+                    loss=self.loss_history[-1],
+                    grad_norm=global_grad_norm(self._model.parameters()),
+                    seconds=time.perf_counter() - epoch_start,
+                )
 
     def _update(
         self, table: Table, appended: np.ndarray, workload: Workload | None

@@ -5,12 +5,21 @@ negative gradient is simply the residual, so boosting reduces to fitting
 each tree to the current residuals and adding it with shrinkage.
 Supports warm-started continuation (``extend``) for the dynamic
 environment, where LW-XGB refreshes its model on updated query labels.
+
+Boosting rounds are the GBDT analogue of training epochs: when a
+:class:`~repro.obs.TrainingMonitor` is installed, every round reports
+the post-round residual mean-squared error and its wall-clock under
+``monitor_label`` (LW-XGB sets its own name).  With no monitor installed
+the loop pays nothing.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs import get_monitor
 from .tree import FeatureBinner, RegressionTree
 
 
@@ -24,6 +33,7 @@ class GradientBoostedTrees:
         max_depth: int = 6,
         min_samples_leaf: int = 5,
         max_bins: int = 64,
+        monitor_label: str = "gbdt",
     ) -> None:
         if num_trees < 1:
             raise ValueError("need at least one tree")
@@ -34,6 +44,7 @@ class GradientBoostedTrees:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_bins = max_bins
+        self.monitor_label = monitor_label
         self._binner: FeatureBinner | None = None
         self._trees: list[RegressionTree] = []
         self._base: float = 0.0
@@ -47,11 +58,7 @@ class GradientBoostedTrees:
         self._base = float(target.mean())
         self._trees = []
         residual = target - self._base
-        for _ in range(self.num_trees):
-            tree = RegressionTree(self.max_depth, self.min_samples_leaf)
-            tree.fit(binned, residual)
-            residual -= self.learning_rate * tree.predict(binned)
-            self._trees.append(tree)
+        self._boost(binned, residual, self.num_trees)
         return self
 
     def extend(
@@ -63,12 +70,27 @@ class GradientBoostedTrees:
         features = np.asarray(features, dtype=np.float64)
         binned = self._binner.transform(features)
         residual = np.asarray(target, dtype=np.float64) - self._predict_binned(binned)
-        for _ in range(extra_trees):
+        self._boost(binned, residual, extra_trees)
+        return self
+
+    def _boost(
+        self, binned: np.ndarray, residual: np.ndarray, rounds: int
+    ) -> None:
+        """Fit ``rounds`` trees against ``residual`` (mutated in place)."""
+        monitor = get_monitor()
+        for _ in range(rounds):
+            round_start = time.perf_counter() if monitor is not None else 0.0
             tree = RegressionTree(self.max_depth, self.min_samples_leaf)
             tree.fit(binned, residual)
             residual -= self.learning_rate * tree.predict(binned)
             self._trees.append(tree)
-        return self
+            if monitor is not None:
+                monitor.on_epoch(
+                    self.monitor_label,
+                    epoch=len(self._trees) - 1,
+                    loss=float(np.mean(residual * residual)),
+                    seconds=time.perf_counter() - round_start,
+                )
 
     # ------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:

@@ -8,7 +8,7 @@ from .attention import CausalSelfAttention, Embedding, LayerNorm
 from .layers import Linear, MaskedLinear, Module, Parameter, ReLU, Sequential
 from .loss import mse_loss, qerror_loss, softmax, softmax_cross_entropy
 from .made import ResMade, ResMadeBlock
-from .optim import SGD, Adam
+from .optim import SGD, Adam, global_grad_norm
 from .transformer import TransformerAR
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "SGD",
     "Sequential",
     "TransformerAR",
+    "global_grad_norm",
     "mse_loss",
     "qerror_loss",
     "softmax",

@@ -50,6 +50,20 @@ class Adam:
             p.zero_grad()
 
 
+def global_grad_norm(parameters: list[Parameter]) -> float:
+    """L2 norm over every parameter's accumulated gradient.
+
+    Training loops report this to the :class:`~repro.obs.TrainingMonitor`
+    (gradient-norm drift is the classic early symptom of a diverging
+    learned estimator); call it after ``backward`` and before the next
+    ``zero_grad``.
+    """
+    total = 0.0
+    for p in parameters:
+        total += float(np.sum(p.grad * p.grad))
+    return float(np.sqrt(total))
+
+
 class SGD:
     """Plain stochastic gradient descent (used in tests as a reference)."""
 

@@ -1,0 +1,120 @@
+"""Observability layer: metrics registry, tracing spans, event log, and
+training telemetry.
+
+The paper's central evidence is cost/accuracy telemetry — training time,
+inference latency, update cost (Figure 4, Figures 6-8).  ``repro.obs``
+is the measurement substrate those numbers (and every serving decision)
+flow through:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` (log-spaced
+  latency buckets), Prometheus text exposition and JSON snapshots;
+* :mod:`repro.obs.tracing` — nested :func:`span` context managers with
+  parent links, a ring-buffer :class:`SpanCollector` and JSONL export;
+* :mod:`repro.obs.events` — a structured :class:`EventLog` for discrete
+  occurrences (breaker transitions, fallbacks, sanitizations);
+* :mod:`repro.obs.monitor` — the opt-in :class:`TrainingMonitor` hook
+  the learned estimators' training loops report per-epoch loss /
+  gradient-norm / timing through.
+
+Metrics and events are always on (both are cheap); span collection and
+training monitoring are opt-in via :func:`install_collector` /
+:func:`install_monitor` so the hot paths stay free when nobody watches.
+Tests isolate themselves with :func:`reset_for_tests`.
+"""
+
+from .events import Event, EventLog, emit, get_events
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    BREAKER_TRANSITIONS,
+    ESTIMATOR_PHASE_SECONDS,
+    SERVE_REQUESTS,
+    SERVE_TIER_ATTEMPTS,
+    SERVE_TIER_SECONDS,
+    TRAIN_EPOCH_SECONDS,
+    TRAIN_EPOCHS,
+    TRAIN_LOSS,
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyWindow,
+    MetricsRegistry,
+    Sample,
+    format_quantiles_ms,
+    get_registry,
+    log_spaced_buckets,
+    observe_phase,
+    parse_exposition,
+    percentile_ms,
+)
+from .monitor import (
+    EpochRecord,
+    TrainingMonitor,
+    get_monitor,
+    install_monitor,
+    monitored_training,
+    uninstall_monitor,
+)
+from .tracing import (
+    Span,
+    SpanCollector,
+    SpanTimer,
+    get_collector,
+    install_collector,
+    span,
+    timed_span,
+    uninstall_collector,
+)
+
+
+def reset_for_tests() -> None:
+    """Restore pristine default telemetry: zeroed registry, cleared
+    event log, no span collector, no training monitor."""
+    get_registry().reset()
+    get_events().clear()
+    uninstall_collector()
+    uninstall_monitor()
+
+
+__all__ = [
+    "BREAKER_TRANSITIONS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ESTIMATOR_PHASE_SECONDS",
+    "EpochRecord",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "LatencyWindow",
+    "MetricsRegistry",
+    "SERVE_REQUESTS",
+    "SERVE_TIER_ATTEMPTS",
+    "SERVE_TIER_SECONDS",
+    "Sample",
+    "Span",
+    "SpanCollector",
+    "SpanTimer",
+    "TRAIN_EPOCHS",
+    "TRAIN_EPOCH_SECONDS",
+    "TRAIN_LOSS",
+    "TrainingMonitor",
+    "emit",
+    "format_quantiles_ms",
+    "get_collector",
+    "get_events",
+    "get_monitor",
+    "get_registry",
+    "install_collector",
+    "install_monitor",
+    "log_spaced_buckets",
+    "monitored_training",
+    "observe_phase",
+    "parse_exposition",
+    "percentile_ms",
+    "reset_for_tests",
+    "span",
+    "timed_span",
+    "uninstall_collector",
+    "uninstall_monitor",
+]

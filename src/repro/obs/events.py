@@ -1,0 +1,98 @@
+"""Structured event log for discrete occurrences.
+
+Where metrics aggregate and spans time, events *narrate*: a circuit
+breaker tripping OPEN, a query degrading to a fallback tier, a rule
+violation being sanitized, a NaN being caught.  Each event is a kind
+plus free-form fields and a monotonic timestamp, kept in a ring buffer
+so tests can assert on exact *sequences* (e.g. the breaker walking
+CLOSED -> OPEN -> HALF_OPEN -> CLOSED) instead of polling state.
+
+A module-level default log is always installed — emitting an event is a
+dataclass construction and a deque append, cheap enough to leave on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter as _Counter
+from collections import deque
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+
+@dataclass(frozen=True)
+class Event:
+    """One discrete occurrence."""
+
+    kind: str
+    #: monotonic timestamp (comparable to span start/end times)
+    seconds: float
+    fields: MappingProxyType = field(default_factory=lambda: MappingProxyType({}))
+
+    def __getitem__(self, key: str):
+        return self.fields[key]
+
+    def get(self, key: str, default=None):
+        return self.fields.get(key, default)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "seconds": self.seconds, **dict(self.fields)}
+
+
+class EventLog:
+    """Ring buffer of :class:`Event` records."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._events: deque[Event] = deque(maxlen=capacity)
+
+    def emit(self, kind: str, **fields) -> Event:
+        event = Event(
+            kind=kind,
+            seconds=time.perf_counter(),
+            fields=MappingProxyType(dict(fields)),
+        )
+        self._events.append(event)
+        return event
+
+    def events(self, kind: str | None = None, **match) -> list[Event]:
+        """Events in emission order, filtered by kind and field values."""
+        selected = [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and all(e.get(k) == v for k, v in match.items())
+        ]
+        return selected
+
+    def kinds(self) -> _Counter:
+        return _Counter(e.kind for e in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_jsonl(self, path) -> int:
+        events = list(self._events)
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True, default=str))
+                fh.write("\n")
+        return len(events)
+
+
+_default_log = EventLog()
+
+
+def get_events() -> EventLog:
+    """The process-wide default event log."""
+    return _default_log
+
+
+def emit(kind: str, **fields) -> Event:
+    """Emit onto the default log."""
+    return _default_log.emit(kind, **fields)

@@ -1,0 +1,510 @@
+"""Process-wide metrics: counters, gauges and log-bucketed histograms.
+
+The paper's evidence is cost telemetry — training time, inference
+latency, update cost (Figure 4, Figures 6-8) — so the reproduction keeps
+a first-class :class:`MetricsRegistry` that every layer reports into.
+Three instrument kinds, all label-aware:
+
+* :class:`Counter` — monotonically increasing totals (queries served,
+  breaker trips, sanitizations);
+* :class:`Gauge` — last-written values (current training loss, breaker
+  state);
+* :class:`Histogram` — distributions over fixed **log-spaced buckets**
+  (latencies span six orders of magnitude across the thirteen
+  estimators, so linear buckets are useless).
+
+A registry renders to the Prometheus text exposition format
+(:meth:`MetricsRegistry.render_text`, linted by
+:func:`parse_exposition`) and to a JSON-safe snapshot
+(:meth:`MetricsRegistry.snapshot`).  A module-level default registry
+backs the instrumented estimator/serving layers; tests isolate
+themselves with :func:`repro.obs.reset_for_tests`.
+
+:class:`LatencyWindow` is the one shared latency-summary code path:
+exact percentiles over a sliding sample window, used by both the serving
+layer's health snapshots and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: label-set key: a sorted tuple of (label, value) pairs
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    escaped = (
+        (k, v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"))
+        for k, v in key
+    )
+    return "{" + ",".join(f'{k}="{v}"' for k, v in escaped) + "}"
+
+
+class _Metric:
+    """Shared name/help plumbing for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def _check_labels(self, labels: dict[str, object]) -> LabelKey:
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {self.name}")
+        return _label_key(labels)
+
+    # Subclasses provide: samples() -> iterable of exposition lines,
+    # snapshot() -> JSON-safe dict, reset().
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._check_labels(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterable[str]:
+        for key in sorted(self._values):
+            yield f"{self.name}{_format_labels(key)} {_format_value(self._values[key])}"
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class Gauge(_Metric):
+    """A value that goes up and down, one series per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._check_labels(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._check_labels(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterable[str]:
+        for key in sorted(self._values):
+            yield f"{self.name}{_format_labels(key)} {_format_value(self._values[key])}"
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+def log_spaced_buckets(
+    lo: float = 1e-6, hi: float = 100.0, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Bucket upper bounds spaced evenly in log10 from ``lo`` to ``hi``."""
+    if lo <= 0.0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be at least 1")
+    steps = round(per_decade * math.log10(hi / lo))
+    return tuple(lo * 10 ** (i / per_decade) for i in range(steps + 1))
+
+
+#: Latency buckets: 1 microsecond to 100 seconds, four per decade.  The
+#: spread covers sub-ms traditional estimators and minutes-long learned
+#: training epochs in the same instrument.
+DEFAULT_LATENCY_BUCKETS = log_spaced_buckets(1e-6, 100.0, per_decade=4)
+
+
+@dataclass
+class _HistogramSeries:
+    counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with cumulative Prometheus exposition.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def _get(self, key: LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                counts=[0] * (len(self.bounds) + 1)
+            )
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        series = self._get(self._check_labels(labels))
+        index = len(self.bounds)  # the +Inf bucket
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        series.counts[index] += 1
+        series.total += value
+        series.count += 1
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-interpolated quantile estimate (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q * series.count
+        cumulative = 0
+        for i, bucket_count in enumerate(series.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                fraction = (rank - previous) / bucket_count
+                return lower + fraction * (upper - lower)
+        return self.bounds[-1]
+
+    def samples(self) -> Iterable[str]:
+        for key in sorted(self._series):
+            series = self._series[key]
+            cumulative = 0
+            for i, bound in enumerate(self.bounds):
+                cumulative += series.counts[i]
+                bucket_key = key + (("le", _format_value(bound)),)
+                yield f"{self.name}_bucket{_format_labels(bucket_key)} {cumulative}"
+            inf_key = key + (("le", "+Inf"),)
+            yield f"{self.name}_bucket{_format_labels(inf_key)} {series.count}"
+            yield f"{self.name}_sum{_format_labels(key)} {_format_value(series.total)}"
+            yield f"{self.name}_count{_format_labels(key)} {series.count}"
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.bounds),
+            "series": [
+                {
+                    "labels": dict(key),
+                    "counts": list(series.counts),
+                    "sum": series.total,
+                    "count": series.count,
+                }
+                for key, series in sorted(self._series.items())
+            ],
+        }
+
+    def reset(self) -> None:
+        self._series.clear()
+
+
+class MetricsRegistry:
+    """Name -> metric, with get-or-create accessors and two exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Prometheus text exposition of every metric in the registry."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.samples())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """JSON-safe dict: ``{metric_name: {kind, help, series}}``."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def to_json(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def reset(self) -> None:
+        """Zero every series but keep the registered metric objects."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+
+# ----------------------------------------------------------------------
+# Exposition lint
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Sample:
+    """One parsed exposition sample line."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> list[Sample]:
+    """Parse (and thereby lint) Prometheus text exposition.
+
+    Raises :class:`ValueError` on the first malformed line; returns the
+    parsed samples otherwise, so tests can cross-check exposition
+    contents against in-process counters.
+    """
+    samples: list[Sample] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped",
+                ):
+                    raise ValueError(f"line {lineno}: bad TYPE {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(raw):
+                labels[pair.group(1)] = pair.group(2)
+                consumed += 1
+            if consumed != raw.count("=") or consumed == 0:
+                raise ValueError(f"line {lineno}: malformed labels {raw!r}")
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value {value_text!r}"
+            ) from None
+        samples.append(Sample(match.group("name"), labels, value))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Shared latency summaries (the one percentile/formatting code path)
+# ----------------------------------------------------------------------
+def percentile_ms(samples_seconds: Iterable[float], q: float) -> float:
+    """Exact ``q``-th percentile (0-100) of latency samples, in ms."""
+    values = sorted(samples_seconds)
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    rank = (q / 100.0) * (len(values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return 1000.0 * values[low]
+    fraction = rank - low
+    return 1000.0 * (values[low] * (1.0 - fraction) + values[high] * fraction)
+
+
+def format_quantiles_ms(p50_ms: float, p99_ms: float) -> str:
+    """Canonical ``p50=..ms p99=..ms`` rendering used by health text."""
+    return f"p50={p50_ms:.2f}ms p99={p99_ms:.2f}ms"
+
+
+class LatencyWindow:
+    """Sliding window of raw latency samples with exact percentiles.
+
+    The serving layer keeps one per tier; the benchmark harness builds
+    one over a replay.  Exact quantiles over the window complement the
+    registry's bucketed :class:`Histogram` (which is lossy but
+    mergeable/exportable).
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=maxlen)
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    def extend(self, samples_seconds: Iterable[float]) -> "LatencyWindow":
+        for s in samples_seconds:
+            self.observe(s)
+        return self
+
+    def percentile_ms(self, q: float) -> float:
+        return percentile_ms(self._samples, q)
+
+    def summary_text(self) -> str:
+        return format_quantiles_ms(self.percentile_ms(50.0), self.percentile_ms(99.0))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+# ----------------------------------------------------------------------
+# Module-level default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry the instrumented layers feed."""
+    return _default_registry
+
+
+#: Canonical instrument names used by the instrumented layers.
+ESTIMATOR_PHASE_SECONDS = "repro_estimator_phase_seconds"
+SERVE_REQUESTS = "repro_serve_requests_total"
+SERVE_TIER_ATTEMPTS = "repro_serve_tier_attempts_total"
+SERVE_TIER_SECONDS = "repro_serve_tier_seconds"
+BREAKER_TRANSITIONS = "repro_breaker_transitions_total"
+TRAIN_EPOCHS = "repro_training_epochs_total"
+TRAIN_LOSS = "repro_training_loss"
+TRAIN_EPOCH_SECONDS = "repro_training_epoch_seconds"
+
+
+def observe_phase(
+    phase: str,
+    estimator: str,
+    seconds: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one fit/estimate/update latency sample for ``estimator``."""
+    reg = registry if registry is not None else _default_registry
+    reg.histogram(
+        ESTIMATOR_PHASE_SECONDS,
+        "Wall-clock seconds of estimator fit/estimate/update calls",
+    ).observe(seconds, phase=phase, estimator=estimator)

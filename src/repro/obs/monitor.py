@@ -1,0 +1,131 @@
+"""Per-epoch training telemetry via an opt-in callback hook.
+
+The learned estimators' training loops (Naru, MSCN, LW-NN, and the GBDT
+rounds behind LW-XGB) call :func:`get_monitor` once per loop and, when a
+:class:`TrainingMonitor` is installed, report each epoch's loss,
+gradient norm and wall-clock.  When nothing is installed the hook
+returns ``None`` and the loops skip *all* telemetry work — including the
+gradient-norm reduction — so an uninstrumented training run pays nothing
+(the paper's Figure 4 cost numbers stay honest).
+
+Install with :func:`install_monitor` (or the :func:`monitored_training`
+context manager for scoped use).  The default monitor keeps an in-memory
+record list and mirrors every epoch into the metrics registry (loss
+gauge, epoch counter, epoch-seconds histogram) and the event log
+(``train.epoch`` events), so a dashboard can follow a run live.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .events import EventLog, get_events
+from .metrics import (
+    TRAIN_EPOCH_SECONDS,
+    TRAIN_EPOCHS,
+    TRAIN_LOSS,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch (or boosting round) of one model's training."""
+
+    model: str
+    epoch: int
+    loss: float
+    grad_norm: float | None
+    seconds: float
+
+
+class TrainingMonitor:
+    """Records per-epoch telemetry into memory, metrics and events."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self._registry = registry
+        self._events = events
+        self.records: list[EpochRecord] = []
+
+    def on_epoch(
+        self,
+        model: str,
+        epoch: int,
+        loss: float,
+        grad_norm: float | None = None,
+        seconds: float = 0.0,
+    ) -> None:
+        """Called by a training loop at the end of each epoch/round."""
+        record = EpochRecord(model, epoch, float(loss), grad_norm, seconds)
+        self.records.append(record)
+        registry = self._registry if self._registry is not None else get_registry()
+        registry.counter(
+            TRAIN_EPOCHS, "Training epochs/boosting rounds completed"
+        ).inc(model=model)
+        registry.gauge(TRAIN_LOSS, "Most recent training-epoch loss").set(
+            record.loss, model=model
+        )
+        registry.histogram(
+            TRAIN_EPOCH_SECONDS, "Wall-clock seconds per training epoch"
+        ).observe(seconds, model=model)
+        events = self._events if self._events is not None else get_events()
+        events.emit(
+            "train.epoch",
+            model=model,
+            epoch=epoch,
+            loss=record.loss,
+            grad_norm=grad_norm,
+            seconds=seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def records_for(self, model: str) -> list[EpochRecord]:
+        return [r for r in self.records if r.model == model]
+
+    def losses(self, model: str) -> list[float]:
+        return [r.loss for r in self.records_for(model)]
+
+    def models(self) -> list[str]:
+        return sorted({r.model for r in self.records})
+
+
+_active_monitor: TrainingMonitor | None = None
+
+
+def install_monitor(monitor: TrainingMonitor | None = None) -> TrainingMonitor:
+    """Install (and return) the process-wide training monitor."""
+    global _active_monitor
+    _active_monitor = monitor if monitor is not None else TrainingMonitor()
+    return _active_monitor
+
+
+def uninstall_monitor() -> None:
+    """Remove the monitor (training loops revert to the free fast path)."""
+    global _active_monitor
+    _active_monitor = None
+
+
+def get_monitor() -> TrainingMonitor | None:
+    """The hook training loops consult; ``None`` means telemetry off."""
+    return _active_monitor
+
+
+@contextmanager
+def monitored_training(
+    monitor: TrainingMonitor | None = None,
+) -> Iterator[TrainingMonitor]:
+    """Scoped install: monitor training inside the block, then restore."""
+    global _active_monitor
+    previous = _active_monitor
+    installed = install_monitor(monitor)
+    try:
+        yield installed
+    finally:
+        _active_monitor = previous

@@ -1,0 +1,198 @@
+"""Nested tracing spans with a ring-buffer collector and JSONL export.
+
+A span is one timed region — an estimator fit, a single serve call, one
+tier attempt inside it — with monotonic start/end timestamps, free-form
+attributes, and a link to its parent span, so a trace reconstructs *why*
+a query took as long as it did (which tiers were tried, which failed,
+what the breaker did).
+
+Collection is opt-in: until :func:`install_collector` is called,
+:func:`span` yields ``None`` without allocating anything, and
+:func:`timed_span` degrades to a bare pair of ``perf_counter`` reads.
+That guarded fast path is what lets the estimator hot path stay
+instrumented permanently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import Counter as _Counter
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_span_ids = itertools.count(1)
+
+#: stack of open spans (the reproduction is single-threaded; a span
+#: opened on another thread would mis-parent, which we accept)
+_stack: list["Span"] = []
+
+_active_collector: "SpanCollector | None" = None
+
+
+@dataclass
+class Span:
+    """One timed region; ``end`` is filled when the region exits."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def duration_seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class SpanCollector:
+    """Ring buffer of finished spans (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def add(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def names(self) -> _Counter:
+        """Span count by name (for quick trace summaries)."""
+        return _Counter(s.name for s in self._spans)
+
+    def children(self, parent: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == parent.span_id]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def to_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the spans written."""
+        spans = list(self._spans)
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+
+def install_collector(collector: SpanCollector | None = None) -> SpanCollector:
+    """Install (and return) the process-wide collector; spans flow to it."""
+    global _active_collector
+    _active_collector = collector if collector is not None else SpanCollector()
+    return _active_collector
+
+
+def uninstall_collector() -> None:
+    """Disable span collection (restores the zero-overhead fast path)."""
+    global _active_collector
+    _active_collector = None
+    _stack.clear()
+
+
+def get_collector() -> SpanCollector | None:
+    return _active_collector
+
+
+@contextmanager
+def span(
+    name: str, collector: SpanCollector | None = None, **attrs
+) -> Iterator[Span | None]:
+    """Open a child span of whatever span is currently on the stack.
+
+    Yields the open :class:`Span` (mutate ``attrs``/``status`` freely
+    before exit) or ``None`` when collection is off.
+    """
+    col = collector if collector is not None else _active_collector
+    if col is None:
+        yield None
+        return
+    record = Span(
+        name=name,
+        span_id=next(_span_ids),
+        parent_id=_stack[-1].span_id if _stack else None,
+        start=time.perf_counter(),
+        attrs=dict(attrs),
+    )
+    _stack.append(record)
+    try:
+        yield record
+    except BaseException:
+        record.status = "error"
+        raise
+    finally:
+        if _stack and _stack[-1] is record:
+            _stack.pop()
+        if record.end == 0.0:  # timed_span may have closed it already
+            record.end = time.perf_counter()
+        col.add(record)
+
+
+class SpanTimer:
+    """Elapsed-seconds handle yielded by :func:`timed_span`."""
+
+    __slots__ = ("elapsed", "span")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.span: Span | None = None
+
+
+@contextmanager
+def timed_span(
+    name: str, collector: SpanCollector | None = None, **attrs
+) -> Iterator[SpanTimer]:
+    """Always measures elapsed time; records a span only when collecting.
+
+    This is the instrumentation primitive behind the estimator protocol:
+    the :class:`~repro.core.estimator.TimingRecord` is fed from the
+    yielded timer, so the hand-rolled timing and the trace can never
+    disagree.
+    """
+    timer = SpanTimer()
+    col = collector if collector is not None else _active_collector
+    if col is None:
+        start = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.elapsed = time.perf_counter() - start
+        return
+    with span(name, collector=col, **attrs) as record:
+        timer.span = record
+        try:
+            yield timer
+        finally:
+            assert record is not None
+            record.end = time.perf_counter()
+            timer.elapsed = record.duration_seconds

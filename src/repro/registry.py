@@ -159,10 +159,16 @@ def make_service(
 ) -> EstimatorService:
     """A fault-tolerant :class:`EstimatorService` around ``primary``.
 
-    Keyword arguments (``deadline_ms``, ``breaker``, ``clock``) are
-    forwarded to the service.  The fallback tiers are constructed fresh,
-    so call ``fit`` once on the returned service to fit the whole chain
-    (a pre-fitted ``primary`` instance is refit along with it).
+    Keyword arguments (``deadline_ms``, ``breaker``, ``clock``, and the
+    observability sinks ``registry`` / ``collector`` / ``events``) are
+    forwarded to the service; passing a shared
+    :class:`~repro.obs.MetricsRegistry` or
+    :class:`~repro.obs.SpanCollector` lets several services report into
+    one telemetry view, while the default (``None``) uses the
+    process-wide instances from :mod:`repro.obs`.  The fallback tiers
+    are constructed fresh, so call ``fit`` once on the returned service
+    to fit the whole chain (a pre-fitted ``primary`` instance is refit
+    along with it).
     """
     return EstimatorService(
         make_fallback_chain(primary, fallbacks, scale), **service_kwargs

@@ -14,6 +14,13 @@ machine:
 
 The clock is injectable so tests (and the fault-injection harness) can
 drive recovery deterministically without sleeping.
+
+Every state transition — including the lazy OPEN -> HALF_OPEN promotion
+performed when :attr:`CircuitBreaker.state` is read after the recovery
+window — is emitted as a ``breaker.transition`` event on the breaker's
+:class:`~repro.obs.EventLog` and counted in the metrics registry, so
+tests and dashboards see the exact transition *sequence* rather than
+polled snapshots.
 """
 
 from __future__ import annotations
@@ -22,6 +29,10 @@ import enum
 import time
 from dataclasses import dataclass
 from typing import Callable
+
+from ..obs import BREAKER_TRANSITIONS, EventLog, MetricsRegistry
+from ..obs import get_events as _default_events
+from ..obs import get_registry as _default_registry
 
 
 class BreakerState(enum.Enum):
@@ -57,15 +68,37 @@ class CircuitBreaker:
         self,
         config: BreakerConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+        events: EventLog | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or BreakerConfig()
         self._clock = clock
+        #: label attached to emitted transition events (the tier name)
+        self.name = name
+        self._events = events
+        self._registry = registry
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._probe_streak = 0
         self._opened_at = 0.0
         #: number of CLOSED/HALF_OPEN -> OPEN transitions observed
         self.trips = 0
+
+    def _transition(self, new_state: BreakerState) -> None:
+        old = self._state
+        self._state = new_state
+        events = self._events if self._events is not None else _default_events()
+        events.emit(
+            "breaker.transition",
+            breaker=self.name,
+            old=old.value,
+            new=new_state.value,
+        )
+        registry = self._registry if self._registry is not None else _default_registry()
+        registry.counter(
+            BREAKER_TRANSITIONS, "Circuit-breaker state transitions"
+        ).inc(breaker=self.name, old=old.value, new=new_state.value)
 
     # ------------------------------------------------------------------
     @property
@@ -75,7 +108,7 @@ class CircuitBreaker:
             self._state is BreakerState.OPEN
             and self._clock() - self._opened_at >= self.config.recovery_seconds
         ):
-            self._state = BreakerState.HALF_OPEN
+            self._transition(BreakerState.HALF_OPEN)
             self._probe_streak = 0
         return self._state
 
@@ -104,14 +137,14 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _trip(self) -> None:
-        self._state = BreakerState.OPEN
+        self._transition(BreakerState.OPEN)
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._probe_streak = 0
         self.trips += 1
 
     def _close(self) -> None:
-        self._state = BreakerState.CLOSED
+        self._transition(BreakerState.CLOSED)
         self._consecutive_failures = 0
         self._probe_streak = 0
 

@@ -26,6 +26,15 @@ full-domain queries) are short-circuited before any model runs, exactly
 like :class:`~repro.rules.LogicalGuard`.  Per-tier health counters and
 latency quantiles are exposed via :meth:`EstimatorService.health`.
 
+The service is fully instrumented through :mod:`repro.obs`: every
+:meth:`~EstimatorService.serve` call opens a ``serve`` span with one
+child span per tier attempt, fallback activations / sanitizations /
+NaN catches are emitted as structured events, and per-tier latencies
+feed both the exact-percentile health window and the registry's
+exportable histogram.  Pass ``registry`` / ``collector`` / ``events``
+to aggregate telemetry across services; the defaults are the
+process-wide instances.
+
 The service is itself a :class:`CardinalityEstimator`, so it drops into
 every harness, can be persisted, and can even be a tier of another
 service.
@@ -35,16 +44,27 @@ from __future__ import annotations
 
 import math
 import time
-from collections import Counter, deque
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
-
-import numpy as np
 
 from ..core.estimator import CardinalityEstimator
 from ..core.query import Query
 from ..core.table import Table
 from ..core.workload import Workload
+from ..obs import (
+    SERVE_REQUESTS,
+    SERVE_TIER_ATTEMPTS,
+    SERVE_TIER_SECONDS,
+    EventLog,
+    LatencyWindow,
+    MetricsRegistry,
+    SpanCollector,
+    format_quantiles_ms,
+    get_events,
+    get_registry,
+    span,
+)
 from ..rules.enforce import clamp_to_bounds, trivial_answer
 from .breaker import BreakerConfig, BreakerState, CircuitBreaker
 
@@ -128,7 +148,7 @@ class ServiceHealth:
                 f"  [{t.state:9s}] {t.tier}: served={t.served}/{t.attempts} "
                 f"sanitized={t.sanitized} trips={t.trips} "
                 f"skipped(open={t.skipped_open}, deadline={t.skipped_deadline}) "
-                f"p50={t.p50_ms:.2f}ms p99={t.p99_ms:.2f}ms failures: {fails}"
+                f"{format_quantiles_ms(t.p50_ms, t.p99_ms)} failures: {fails}"
             )
         return "\n".join(lines)
 
@@ -141,12 +161,9 @@ class _TierStats:
     failures: Counter = field(default_factory=Counter)
     skipped_open: int = 0
     skipped_deadline: int = 0
-    latencies: deque = field(default_factory=lambda: deque(maxlen=_LATENCY_WINDOW))
-
-    def percentile_ms(self, q: float) -> float:
-        if not self.latencies:
-            return 0.0
-        return 1000.0 * float(np.percentile(np.array(self.latencies), q))
+    latencies: LatencyWindow = field(
+        default_factory=lambda: LatencyWindow(maxlen=_LATENCY_WINDOW)
+    )
 
 
 class _Tier:
@@ -174,8 +191,8 @@ class _Tier:
             skipped_open=self.stats.skipped_open,
             skipped_deadline=self.stats.skipped_deadline,
             trips=self.breaker.trips,
-            p50_ms=self.stats.percentile_ms(50.0),
-            p99_ms=self.stats.percentile_ms(99.0),
+            p50_ms=self.stats.latencies.percentile_ms(50.0),
+            p99_ms=self.stats.latencies.percentile_ms(99.0),
         )
 
 
@@ -197,6 +214,9 @@ class EstimatorService(CardinalityEstimator):
         deadline_ms: float | None = 100.0,
         breaker: BreakerConfig | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        registry: MetricsRegistry | None = None,
+        collector: SpanCollector | None = None,
+        events: EventLog | None = None,
     ) -> None:
         super().__init__()
         if not tiers:
@@ -206,13 +226,28 @@ class EstimatorService(CardinalityEstimator):
         self._clock = clock
         self._deadline = None if deadline_ms is None else deadline_ms / 1000.0
         self.breaker_config = breaker or BreakerConfig()
+        # Shared telemetry sinks: callers aggregating across services
+        # pass their own; None means the process-wide defaults.
+        self._registry = registry
+        self._collector = collector
+        self._events = events
         self._tiers: list[_Tier] = []
         seen: Counter = Counter()
         for est in tiers:
             seen[est.name] += 1
             label = est.name if seen[est.name] == 1 else f"{est.name}#{seen[est.name]}"
             self._tiers.append(
-                _Tier(label, est, CircuitBreaker(self.breaker_config, clock))
+                _Tier(
+                    label,
+                    est,
+                    CircuitBreaker(
+                        self.breaker_config,
+                        clock,
+                        name=label,
+                        events=events,
+                        registry=registry,
+                    ),
+                )
             )
         self.name = f"serve({'->'.join(t.name for t in self._tiers)})"
         self.requires_workload = any(t.requires_workload for t in tiers)
@@ -255,6 +290,14 @@ class EstimatorService(CardinalityEstimator):
     # ------------------------------------------------------------------
     def serve(self, query: Query) -> ServedEstimate:
         """Answer one query through the chain; never raises, never NaN."""
+        with span("serve", collector=self._collector, service=self.name) as root:
+            served = self._serve_inner(query)
+            if root is not None:
+                root.attrs["tier"] = served.tier
+                root.attrs["degraded"] = served.degraded
+            return served
+
+    def _serve_inner(self, query: Query) -> ServedEstimate:
         table = self.table
         start = self._clock()
         self._queries += 1
@@ -262,6 +305,7 @@ class EstimatorService(CardinalityEstimator):
         trivial = trivial_answer(query, table)
         if trivial is not None:
             self._shortcuts += 1
+            self._count_request("shortcut")
             return ServedEstimate(
                 estimate=trivial,
                 tier="shortcut",
@@ -276,55 +320,70 @@ class EstimatorService(CardinalityEstimator):
         for index, tier in enumerate(self._tiers):
             if not tier.breaker.allows_request():
                 tier.stats.skipped_open += 1
-                attempts.append((tier.name, "skipped-open"))
+                self._attempt_outcome(tier, attempts, "skipped-open")
                 continue
             # The final tier is the designated cheap answer-of-last-model
             # and is exempt from the deadline: an aborted primary must
             # still degrade to *some* tier's estimate.
             if index < last and self._budget_spent(start):
                 tier.stats.skipped_deadline += 1
-                attempts.append((tier.name, "skipped-deadline"))
+                self._attempt_outcome(tier, attempts, "skipped-deadline")
                 continue
 
             tier.stats.attempts += 1
-            call_start = self._clock()
-            try:
-                raw = float(tier.estimator.estimate(query))
-            except Exception:
-                self._record_failure(tier, "exception", call_start)
-                attempts.append((tier.name, "exception"))
-                continue
-            tier.stats.latencies.append(self._clock() - call_start)
+            with span(
+                "serve.tier", collector=self._collector, tier=tier.name
+            ) as attempt_span:
+                call_start = self._clock()
+                try:
+                    raw = float(tier.estimator.estimate(query))
+                    failed = False
+                except Exception:
+                    self._record_failure(tier, "exception", call_start)
+                    failed = True
+                if failed:
+                    self._attempt_outcome(tier, attempts, "exception", attempt_span)
+                    continue
+                self._record_latency(tier, self._clock() - call_start)
 
-            if index < last and self._budget_spent(start):
-                # The answer arrived, but too late to be useful: the
-                # optimizer has moved on.  Discard and penalise the tier.
-                tier.stats.failures["timeout"] += 1
-                tier.breaker.record_failure()
-                attempts.append((tier.name, "timeout"))
-                continue
-            if math.isnan(raw):
-                self._record_failure(tier, "nan", None)
-                attempts.append((tier.name, "nan"))
-                continue
-            if math.isinf(raw):
-                self._record_failure(tier, "inf", None)
-                attempts.append((tier.name, "inf"))
-                continue
+                if index < last and self._budget_spent(start):
+                    # The answer arrived, but too late to be useful: the
+                    # optimizer has moved on.  Discard and penalise the tier.
+                    tier.stats.failures["timeout"] += 1
+                    tier.breaker.record_failure()
+                    self._attempt_outcome(tier, attempts, "timeout", attempt_span)
+                    continue
+                if math.isnan(raw):
+                    self._record_failure(tier, "nan", None)
+                    self._attempt_outcome(tier, attempts, "nan", attempt_span)
+                    self._obs_events().emit("serve.nan", tier=tier.name)
+                    continue
+                if math.isinf(raw):
+                    self._record_failure(tier, "inf", None)
+                    self._attempt_outcome(tier, attempts, "inf", attempt_span)
+                    self._obs_events().emit("serve.nan", tier=tier.name, infinite=True)
+                    continue
 
-            if 0.0 <= raw <= table.num_rows:
-                value, outcome = raw, "served"
-                tier.breaker.record_success()
-            else:
-                # Finite but illogical: serve the clamped value, count
-                # the incident against the tier's breaker.
-                value, outcome = clamp_to_bounds(raw, table.num_rows), "sanitized"
-                tier.stats.sanitized += 1
-                tier.breaker.record_failure()
-            tier.stats.served += 1
-            if index > 0:
-                self._degraded += 1
-            attempts.append((tier.name, outcome))
+                if 0.0 <= raw <= table.num_rows:
+                    value, outcome = raw, "served"
+                    tier.breaker.record_success()
+                else:
+                    # Finite but illogical: serve the clamped value, count
+                    # the incident against the tier's breaker.
+                    value, outcome = clamp_to_bounds(raw, table.num_rows), "sanitized"
+                    tier.stats.sanitized += 1
+                    tier.breaker.record_failure()
+                    self._obs_events().emit(
+                        "serve.sanitized", tier=tier.name, raw=raw, served=value
+                    )
+                tier.stats.served += 1
+                if index > 0:
+                    self._degraded += 1
+                    self._obs_events().emit(
+                        "serve.fallback", tier=tier.name, tier_index=index
+                    )
+                self._attempt_outcome(tier, attempts, outcome, attempt_span)
+            self._count_request("primary" if index == 0 else "fallback")
             return ServedEstimate(
                 estimate=value,
                 tier=tier.name,
@@ -338,6 +397,8 @@ class EstimatorService(CardinalityEstimator):
         self._last_resort += 1
         self._degraded += 1
         attempts.append(("last-resort", "served"))
+        self._count_request("last-resort")
+        self._obs_events().emit("serve.last_resort", service=self.name)
         value = (
             0.0
             if any(p.is_empty for p in query.predicates)
@@ -389,6 +450,36 @@ class EstimatorService(CardinalityEstimator):
         self, tier: _Tier, kind: str, call_start: float | None
     ) -> None:
         if call_start is not None:
-            tier.stats.latencies.append(self._clock() - call_start)
+            self._record_latency(tier, self._clock() - call_start)
         tier.stats.failures[kind] += 1
         tier.breaker.record_failure()
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing (shared sinks default to the process-wide ones)
+    # ------------------------------------------------------------------
+    def _obs_registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def _obs_events(self) -> EventLog:
+        return self._events if self._events is not None else get_events()
+
+    def _record_latency(self, tier: _Tier, seconds: float) -> None:
+        tier.stats.latencies.observe(seconds)
+        self._obs_registry().histogram(
+            SERVE_TIER_SECONDS, "Per-tier serve-attempt latency"
+        ).observe(seconds, tier=tier.name)
+
+    def _count_request(self, outcome: str) -> None:
+        self._obs_registry().counter(
+            SERVE_REQUESTS, "Queries served, by outcome"
+        ).inc(outcome=outcome)
+
+    def _attempt_outcome(
+        self, tier: _Tier, attempts: list, outcome: str, attempt_span=None
+    ) -> None:
+        attempts.append((tier.name, outcome))
+        if attempt_span is not None:
+            attempt_span.attrs["outcome"] = outcome
+        self._obs_registry().counter(
+            SERVE_TIER_ATTEMPTS, "Tier attempt outcomes along the chain"
+        ).inc(tier=tier.name, outcome=outcome)

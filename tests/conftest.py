@@ -5,8 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import Table, generate_workload
 from repro.datasets import census, generate_synthetic
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate tests from each other's process-wide telemetry."""
+    obs.reset_for_tests()
+    yield
+    obs.reset_for_tests()
 
 
 @pytest.fixture

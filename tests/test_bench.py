@@ -163,3 +163,57 @@ class TestCli:
         monkeypatch.setenv("REPRO_SCALE", "ci")
         with pytest.raises(SystemExit):
             main(["table99"])
+
+    def test_help_lists_every_experiment(self, capsys):
+        from repro.bench.__main__ import EXPERIMENTS, main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "--trace-out" in out
+
+    def test_trace_out_writes_artifacts(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.bench.__main__ import main
+        from repro.obs import parse_exposition
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert main(["figure2", "--trace-out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        exposition = (tmp_path / "figure2_metrics.prom").read_text()
+        parse_exposition(exposition)  # must lint
+        snapshot = json.loads((tmp_path / "figure2_metrics.json").read_text())
+        assert isinstance(snapshot, dict)
+        assert (tmp_path / "figure2_spans.jsonl").exists()
+        assert (tmp_path / "figure2_events.jsonl").exists()
+
+
+class TestObsExperiment:
+    def test_obs_experiment_cross_check(self, ctx, tmp_path):
+        from repro.bench.obs_exp import format_obs, obs_experiment
+        from repro.obs import get_collector, get_monitor
+
+        report = obs_experiment(
+            ctx, primary="lw-xgb", dataset="census", out_dir=tmp_path
+        )
+        # per-epoch/round telemetry captured for both training loops
+        assert set(report.models) == {"lw-xgb", "lw-nn"}
+        for model in report.models:
+            epochs, first, last = report.training[model]
+            assert epochs > 0
+        # the two latency bookkeeping paths agree tier by tier
+        for tier, attempts, samples in report.tier_check:
+            assert attempts == samples, tier
+        assert report.artifacts is not None
+        assert report.artifacts.spans_written > 0
+        text = format_obs(report)
+        assert "Cross-check" in text
+        assert "lint passed" in text
+        # collector/monitor were restored to the pre-experiment state
+        assert get_collector() is None
+        assert get_monitor() is None

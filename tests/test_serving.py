@@ -134,6 +134,94 @@ class TestCircuitBreaker:
             BreakerConfig(probe_successes=0)
 
 
+class TestBreakerTransitionSequences:
+    """The exact state walk, asserted via the event log (repro.obs)."""
+
+    def make(self, **kwargs):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        clock = FakeClock()
+        config = BreakerConfig(
+            failure_threshold=kwargs.pop("failure_threshold", 2),
+            recovery_seconds=kwargs.pop("recovery_seconds", 5.0),
+            probe_successes=kwargs.pop("probe_successes", 2),
+        )
+        breaker = CircuitBreaker(config, clock, name="primary", events=log)
+        return breaker, clock, log
+
+    def sequence(self, log):
+        return [
+            (e["old"], e["new"])
+            for e in log.events("breaker.transition", breaker="primary")
+        ]
+
+    def test_full_recovery_walk(self):
+        breaker, clock, log = self.make()
+        breaker.record_failure()
+        breaker.record_failure()  # CLOSED -> OPEN
+        clock.now = 5.0
+        assert breaker.allows_request()  # lazy OPEN -> HALF_OPEN promotion
+        breaker.record_success()
+        breaker.record_success()  # HALF_OPEN -> CLOSED
+        assert self.sequence(log) == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker, clock, log = self.make(failure_threshold=1)
+        breaker.record_failure()  # CLOSED -> OPEN
+        clock.now = 5.0
+        breaker.record_success()  # promotes to HALF_OPEN, one probe short
+        breaker.record_failure()  # HALF_OPEN -> OPEN
+        assert self.sequence(log) == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "open"),
+        ]
+        assert breaker.trips == 2
+
+    def test_transitions_counted_in_registry(self):
+        from repro.obs import BREAKER_TRANSITIONS, MetricsRegistry
+        from repro.obs import EventLog
+
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1),
+            clock,
+            name="primary",
+            events=EventLog(),
+            registry=registry,
+        )
+        breaker.record_failure()
+        counter = registry.counter(BREAKER_TRANSITIONS)
+        assert counter.value(breaker="primary", old="closed", new="open") == 1
+
+    def test_service_emits_fallback_and_breaker_events(self, tiny_table, query):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        bad = ExceptionFault(StubEstimator(name="primary"), probability=1.0)
+        svc = EstimatorService(
+            [bad, StubEstimator(9.0)],
+            breaker=BreakerConfig(failure_threshold=2),
+            events=log,
+        )
+        svc.fit(tiny_table)
+        for _ in range(3):
+            svc.serve(query)
+        fallbacks = log.events("serve.fallback")
+        assert len(fallbacks) == 3
+        assert fallbacks[0]["tier"] == "stub"
+        assert ("closed", "open") in [
+            (e["old"], e["new"]) for e in log.events("breaker.transition")
+        ]
+
+
 class TestEstimatorService:
     def service(self, tiers, table, **kwargs):
         svc = EstimatorService(tiers, **kwargs)
