@@ -1,0 +1,186 @@
+"""Scalar-vs-batch inference throughput (the repo's first perf baseline).
+
+The paper's Figure 4 argues inference cost decides production readiness;
+this experiment quantifies what the vectorized ``estimate_many`` hot
+path buys over the paper's one-query-at-a-time loop.  For every
+registered estimator it times
+
+* the scalar loop on a measured prefix of the batch (extrapolated to the
+  full batch size — running 1,000 scalar Naru estimates would dominate
+  the whole bench run), and
+* one ``estimate_many`` call over the full batch,
+
+and cross-checks the two on the measured prefix.  Results land in
+``BENCH_batch.json`` at the repo root (the machine-readable baseline)
+and ``benchmarks/results/batch_throughput.txt`` (the human-readable
+table).  The workload is generated from the context seed, so reruns are
+deterministic up to wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.workload import generate_workload
+from ..registry import estimator_names
+from .context import BenchContext
+from .reporting import render_table
+
+#: Queries in the benchmark batch (the acceptance criterion's 1k).
+DEFAULT_BATCH_SIZE = 1000
+
+#: At most this many queries are timed through the scalar loop; the
+#: scalar cost for the full batch is extrapolated linearly (the loop is
+#: embarrassingly linear in the number of queries).
+SCALAR_MEASURE_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class BatchThroughput:
+    """Scalar-vs-batch timing for one estimator."""
+
+    method: str
+    batch_size: int
+    #: queries actually timed through the scalar loop
+    scalar_measured_queries: int
+    #: measured scalar seconds extrapolated to ``batch_size`` queries
+    scalar_seconds: float
+    batch_seconds: float
+    scalar_qps: float
+    batch_qps: float
+    speedup: float
+    #: max relative |scalar - batch| on the measured prefix; None for
+    #: stochastic estimators whose RNG cannot be pinned for comparison
+    max_rel_diff: float | None
+
+
+def batch_throughput(
+    ctx: BenchContext,
+    dataset: str = "census",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    methods: list[str] | None = None,
+    scalar_limit: int = SCALAR_MEASURE_LIMIT,
+) -> list[BatchThroughput]:
+    """Time every method's scalar loop against its batched hot path."""
+    table = ctx.table(dataset)
+    rng = np.random.default_rng(ctx.seed + 77)
+    queries = list(generate_workload(table, batch_size, rng).queries)
+    n_scalar = min(scalar_limit, batch_size)
+
+    results: list[BatchThroughput] = []
+    for method in methods if methods is not None else estimator_names():
+        est = ctx.estimator(method, dataset)
+        # Pin stochastic inference where the estimator supports it so the
+        # scalar/batch cross-check compares like with like.
+        pinned = hasattr(est, "inference_seed")
+        saved_seed = est.inference_seed if pinned else None
+        if pinned:
+            est.inference_seed = ctx.seed + 78
+        deterministic = pinned or not hasattr(est, "_inference_rng")
+        try:
+            start = time.perf_counter()
+            scalar_values = np.array(
+                [est.estimate(q) for q in queries[:n_scalar]]
+            )
+            scalar_measured = time.perf_counter() - start
+
+            start = time.perf_counter()
+            batch_values = est.estimate_many(queries)
+            batch_seconds = time.perf_counter() - start
+        finally:
+            if pinned:
+                est.inference_seed = saved_seed
+
+        max_rel_diff = None
+        if deterministic:
+            denom = np.maximum(1.0, np.abs(scalar_values))
+            max_rel_diff = float(
+                np.max(np.abs(scalar_values - batch_values[:n_scalar]) / denom)
+            )
+
+        scalar_seconds = scalar_measured * (batch_size / n_scalar)
+        results.append(
+            BatchThroughput(
+                method=method,
+                batch_size=batch_size,
+                scalar_measured_queries=n_scalar,
+                scalar_seconds=scalar_seconds,
+                batch_seconds=batch_seconds,
+                scalar_qps=batch_size / scalar_seconds if scalar_seconds else 0.0,
+                batch_qps=batch_size / batch_seconds if batch_seconds else 0.0,
+                speedup=scalar_seconds / batch_seconds if batch_seconds else 0.0,
+                max_rel_diff=max_rel_diff,
+            )
+        )
+    return results
+
+
+def format_batch(results: list[BatchThroughput]) -> str:
+    """Human-readable throughput table."""
+    header = [
+        "method",
+        "scalar qps",
+        "batch qps",
+        "speedup",
+        "max rel diff",
+    ]
+    rows = []
+    for r in sorted(results, key=lambda r: -r.speedup):
+        rows.append(
+            [
+                r.method,
+                f"{r.scalar_qps:,.0f}",
+                f"{r.batch_qps:,.0f}",
+                f"{r.speedup:.1f}x",
+                "n/a" if r.max_rel_diff is None else f"{r.max_rel_diff:.1e}",
+            ]
+        )
+    title = (
+        f"Batch inference throughput ({results[0].batch_size}-query batch, "
+        f"scalar loop measured on {results[0].scalar_measured_queries} "
+        "queries and extrapolated)"
+    )
+    return render_table(header, rows, title=title)
+
+
+def write_batch_artifacts(
+    ctx: BenchContext,
+    results: list[BatchThroughput],
+    dataset: str,
+    json_path: str | Path = "BENCH_batch.json",
+    text_path: str | Path = "benchmarks/results/batch_throughput.txt",
+) -> list[Path]:
+    """Write the JSON baseline and the text table; return the paths."""
+    json_path, text_path = Path(json_path), Path(text_path)
+    payload = {
+        "experiment": "batch_throughput",
+        "dataset": dataset,
+        "scale": ctx.scale.name,
+        "seed": ctx.seed,
+        "batch_size": results[0].batch_size if results else 0,
+        "results": {r.method: asdict(r) for r in results},
+    }
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    text_path.parent.mkdir(parents=True, exist_ok=True)
+    text_path.write_text(format_batch(results) + "\n")
+    return [json_path, text_path]
+
+
+def batch_experiment(
+    ctx: BenchContext,
+    dataset: str = "census",
+    json_path: str | Path = "BENCH_batch.json",
+    text_path: str | Path = "benchmarks/results/batch_throughput.txt",
+) -> str:
+    """Run the throughput bench, write both artifacts, return the table."""
+    results = batch_throughput(ctx, dataset=dataset)
+    paths = write_batch_artifacts(ctx, results, dataset, json_path, text_path)
+    lines = [format_batch(results)]
+    lines += [f"[baseline written: {p}]" for p in paths]
+    return "\n".join(lines)

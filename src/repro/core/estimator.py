@@ -22,6 +22,7 @@ backward-compatible :class:`TimingRecord` that Figure 4
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,9 +105,37 @@ class CardinalityEstimator(ABC):
         observe_phase("estimate", self.name, timer.elapsed)
         return max(0.0, float(value))
 
-    def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        """Estimates for a batch, issued one by one as the paper does."""
-        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
+        """Estimates for a batch of queries through the batched hot path.
+
+        Dispatches to :meth:`_estimate_batch` (vectorized in subclasses
+        where batching is real math, a scalar loop otherwise) under **one**
+        ``estimator.estimate_batch`` span — a batch is one logical
+        inference, so it must not inflate span counts N-fold the way the
+        old per-query re-entry did.  Timing accounting stays per-query
+        (``inference_count`` grows by ``len(queries)``), and every element
+        gets exactly the scalar path's non-negativity clamp.
+        """
+        if self._table is None:
+            raise RuntimeError(f"{self.name} must be fit before estimating")
+        queries = list(queries)
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
+        with timed_span(
+            "estimator.estimate_batch", estimator=self.name, batch=len(queries)
+        ) as timer:
+            raw = np.asarray(self._estimate_batch(queries), dtype=np.float64)
+        if raw.shape != (len(queries),):
+            raise ValueError(
+                f"{self.name}._estimate_batch returned shape {raw.shape} "
+                f"for {len(queries)} queries"
+            )
+        self.timing.total_inference_seconds += timer.elapsed
+        self.timing.inference_count += len(queries)
+        observe_phase("estimate", self.name, timer.elapsed)
+        # max(0.0, x) semantics per element: NaN compares False, so it
+        # clamps to 0.0 exactly like the scalar path's ``max``.
+        return np.where(raw > 0.0, raw, 0.0)
 
     def update(
         self,
@@ -140,6 +169,19 @@ class CardinalityEstimator(ABC):
     @abstractmethod
     def _estimate(self, query: Query) -> float:
         """Return the estimated cardinality (may be un-clamped)."""
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """Raw estimates for a batch; override where batching is real math.
+
+        The default issues the queries one by one through
+        :meth:`_estimate`, preserving the paper's scalar semantics
+        (including the order in which any stateful inference RNG is
+        consumed).  Vectorized overrides must return bit-identical or
+        numerically equivalent values (within 1e-9 relative) to the
+        scalar loop — `tests/test_batch_equivalence.py` enforces this
+        for every registered estimator.
+        """
+        return np.array([self._estimate(q) for q in queries], dtype=np.float64)
 
     def _update(
         self, table: Table, appended: np.ndarray, workload: Workload | None

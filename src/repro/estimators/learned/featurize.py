@@ -18,6 +18,9 @@ from ...core.query import Predicate, Query
 from ...core.table import Table
 from ..traditional.dbms import PostgresEstimator
 
+#: EBO dampening exponents (most selective four predicates).
+_EBO_POWERS = np.array([1.0, 0.5, 0.25, 0.125])
+
 #: Floor applied to selectivities before log-transforming CE features.
 _SEL_FLOOR = 1e-9
 
@@ -43,7 +46,36 @@ class RangeFeaturizer:
         return out
 
     def features_many(self, queries: list[Query]) -> np.ndarray:
-        return np.array([self.features(q) for q in queries])
+        out = np.empty((len(queries), 2 * self.num_columns))
+        out[:, 0::2] = 0.0
+        out[:, 1::2] = 1.0
+        qi_lo: list[int] = []
+        col_lo: list[int] = []
+        val_lo: list[float] = []
+        qi_hi: list[int] = []
+        col_hi: list[int] = []
+        val_hi: list[float] = []
+        for qi, query in enumerate(queries):
+            for pred in query.predicates:
+                if pred.lo is not None:
+                    qi_lo.append(qi)
+                    col_lo.append(pred.column)
+                    val_lo.append(pred.lo)
+                if pred.hi is not None:
+                    qi_hi.append(qi)
+                    col_hi.append(pred.column)
+                    val_hi.append(pred.hi)
+        if qi_lo:
+            cols = np.asarray(col_lo)
+            out[np.asarray(qi_lo), 2 * cols] = (
+                np.asarray(val_lo) - self.mins[cols]
+            ) / self.spans[cols]
+        if qi_hi:
+            cols = np.asarray(col_hi)
+            out[np.asarray(qi_hi), 2 * cols + 1] = (
+                np.asarray(val_hi) - self.mins[cols]
+            ) / self.spans[cols]
+        return out
 
 
 class CeFeaturizer:
@@ -71,7 +103,22 @@ class CeFeaturizer:
         return np.log(np.maximum([avi, min_sel, ebo], _SEL_FLOOR))
 
     def features_many(self, queries: list[Query]) -> np.ndarray:
-        return np.array([self.features(q) for q in queries])
+        """Vectorized AVI/MinSel/EBO over the batch.
+
+        The per-predicate selectivity matrix is padded with 1.0, which is
+        exact for every downstream reduction: products absorb trailing
+        1.0s, minima are unaffected (real selectivities are capped at
+        1.0), and EBO's extra ``1.0 ** w`` factors are identity.
+        """
+        sels, _ = self._base.per_predicate_selectivities_many(queries)
+        sels = np.maximum(sels, _SEL_FLOOR)
+        avi = np.prod(sels, axis=1)
+        min_sel = np.min(sels, axis=1)
+        ordered = np.sort(sels, axis=1)[:, :4]
+        powers = _EBO_POWERS[: ordered.shape[1]]
+        ebo = np.prod(ordered ** powers[None, :], axis=1)
+        feats = np.stack([avi, min_sel, ebo], axis=1)
+        return np.log(np.maximum(feats, _SEL_FLOOR))
 
 
 class LwFeaturizer:
@@ -92,7 +139,10 @@ class LwFeaturizer:
         return np.concatenate(parts)
 
     def features_many(self, queries: list[Query]) -> np.ndarray:
-        return np.array([self.features(q) for q in queries])
+        parts = [self.ranges.features_many(queries)]
+        if self.ce is not None:
+            parts.append(self.ce.features_many(queries))
+        return np.concatenate(parts, axis=1)
 
 
 class MscnFeaturizer:
@@ -148,29 +198,76 @@ class MscnFeaturizer:
         batch = len(queries)
         feats = np.zeros((batch, self.max_predicates, self.predicate_dim))
         mask = np.zeros((batch, self.max_predicates))
+        qis: list[int] = []
+        pis: list[int] = []
+        cols: list[int] = []
+        ops: list[int] = []
+        lits: list[float] = []
         for qi, query in enumerate(queries):
             for pi, (col, op, literal) in enumerate(self._atomic_predicates(query)):
-                vec = np.zeros(self.predicate_dim)
-                vec[col] = 1.0
-                vec[self.num_columns + op] = 1.0
-                vec[-1] = (literal - self.mins[col]) / self.spans[col]
-                feats[qi, pi] = vec
-                mask[qi, pi] = 1.0
+                qis.append(qi)
+                pis.append(pi)
+                cols.append(col)
+                ops.append(op)
+                lits.append(literal)
+        if qis:
+            qi_a, pi_a, col_a = np.asarray(qis), np.asarray(pis), np.asarray(cols)
+            feats[qi_a, pi_a, col_a] = 1.0
+            feats[qi_a, pi_a, self.num_columns + np.asarray(ops)] = 1.0
+            feats[qi_a, pi_a, -1] = (np.asarray(lits) - self.mins[col_a]) / self.spans[
+                col_a
+            ]
+            mask[qi_a, pi_a] = 1.0
         return feats, mask
+
+    def atoms(self, queries: list[Query]) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated atom features plus per-query atom counts.
+
+        The padding-free companion of :meth:`predicate_tensor` for the
+        batched inference path: identical feature values, laid out as one
+        (total_atoms, predicate_dim) matrix in query order.
+        """
+        counts = np.zeros(len(queries), dtype=np.int64)
+        cols: list[int] = []
+        ops: list[int] = []
+        lits: list[float] = []
+        for qi, query in enumerate(queries):
+            atoms = self._atomic_predicates(query)
+            counts[qi] = len(atoms)
+            for col, op, literal in atoms:
+                cols.append(col)
+                ops.append(op)
+                lits.append(literal)
+        feats = np.zeros((len(cols), self.predicate_dim))
+        if cols:
+            rows = np.arange(len(cols))
+            col_a = np.asarray(cols)
+            feats[rows, col_a] = 1.0
+            feats[rows, self.num_columns + np.asarray(ops)] = 1.0
+            feats[rows, -1] = (np.asarray(lits) - self.mins[col_a]) / self.spans[
+                col_a
+            ]
+        return feats, counts
 
     def bitmaps(self, queries: list[Query]) -> np.ndarray:
         """(batch, sample_size) bitmap of sample tuples satisfying each query."""
-        out = np.zeros((len(queries), len(self.sample)))
+        n_q = len(queries)
+        sat = np.ones((n_q, len(self.sample)), dtype=bool)
+        # Group by column: each constrained column tests its sample
+        # values against every query bound in one vectorized comparison.
+        by_col: dict[int, tuple[list[int], list[float], list[float]]] = {}
         for qi, query in enumerate(queries):
-            sat = np.ones(len(self.sample), dtype=bool)
             for pred in query.predicates:
-                col = self.sample[:, pred.column]
-                if pred.lo is not None:
-                    sat &= col >= pred.lo
-                if pred.hi is not None:
-                    sat &= col <= pred.hi
-            out[qi] = sat
-        return out
+                qis, los, his = by_col.setdefault(pred.column, ([], [], []))
+                qis.append(qi)
+                los.append(-np.inf if pred.lo is None else pred.lo)
+                his.append(np.inf if pred.hi is None else pred.hi)
+        for col, (qis, los, his) in by_col.items():
+            vals = self.sample[:, col]
+            lo = np.asarray(los)[:, None]
+            hi = np.asarray(his)[:, None]
+            sat[np.asarray(qis)] &= (vals[None, :] >= lo) & (vals[None, :] <= hi)
+        return sat.astype(np.float64)
 
 
 def log_cardinality_labels(cardinalities: np.ndarray) -> np.ndarray:

@@ -8,6 +8,7 @@ mean of q-error with more weights on larger errors" (paper Section 2.3).
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -121,6 +122,13 @@ class LwNnEstimator(CardinalityEstimator):
         feats = self._featurizer.features(query)[None, :]
         log_card = float(self._model.forward(feats)[0, 0])
         return float(np.exp(np.clip(log_card, -30.0, 30.0)))
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """Stack all feature vectors and run one MLP forward pass."""
+        assert self._featurizer is not None and self._model is not None
+        feats = self._featurizer.features_many(list(queries))
+        log_cards = self._model.forward(feats)[:, 0]
+        return np.exp(np.clip(log_cards, -30.0, 30.0))
 
     def model_size_bytes(self) -> int:
         if self._model is None:

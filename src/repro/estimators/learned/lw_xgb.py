@@ -7,6 +7,8 @@ neural network — the paper's fastest learned method.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ...core.estimator import CardinalityEstimator
@@ -76,6 +78,13 @@ class LwXgbEstimator(CardinalityEstimator):
         feats = self._featurizer.features(query)[None, :]
         log_card = float(self._model.predict(feats)[0])
         return float(np.exp(np.clip(log_card, -30.0, 30.0)))
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """One batched tree traversal over the stacked feature matrix."""
+        assert self._featurizer is not None and self._model is not None
+        feats = self._featurizer.features_many(list(queries))
+        log_cards = self._model.predict(feats)
+        return np.exp(np.clip(log_cards, -30.0, 30.0))
 
     def model_size_bytes(self) -> int:
         if self._model is None:

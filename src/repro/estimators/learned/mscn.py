@@ -10,6 +10,7 @@ materialized-sample bitmap module.  The model minimises the mean q-error
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -73,6 +74,33 @@ class _MscnNetwork:
         counts = np.maximum(pred_mask.sum(axis=1, keepdims=True), 1.0)
         pooled = (hidden * pred_mask[:, :, None]).sum(axis=1) / counts
         self._cache = {"mask": pred_mask, "counts": counts, "shape": np.array([batch, max_preds])}
+        if self.sample_mlp is not None:
+            sample_hidden = self.sample_mlp.forward(bitmaps)
+            merged = np.concatenate([pooled, sample_hidden], axis=1)
+        else:
+            merged = pooled
+        return self.output_mlp.forward(merged).ravel()
+
+    def forward_atoms(
+        self, flat_feats: np.ndarray, counts: np.ndarray, bitmaps: np.ndarray
+    ) -> np.ndarray:
+        """Inference-only forward over the concatenated valid atoms.
+
+        Skips the padded predicate slots entirely: the MLP runs on the
+        real atoms and segment sums replace the masked pooling.  Matches
+        :meth:`forward` bit-for-bit — padded slots are zeroed before the
+        pooling sum there, and adding trailing zeros is exact.  Not
+        usable for training (no activations are cached for backward).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        hidden = self.predicate_mlp.forward(flat_feats)
+        pooled = np.zeros((len(counts), self.hidden))
+        nonzero = np.flatnonzero(counts)
+        if nonzero.size and len(hidden):
+            ends = np.cumsum(counts)
+            starts = ends[nonzero] - counts[nonzero]
+            pooled[nonzero] = np.add.reduceat(hidden, starts, axis=0)
+            pooled[nonzero] /= counts[nonzero][:, None]
         if self.sample_mlp is not None:
             sample_hidden = self.sample_mlp.forward(bitmaps)
             merged = np.concatenate([pooled, sample_hidden], axis=1)
@@ -204,6 +232,21 @@ class MscnEstimator(CardinalityEstimator):
         bitmaps = self._featurizer.bitmaps([query])
         log_card = float(self._network.forward(pred_feats, pred_mask, bitmaps)[0])
         return float(np.exp(np.clip(log_card, -30.0, 30.0)))
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """One network forward over the batch's concatenated atoms.
+
+        The padding-free atom layout plus segment-sum pooling produces
+        the same per-query output as featurizing each query alone (see
+        :meth:`MscnNetwork.forward_atoms`), without spending predicate-MLP
+        work on empty padded slots.
+        """
+        assert self._featurizer is not None and self._network is not None
+        queries = list(queries)
+        flat_feats, counts = self._featurizer.atoms(queries)
+        bitmaps = self._featurizer.bitmaps(queries)
+        log_cards = self._network.forward_atoms(flat_feats, counts, bitmaps)
+        return np.exp(np.clip(log_cards, -30.0, 30.0))
 
     def model_size_bytes(self) -> int:
         if self._network is None:

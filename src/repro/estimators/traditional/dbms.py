@@ -18,6 +18,8 @@ environment, so the estimation pipelines themselves are re-implemented
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ...core.estimator import CardinalityEstimator
@@ -48,9 +50,76 @@ class _AviDbmsEstimator(CardinalityEstimator):
             [self._stats[p.column].selectivity(p) for p in query.predicates]
         )
 
+    def per_predicate_selectivities_many(
+        self, queries: Sequence[Query]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-predicate selectivities for a whole batch at once.
+
+        Returns ``(sels, counts)``: ``sels[qi, pi]`` is the selectivity
+        of query ``qi``'s ``pi``-th predicate (in query order), padded
+        with 1.0 past ``counts[qi]`` predicates.  Predicates are grouped
+        by column so each column's statistics run vectorized over the
+        batch (the LW featurizer's hot path).
+        """
+        queries = list(queries)
+        counts = np.array([len(q.predicates) for q in queries], dtype=np.int64)
+        width = max(1, int(counts.max(initial=0)))
+        sels = np.ones((len(queries), width))
+        by_col: dict[int, tuple[list[int], list[int], list[Predicate]]] = {}
+        for qi, query in enumerate(queries):
+            for pi, pred in enumerate(query.predicates):
+                qis, pis, preds = by_col.setdefault(pred.column, ([], [], []))
+                qis.append(qi)
+                pis.append(pi)
+                preds.append(pred)
+        for col, (qis, pis, preds) in by_col.items():
+            sels[np.asarray(qis), np.asarray(pis)] = self._stats[
+                col
+            ].selectivity_batch(preds)
+        return sels, counts
+
     def _estimate(self, query: Query) -> float:
         sels = self.per_predicate_selectivities(query)
         return float(np.prod(sels)) * self.table.num_rows
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """AVI products computed column by column over the whole batch.
+
+        All predicates touching one column are pushed through that
+        column's vectorized statistics in a single call; the per-query
+        product then multiplies the grouped selectivities back in
+        (multiplication is commutative, so grouping by column instead of
+        by query changes only floating-point rounding order).
+        """
+        queries = list(queries)
+        # Bound the (queries, buckets) matrices the histogram batch path
+        # materialises; chunks of queries keep peak memory flat.
+        buckets = max(
+            (s.histogram.num_buckets for s in self._stats if s.histogram is not None),
+            default=1,
+        )
+        chunk = max(1, int(4_000_000 // max(1, buckets)))
+        if len(queries) > chunk:
+            return np.concatenate(
+                [
+                    self._estimate_batch(queries[start : start + chunk])
+                    for start in range(0, len(queries), chunk)
+                ]
+            )
+        by_col: dict[int, tuple[list[int], list[Predicate]]] = {}
+        for qi, query in enumerate(queries):
+            for pred in query.predicates:
+                idx, preds = by_col.setdefault(pred.column, ([], []))
+                idx.append(qi)
+                preds.append(pred)
+        product = np.ones(len(queries))
+        for col, (idx, preds) in by_col.items():
+            sels = self._stats[col].selectivity_batch(preds)
+            # A query never has two predicates on one column, so the
+            # indices within a group are unique and plain fancy-indexed
+            # multiplication is safe.
+            product[np.asarray(idx)] *= sels
+        return product * self.table.num_rows
 
     def model_size_bytes(self) -> int:
         total = 0

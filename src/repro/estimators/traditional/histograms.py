@@ -10,6 +10,8 @@ These mirror what production systems actually keep per column:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ...core.query import Predicate
@@ -84,6 +86,38 @@ class EquiDepthHistogram:
                 covered += self.counts[b] / self.distincts[b]
         return float(covered / self.total)
 
+    # ------------------------------------------------------------------
+    # Batched variants: one (queries, buckets) matrix instead of a
+    # Python loop per query.  Unbounded sides are passed as +-inf.
+    # ------------------------------------------------------------------
+    def range_fraction_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`range_fraction` over arrays of bounds."""
+        lo = np.where(np.isneginf(lo), self.bounds[0], lo)[:, None]
+        hi = np.where(np.isposinf(hi), self.bounds[-1], hi)[:, None]
+        b_lo = self.bounds[:-1][None, :]
+        b_hi = self.bounds[1:][None, :]
+        degenerate = b_hi == b_lo
+        inside = ~((b_hi < lo) | (b_lo > hi))
+        width = np.where(degenerate, 1.0, b_hi - b_lo)
+        overlap = np.maximum(0.0, np.minimum(hi, b_hi) - np.maximum(lo, b_lo))
+        frac = np.where(degenerate, 1.0, overlap / width)
+        covered = (np.where(inside, frac, 0.0) * self.counts[None, :]).sum(axis=1)
+        return np.where(
+            hi[:, 0] < lo[:, 0], 0.0, np.minimum(1.0, covered / self.total)
+        )
+
+    def equality_fraction_batch(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`equality_fraction` over an array of values."""
+        v = np.asarray(values, dtype=np.float64)[:, None]
+        b_lo = self.bounds[:-1][None, :]
+        b_hi = self.bounds[1:][None, :]
+        contrib = np.where(
+            b_lo == b_hi, self.counts[None, :], self.counts[None, :] / self.distincts[None, :]
+        )
+        covered = (((b_lo <= v) & (v <= b_hi)) * contrib).sum(axis=1)
+        outside = (v[:, 0] < self.bounds[0]) | (v[:, 0] > self.bounds[-1])
+        return np.where(outside, 0.0, covered / self.total)
+
 
 class McvList:
     """Most-common-values list: exact fractions for heavy hitters."""
@@ -116,6 +150,15 @@ class McvList:
         if hi is not None:
             mask &= self.values <= hi
         return float(self.fractions[mask].sum())
+
+    def range_fraction_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`range_fraction`; unbounded sides are +-inf."""
+        if len(self.values) == 0:
+            return np.zeros(len(lo))
+        mask = (self.values[None, :] >= lo[:, None]) & (
+            self.values[None, :] <= hi[:, None]
+        )
+        return (mask * self.fractions[None, :]).sum(axis=1)
 
 
 class ColumnStatistics:
@@ -162,3 +205,54 @@ class ColumnStatistics:
         if self.histogram is not None:
             frac += self.histogram.range_fraction(lo, hi) * self._rest_fraction
         return min(1.0, frac)
+
+    def selectivity_batch(self, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Vectorized :meth:`selectivity` over predicates on this column.
+
+        Mirrors the scalar branch structure exactly: empty predicates are
+        zero, equalities go through the MCV list (falling back to the
+        leftover-mass estimate or the histogram), ranges sum the MCV and
+        histogram contributions.
+        """
+        preds = list(predicates)
+        out = np.zeros(len(preds))
+        eq_idx: list[int] = []
+        rg_idx: list[int] = []
+        for i, pred in enumerate(preds):
+            if pred.is_empty:
+                continue
+            (eq_idx if pred.is_equality else rg_idx).append(i)
+
+        if eq_idx:
+            values = np.array([float(preds[i].lo) for i in eq_idx])
+            if self.mcvs is not None:
+                remaining_distinct = max(1, self.num_distinct - len(self.mcvs))
+                leftover = max(0.0, 1.0 - self.mcvs.total_fraction)
+                miss = leftover / remaining_distinct
+                sels = np.array(
+                    [
+                        hit if (hit := self.mcvs.equality_fraction(v)) is not None
+                        else miss
+                        for v in values
+                    ]
+                )
+            elif self.histogram is not None:
+                sels = self.histogram.equality_fraction_batch(values)
+            else:
+                sels = np.full(len(eq_idx), 1.0 / max(1, self.num_distinct))
+            out[eq_idx] = sels
+
+        if rg_idx:
+            lo = np.array(
+                [-np.inf if preds[i].lo is None else preds[i].lo for i in rg_idx]
+            )
+            hi = np.array(
+                [np.inf if preds[i].hi is None else preds[i].hi for i in rg_idx]
+            )
+            frac = np.zeros(len(rg_idx))
+            if self.mcvs is not None:
+                frac += self.mcvs.range_fraction_batch(lo, hi)
+            if self.histogram is not None:
+                frac += self.histogram.range_fraction_batch(lo, hi) * self._rest_fraction
+            out[rg_idx] = np.minimum(1.0, frac)
+        return out

@@ -7,6 +7,8 @@ scales up by the sampling fraction.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ...core.estimator import CardinalityEstimator
@@ -37,6 +39,38 @@ class SamplingEstimator(CardinalityEstimator):
         matched = self._sample.cardinality(query)
         scale = self.table.num_rows / self._sample.num_rows
         return matched * scale
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """All predicate masks evaluated as one boolean tensor.
+
+        Every query's bounds are broadcast against the sample at once;
+        an unconstrained side becomes +-inf, which matches every row
+        exactly like the scalar path's skipped comparison.  Matched
+        counts are integers, so the result is bit-identical to the
+        scalar loop.
+        """
+        assert self._sample is not None
+        queries = list(queries)
+        data = self._sample.data
+        n_q, n_cols = len(queries), data.shape[1]
+        lo = np.full((n_q, n_cols), -np.inf)
+        hi = np.full((n_q, n_cols), np.inf)
+        for qi, query in enumerate(queries):
+            for pred in query.predicates:
+                if pred.lo is not None:
+                    lo[qi, pred.column] = pred.lo
+                if pred.hi is not None:
+                    hi[qi, pred.column] = pred.hi
+        matched = np.empty(n_q)
+        # Chunk so the (chunk, rows, cols) comparison tensor stays small.
+        chunk = max(1, int(4_000_000 // max(1, data.size)))
+        for start in range(0, n_q, chunk):
+            sl = slice(start, start + chunk)
+            sat = (data[None, :, :] >= lo[sl, None, :]) & (
+                data[None, :, :] <= hi[sl, None, :]
+            )
+            matched[sl] = sat.all(axis=2).sum(axis=1)
+        return matched * (self.table.num_rows / self._sample.num_rows)
 
     def model_size_bytes(self) -> int:
         return self._sample.size_bytes() if self._sample is not None else 0

@@ -86,6 +86,17 @@ class FaultInjector(CardinalityEstimator):
             return self._fault(query)
         return self.inner.estimate(query)
 
+    def estimate_many(self, queries) -> np.ndarray:
+        """Batch path: one scheduled fault roll per query, unclamped.
+
+        The base class's batched dispatch would clamp/sanitize through
+        ``_estimate_batch``; faults must reach the caller raw (NaN, inf,
+        exceptions), so the batch is routed through the overridden
+        :meth:`estimate` — the fault schedule advances exactly as if the
+        queries had been served one by one.
+        """
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+
     def _estimate(self, query: Query) -> float:
         return self.inner.estimate(query)
 

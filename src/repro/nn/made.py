@@ -176,6 +176,41 @@ class ResMade(Module):
                 x[rows, self._offsets[i] + prefix_bins[:, i]] = 1.0
         return self.column_distribution(self.forward(x), column)
 
+    def conditional_sparse(
+        self,
+        prefix_bins: np.ndarray,
+        column: int,
+        present: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Same distribution as :meth:`conditional_from_bins`, computed
+        without materialising the one-hot input or the full logit vector.
+
+        A one-hot input selects exactly one row of the (masked) input
+        weight per conditioned column, so the first hidden activation is
+        a sum of gathered weight rows, and only ``column``'s slice of the
+        output layer is ever multiplied out.  Floating-point summation
+        order differs from the dense matmul, so the result agrees with
+        the dense path to rounding error rather than bit-exactly.
+        """
+        prefix_bins = np.asarray(prefix_bins, dtype=np.int64)
+        batch = prefix_bins.shape[0]
+        w_in = self.input_layer.weight.value * self.input_layer.mask
+        h = np.broadcast_to(
+            self.input_layer.bias.value, (batch, w_in.shape[1])
+        ).copy()
+        for i in range(column):
+            if present is None or present[i]:
+                h += w_in[self._offsets[i] + prefix_bins[:, i]]
+        h = np.where(h > 0.0, h, 0.0)  # input ReLU
+        for block in self.blocks:
+            h = block.forward(h)
+        lo, hi = int(self._offsets[column]), int(self._offsets[column + 1])
+        w_out = (
+            self.output_layer.weight.value[:, lo:hi]
+            * self.output_layer.mask[:, lo:hi]
+        )
+        return softmax(h @ w_out + self.output_layer.bias.value[lo:hi])
+
     # ------------------------------------------------------------------
     def nll_step(
         self, binned_rows: np.ndarray, input_mask: np.ndarray | None = None

@@ -28,6 +28,7 @@ from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     BREAKER_TRANSITIONS,
     ESTIMATOR_PHASE_SECONDS,
+    SERVE_CACHE,
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
     SERVE_TIER_SECONDS,
@@ -88,6 +89,7 @@ __all__ = [
     "Histogram",
     "LatencyWindow",
     "MetricsRegistry",
+    "SERVE_CACHE",
     "SERVE_REQUESTS",
     "SERVE_TIER_ATTEMPTS",
     "SERVE_TIER_SECONDS",

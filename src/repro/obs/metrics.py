@@ -490,6 +490,7 @@ ESTIMATOR_PHASE_SECONDS = "repro_estimator_phase_seconds"
 SERVE_REQUESTS = "repro_serve_requests_total"
 SERVE_TIER_ATTEMPTS = "repro_serve_tier_attempts_total"
 SERVE_TIER_SECONDS = "repro_serve_tier_seconds"
+SERVE_CACHE = "repro_serve_cache_total"
 BREAKER_TRANSITIONS = "repro_breaker_transitions_total"
 TRAIN_EPOCHS = "repro_training_epochs_total"
 TRAIN_LOSS = "repro_training_loss"

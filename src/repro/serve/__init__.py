@@ -3,6 +3,7 @@ output sanitization and health reporting (the production guardrails the
 paper's findings call for)."""
 
 from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .cache import EstimateCache
 from .heuristic import HeuristicConstantEstimator
 from .service import (
     LAST_RESORT_SELECTIVITY,
@@ -16,6 +17,7 @@ __all__ = [
     "BreakerConfig",
     "BreakerState",
     "CircuitBreaker",
+    "EstimateCache",
     "EstimatorService",
     "HeuristicConstantEstimator",
     "LAST_RESORT_SELECTIVITY",

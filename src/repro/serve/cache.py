@@ -1,0 +1,73 @@
+"""Keyed estimate cache for the serving layer.
+
+Real deployments answer the same parametrized queries over and over
+(dashboards, prepared statements), and a cardinality estimate only goes
+stale when the underlying data changes.  :class:`EstimateCache` is a
+small LRU map from :class:`~repro.core.query.Query` (frozen, hence
+hashable) to the served estimate.  The service consults it before
+walking the fallback chain and clears it on ``update()``, so a hit is
+always as fresh as a cold call against the current model state.
+
+The cache is opt-in: pass ``cache=`` to
+:class:`~repro.serve.service.EstimatorService`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.query import Query
+
+
+class EstimateCache:
+    """Bounded LRU map from query to served estimate."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Query, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, query: Query) -> bool:
+        return query in self._entries
+
+    def get(self, query: Query) -> float | None:
+        """Cached estimate for ``query``, or None on a miss."""
+        try:
+            value = self._entries[query]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(query)
+        self.hits += 1
+        return value
+
+    def put(self, query: Query, estimate: float) -> None:
+        """Insert or refresh an entry, evicting the least recently used."""
+        if query in self._entries:
+            self._entries.move_to_end(query)
+        self._entries[query] = estimate
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (model state changed; estimates are stale)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimateCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -10,6 +10,10 @@ latency.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+import numpy as np
+
 from ..core.estimator import CardinalityEstimator
 from ..core.query import Query
 from ..core.table import Table
@@ -35,6 +39,19 @@ class HeuristicConstantEstimator(CardinalityEstimator):
         if any(p.is_empty for p in query.predicates):
             return 0.0
         return self._num_rows * self.selectivity**query.num_predicates
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        any_empty = np.array(
+            [any(p.is_empty for p in q.predicates) for q in queries]
+        )
+        num_preds = np.array([q.num_predicates for q in queries], dtype=np.int64)
+        # Index a table of scalar powers: numpy's vectorized power differs
+        # from Python's ``**`` by an ulp for some exponents, and this tier
+        # must match the scalar path bit-for-bit.
+        powers = np.array(
+            [self.selectivity**k for k in range(int(num_preds.max(initial=0)) + 1)]
+        )
+        return np.where(any_empty, 0.0, self._num_rows * powers[num_preds])
 
     def _update(self, table: Table, appended, workload: Workload | None) -> None:
         self._num_rows = table.num_rows

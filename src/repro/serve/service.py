@@ -48,11 +48,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..core.estimator import CardinalityEstimator
 from ..core.query import Query
 from ..core.table import Table
 from ..core.workload import Workload
 from ..obs import (
+    SERVE_CACHE,
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
     SERVE_TIER_SECONDS,
@@ -67,6 +70,7 @@ from ..obs import (
 )
 from ..rules.enforce import clamp_to_bounds, trivial_answer
 from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .cache import EstimateCache
 
 #: Per-predicate selectivity of the in-service emergency answer, used
 #: only when every tier of the chain is skipped or fails.
@@ -217,12 +221,16 @@ class EstimatorService(CardinalityEstimator):
         registry: MetricsRegistry | None = None,
         collector: SpanCollector | None = None,
         events: EventLog | None = None,
+        cache: EstimateCache | int | None = None,
     ) -> None:
         super().__init__()
         if not tiers:
             raise ValueError("a service needs at least one tier")
         if deadline_ms is not None and deadline_ms <= 0.0:
             raise ValueError("deadline_ms must be positive (or None)")
+        # Opt-in keyed estimate cache: an int is a capacity, an
+        # EstimateCache is adopted as-is, None (default) disables it.
+        self.cache = EstimateCache(cache) if isinstance(cache, int) else cache
         self._clock = clock
         self._deadline = None if deadline_ms is None else deadline_ms / 1000.0
         self.breaker_config = breaker or BreakerConfig()
@@ -278,9 +286,17 @@ class EstimatorService(CardinalityEstimator):
             tier.estimator.update(
                 table, appended, workload if tier.estimator.requires_workload else None
             )
+        if self.cache is not None:
+            # Model state changed; every cached estimate is stale.
+            self.cache.clear()
 
     def _estimate(self, query: Query) -> float:
         return self.serve(query).estimate
+
+    def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        return np.array(
+            [s.estimate for s in self.serve_batch(queries)], dtype=np.float64
+        )
 
     def model_size_bytes(self) -> int:
         return sum(t.estimator.model_size_bytes() for t in self._tiers)
@@ -291,11 +307,41 @@ class EstimatorService(CardinalityEstimator):
     def serve(self, query: Query) -> ServedEstimate:
         """Answer one query through the chain; never raises, never NaN."""
         with span("serve", collector=self._collector, service=self.name) as root:
-            served = self._serve_inner(query)
+            served = self._cached_answer(query)
+            if served is None:
+                served = self._serve_inner(query)
+                self._cache_result(query, served)
             if root is not None:
                 root.attrs["tier"] = served.tier
                 root.attrs["degraded"] = served.degraded
             return served
+
+    def _cached_answer(self, query: Query) -> ServedEstimate | None:
+        """Cache lookup; counts the query and the hit/miss metric."""
+        if self.cache is None:
+            return None
+        start = self._clock()
+        hit = self.cache.get(query)
+        if hit is None:
+            self._count_cache("miss")
+            return None
+        self._count_cache("hit")
+        self._queries += 1
+        self._count_request("cache")
+        return ServedEstimate(
+            estimate=hit,
+            tier="cache",
+            tier_index=-1,
+            degraded=False,
+            latency_seconds=self._clock() - start,
+            attempts=(("cache", "served"),),
+        )
+
+    def _cache_result(self, query: Query, served: ServedEstimate) -> None:
+        # Last-resort answers reflect a transient outage, not the model;
+        # caching them would pin the emergency constant past recovery.
+        if self.cache is not None and served.tier != "last-resort":
+            self.cache.put(query, served.estimate)
 
     def _serve_inner(self, query: Query) -> ServedEstimate:
         table = self.table
@@ -417,6 +463,188 @@ class EstimatorService(CardinalityEstimator):
         """Serve a batch, one by one (the harness replay path)."""
         return [self.serve(q) for q in queries]
 
+    def serve_batch(self, queries: Sequence[Query]) -> list[ServedEstimate]:
+        """Serve a batch through each tier's batched hot path.
+
+        The whole batch walks the chain together: every still-unanswered
+        query goes to the current tier in one ``estimate_many`` call, the
+        per-query outcomes are judged exactly like the scalar path (NaN /
+        inf / out-of-bounds), and only the rejected queries fall through
+        to the next tier.  A tier call that raises fails the whole
+        sub-batch on that tier.  Per-tier latency samples are amortised
+        (call wall-clock divided by sub-batch size) so attempt counts and
+        latency-sample counts stay one-to-one, the invariant the health
+        window and the exported histogram share with the scalar path.
+        Never raises; every query gets an answer.
+        """
+        queries = list(queries)
+        with span(
+            "serve.batch",
+            collector=self._collector,
+            service=self.name,
+            batch=len(queries),
+        ):
+            return self._serve_batch_inner(queries)
+
+    def _serve_batch_inner(self, queries: list[Query]) -> list[ServedEstimate]:
+        table = self.table
+        start = self._clock()
+        n = len(queries)
+        results: list[ServedEstimate | None] = [None] * n
+        attempts: list[list[tuple[str, str]]] = [[] for _ in range(n)]
+        pending: list[int] = []
+
+        for i, query in enumerate(queries):
+            cached = self._cached_answer(query)
+            if cached is not None:
+                results[i] = cached
+                continue
+            self._queries += 1
+            trivial = trivial_answer(query, table)
+            if trivial is not None:
+                self._shortcuts += 1
+                self._count_request("shortcut")
+                results[i] = ServedEstimate(
+                    estimate=trivial,
+                    tier="shortcut",
+                    tier_index=-1,
+                    degraded=False,
+                    latency_seconds=self._clock() - start,
+                    attempts=(("shortcut", "served"),),
+                )
+                continue
+            pending.append(i)
+
+        last = len(self._tiers) - 1
+        for index, tier in enumerate(self._tiers):
+            if not pending:
+                break
+            if not tier.breaker.allows_request():
+                tier.stats.skipped_open += len(pending)
+                for i in pending:
+                    self._attempt_outcome(tier, attempts[i], "skipped-open")
+                continue
+            if index < last and self._budget_spent(start):
+                tier.stats.skipped_deadline += len(pending)
+                for i in pending:
+                    self._attempt_outcome(tier, attempts[i], "skipped-deadline")
+                continue
+
+            tier.stats.attempts += len(pending)
+            with span(
+                "serve.tier",
+                collector=self._collector,
+                tier=tier.name,
+                batch=len(pending),
+            ) as attempt_span:
+                call_start = self._clock()
+                sub = [queries[i] for i in pending]
+                try:
+                    raw = np.asarray(
+                        tier.estimator.estimate_many(sub), dtype=np.float64
+                    )
+                    failed = raw.shape != (len(sub),)
+                except Exception:
+                    failed = True
+                per_query = (self._clock() - call_start) / len(pending)
+                for _ in pending:
+                    self._record_latency(tier, per_query)
+                if failed:
+                    for i in pending:
+                        tier.stats.failures["exception"] += 1
+                        tier.breaker.record_failure()
+                        self._attempt_outcome(
+                            tier, attempts[i], "exception", attempt_span
+                        )
+                    continue
+                if index < last and self._budget_spent(start):
+                    # Answers arrived too late to be useful — same
+                    # discard-and-penalise as the scalar path.
+                    for i in pending:
+                        tier.stats.failures["timeout"] += 1
+                        tier.breaker.record_failure()
+                        self._attempt_outcome(
+                            tier, attempts[i], "timeout", attempt_span
+                        )
+                    continue
+
+                still: list[int] = []
+                for pos, i in enumerate(pending):
+                    value = float(raw[pos])
+                    if math.isnan(value):
+                        self._record_failure(tier, "nan", None)
+                        self._attempt_outcome(tier, attempts[i], "nan", attempt_span)
+                        self._obs_events().emit("serve.nan", tier=tier.name)
+                        still.append(i)
+                        continue
+                    if math.isinf(value):
+                        self._record_failure(tier, "inf", None)
+                        self._attempt_outcome(tier, attempts[i], "inf", attempt_span)
+                        self._obs_events().emit(
+                            "serve.nan", tier=tier.name, infinite=True
+                        )
+                        still.append(i)
+                        continue
+                    if 0.0 <= value <= table.num_rows:
+                        outcome = "served"
+                        tier.breaker.record_success()
+                    else:
+                        value, outcome = (
+                            clamp_to_bounds(value, table.num_rows),
+                            "sanitized",
+                        )
+                        tier.stats.sanitized += 1
+                        tier.breaker.record_failure()
+                        self._obs_events().emit(
+                            "serve.sanitized",
+                            tier=tier.name,
+                            raw=float(raw[pos]),
+                            served=value,
+                        )
+                    tier.stats.served += 1
+                    if index > 0:
+                        self._degraded += 1
+                        self._obs_events().emit(
+                            "serve.fallback", tier=tier.name, tier_index=index
+                        )
+                    self._attempt_outcome(tier, attempts[i], outcome, attempt_span)
+                    self._count_request("primary" if index == 0 else "fallback")
+                    served = ServedEstimate(
+                        estimate=value,
+                        tier=tier.name,
+                        tier_index=index,
+                        degraded=index > 0,
+                        latency_seconds=self._clock() - start,
+                        attempts=tuple(attempts[i]),
+                    )
+                    self._cache_result(queries[i], served)
+                    results[i] = served
+                pending = still
+
+        for i in pending:
+            # Every tier skipped or failed this query: emergency answer.
+            self._last_resort += 1
+            self._degraded += 1
+            attempts[i].append(("last-resort", "served"))
+            self._count_request("last-resort")
+            self._obs_events().emit("serve.last_resort", service=self.name)
+            query = queries[i]
+            value = (
+                0.0
+                if any(p.is_empty for p in query.predicates)
+                else table.num_rows * LAST_RESORT_SELECTIVITY**query.num_predicates
+            )
+            results[i] = ServedEstimate(
+                estimate=clamp_to_bounds(value, table.num_rows),
+                tier="last-resort",
+                tier_index=len(self._tiers),
+                degraded=True,
+                latency_seconds=self._clock() - start,
+                attempts=tuple(attempts[i]),
+            )
+        assert all(served is not None for served in results)
+        return results  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -472,6 +700,11 @@ class EstimatorService(CardinalityEstimator):
     def _count_request(self, outcome: str) -> None:
         self._obs_registry().counter(
             SERVE_REQUESTS, "Queries served, by outcome"
+        ).inc(outcome=outcome)
+
+    def _count_cache(self, outcome: str) -> None:
+        self._obs_registry().counter(
+            SERVE_CACHE, "Estimate-cache lookups, by outcome"
         ).inc(outcome=outcome)
 
     def _attempt_outcome(

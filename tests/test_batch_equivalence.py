@@ -1,0 +1,215 @@
+"""Batch/scalar equivalence for the vectorized inference hot path.
+
+``estimate_many`` must return the same numbers as the one-query-at-a-time
+loop for every registered estimator — exactly for deterministic
+estimators, and to floating-point rounding (1e-9 relative) for the
+vectorized paths whose summation order legitimately differs (grouped AVI
+products, sparse MADE kernel, segment-sum pooling).  Edge cases ride
+along: wildcard (one-sided / full-domain) predicates, empty (lo > hi)
+predicates, the one-row table, and the zero-row rejection.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Scale, estimator_names, make_estimator
+from repro.core import Predicate, Query, Table, generate_workload
+from repro.serve import HeuristicConstantEstimator
+
+TINY = Scale(
+    name="tiny",
+    row_fraction=0.1,
+    train_queries=150,
+    test_queries=40,
+    nn_epochs=2,
+    naru_epochs=2,
+    update_queries=50,
+    synthetic_rows=1500,
+    naru_samples=32,
+)
+
+#: Estimators whose batch path must be bit-identical to the scalar loop:
+#: either the default loop fallback or a vectorized path with unchanged
+#: summation order.
+EXACT = {"sampling", "lw-xgb", "bayes", "kde-fb", "deepdb", "quicksel", "dbms-a"}
+
+#: Everything else agrees to rounding error only (vectorized reductions
+#: reorder floating-point sums).
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.datasets import generate_synthetic
+
+    rng = np.random.default_rng(31)
+    return generate_synthetic(2500, skew=1.0, correlation=0.6, domain_size=50, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def train(table):
+    rng = np.random.default_rng(32)
+    return generate_workload(table, TINY.train_queries, rng)
+
+
+@pytest.fixture(scope="module", params=estimator_names())
+def fitted(request, table, train):
+    est = make_estimator(request.param, TINY)
+    est.fit(table, train if est.requires_workload else None)
+    if hasattr(est, "inference_seed"):
+        # Pin stochastic inference so the scalar loop and the batch draw
+        # identical sampling trajectories.
+        est.inference_seed = 1234
+    return est
+
+
+def edge_queries(table) -> list[Query]:
+    """Wildcard, empty, equality and all-column queries."""
+    col0 = table.columns[0]
+    mid = (col0.domain_min + col0.domain_max) / 2
+    return [
+        Query((Predicate(0, None, mid),)),  # one-sided hi
+        Query((Predicate(0, mid, None),)),  # one-sided lo
+        Query((Predicate(0, col0.domain_min, col0.domain_max),)),  # full domain
+        Query((Predicate(0, mid + 1.0, mid - 1.0),)),  # empty: lo > hi
+        Query((Predicate(0, float(col0.distinct_values[0]),
+                         float(col0.distinct_values[0])),)),  # equality
+        Query(
+            tuple(
+                Predicate(i, c.domain_min, (c.domain_min + c.domain_max) / 2)
+                for i, c in enumerate(table.columns)
+            )
+        ),  # every column predicated
+    ]
+
+
+class TestEquivalence:
+    def test_matches_scalar_loop(self, fitted, table):
+        rng = np.random.default_rng(33)
+        queries = list(generate_workload(table, 60, rng).queries) + edge_queries(
+            table
+        )
+        scalar = np.array([fitted.estimate(q) for q in queries])
+        batch = fitted.estimate_many(queries)
+        assert batch.shape == (len(queries),)
+        if fitted.name in EXACT:
+            assert np.array_equal(scalar, batch)
+        else:
+            np.testing.assert_allclose(batch, scalar, rtol=RTOL, atol=0.0)
+
+    def test_empty_predicate_agrees(self, fitted, table):
+        query = Query((Predicate(0, 30.0, 10.0),))
+        scalar = fitted.estimate(query)
+        batch = fitted.estimate_many([query, query])
+        np.testing.assert_allclose(batch, [scalar, scalar], rtol=RTOL)
+
+    def test_empty_batch(self, fitted):
+        out = fitted.estimate_many([])
+        assert out.shape == (0,)
+
+    def test_batch_output_is_clamped(self, fitted, table):
+        rng = np.random.default_rng(34)
+        queries = list(generate_workload(table, 20, rng).queries)
+        out = fitted.estimate_many(queries)
+        assert (out >= 0.0).all()
+
+
+class TestUnseededNaru:
+    """The shared stateful inference RNG must advance in scalar order."""
+
+    @pytest.mark.parametrize("wildcard", [False, True])
+    def test_two_instances_agree(self, table, wildcard):
+        from repro.estimators.learned import NaruEstimator
+
+        def build():
+            est = NaruEstimator(
+                epochs=2, num_samples=16, seed=5, wildcard_skipping=wildcard
+            )
+            est.fit(table)
+            return est
+
+        rng = np.random.default_rng(35)
+        queries = list(generate_workload(table, 30, rng).queries)
+        scalar_est, batch_est = build(), build()
+        scalar = np.array([scalar_est.estimate(q) for q in queries])
+        batch = batch_est.estimate_many(queries)
+        np.testing.assert_allclose(batch, scalar, rtol=RTOL, atol=0.0)
+
+
+class TestDegenerateTables:
+    def test_zero_row_table_rejected(self):
+        # A zero-row table cannot exist, so batch equivalence on one is
+        # untestable by construction; the rejection is the contract.
+        with pytest.raises(ValueError, match="at least one row"):
+            Table("empty", np.empty((0, 3)))
+
+    def test_one_row_table(self):
+        data = np.array([[1.0, 5.0, 2.0]])
+        tiny = Table("one-row", data)
+        queries = [
+            Query((Predicate(0, 0.0, 2.0),)),
+            Query((Predicate(0, 3.0, 4.0),)),
+            Query((Predicate(1, None, 5.0), Predicate(2, 2.0, None))),
+            Query((Predicate(0, 2.0, 0.0),)),  # empty
+        ]
+        for name in ("postgres", "mysql", "sampling", "mhist"):
+            est = make_estimator(name, TINY)
+            est.fit(tiny)
+            scalar = np.array([est.estimate(q) for q in queries])
+            batch = est.estimate_many(queries)
+            np.testing.assert_allclose(batch, scalar, rtol=RTOL, atol=0.0)
+        heur = HeuristicConstantEstimator()
+        heur.fit(tiny)
+        scalar = np.array([heur.estimate(q) for q in queries])
+        assert np.array_equal(heur.estimate_many(queries), scalar)
+
+
+class TestBatchHookContract:
+    def test_wrong_shape_raises(self, table):
+        class Broken(HeuristicConstantEstimator):
+            def _estimate_batch(self, queries):
+                return np.ones(len(queries) + 1)
+
+        est = Broken()
+        est.fit(table)
+        with pytest.raises(ValueError, match="shape"):
+            est.estimate_many([Query((Predicate(0, 0.0, 1.0),))])
+
+    def test_nan_raw_estimates_clamp_to_zero(self, table):
+        class NanBatch(HeuristicConstantEstimator):
+            def _estimate_batch(self, queries):
+                return np.full(len(queries), np.nan)
+
+        est = NanBatch()
+        est.fit(table)
+        out = est.estimate_many([Query((Predicate(0, 0.0, 1.0),))] * 3)
+        # Scalar estimate() maps NaN to 0.0 via max(); the batch clamp
+        # must reproduce that, not propagate NaN.
+        assert np.array_equal(out, np.zeros(3))
+
+
+@pytest.mark.slow
+class TestBatchPerfSmoke:
+    """Batched inference must beat the scalar loop on a real batch."""
+
+    @pytest.mark.parametrize("method", ["naru", "mscn"])
+    def test_faster_than_scalar_loop(self, method, table, train):
+        import time
+
+        est = make_estimator(method, TINY)
+        est.fit(table, train if est.requires_workload else None)
+        if hasattr(est, "inference_seed"):
+            est.inference_seed = 99
+        rng = np.random.default_rng(36)
+        queries = list(generate_workload(table, 256, rng).queries)
+        start = time.perf_counter()
+        for q in queries:
+            est.estimate(q)
+        scalar_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        est.estimate_many(queries)
+        batch_seconds = time.perf_counter() - start
+        assert batch_seconds < scalar_seconds, (
+            f"{method}: batch {batch_seconds:.3f}s not faster than "
+            f"scalar {scalar_seconds:.3f}s on {len(queries)} queries"
+        )

@@ -348,6 +348,44 @@ class TestEstimatorInstrumentation:
 
 
 # ----------------------------------------------------------------------
+# Batch-inference instrumentation (estimate_many accounting)
+# ----------------------------------------------------------------------
+class TestBatchInstrumentation:
+    @staticmethod
+    def _queries(n):
+        return [Query((Predicate(0, 0.0, 2.0),))] * n
+
+    def test_batch_counts_every_query(self, tiny_table):
+        est = SamplingEstimator().fit(tiny_table)
+        est.estimate_many(self._queries(7))
+        assert est.timing.inference_count == 7
+        assert est.timing.total_inference_seconds > 0.0
+        # A follow-up scalar estimate keeps accumulating on top.
+        est.estimate(Query((Predicate(0, 0.0, 2.0),)))
+        assert est.timing.inference_count == 8
+
+    def test_batch_observes_estimate_phase_once(self, tiny_table):
+        est = SamplingEstimator().fit(tiny_table)
+        est.estimate_many(self._queries(5))
+        hist = obs.get_registry().get(ESTIMATOR_PHASE_SECONDS)
+        assert hist.count(phase="estimate", estimator="sampling") == 1
+
+    def test_batch_records_a_single_span(self, tiny_table):
+        # Regression: estimate_many used to re-enter timed_span once per
+        # query, emitting N per-query spans (and N phase observations)
+        # for one logical batch call.
+        collector = install_collector()
+        est = SamplingEstimator().fit(tiny_table)
+        est.estimate_many(self._queries(9))
+        names = collector.names()
+        assert names["estimator.estimate_batch"] == 1
+        assert names.get("estimator.estimate", 0) == 0
+        span = collector.spans("estimator.estimate_batch")[0]
+        assert span.attrs["estimator"] == "sampling"
+        assert span.attrs["batch"] == 9
+
+
+# ----------------------------------------------------------------------
 # Training-loop telemetry (per-epoch loss for the learned methods)
 # ----------------------------------------------------------------------
 @pytest.fixture

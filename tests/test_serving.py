@@ -15,6 +15,7 @@ from repro.serve import (
     BreakerConfig,
     BreakerState,
     CircuitBreaker,
+    EstimateCache,
     EstimatorService,
     HeuristicConstantEstimator,
 )
@@ -501,3 +502,157 @@ class TestAcceptance:
         assert health.availability == 1.0
         assert health.tiers[0].state == "open"
         assert health.tiers[0].trips >= 1
+
+
+def distinct_queries(n: int) -> list[Query]:
+    """n distinct single-predicate queries over the tiny table's column a."""
+    return [Query((Predicate(0, float(i % 6), float(i % 6) + 0.5 + i),)) for i in range(n)]
+
+
+class TestServeBatch:
+    def service(self, tiers, table, **kwargs):
+        svc = EstimatorService(tiers, **kwargs)
+        svc.fit(table)
+        return svc
+
+    def test_batch_matches_scalar_serve(self, tiny_table):
+        queries = distinct_queries(10)
+        scalar_svc = self.service(
+            [make_estimator("sampling"), make_estimator("postgres")], tiny_table
+        )
+        batch_svc = self.service(
+            [make_estimator("sampling"), make_estimator("postgres")], tiny_table
+        )
+        scalar = scalar_svc.serve_many(queries)
+        batch = batch_svc.serve_batch(queries)
+        assert [s.estimate for s in batch] == [s.estimate for s in scalar]
+        assert [s.tier for s in batch] == [s.tier for s in scalar]
+
+    def test_nan_primary_falls_back_whole_batch(self, tiny_table):
+        primary = NaNFault(StubEstimator(4.0), probability=1.0, seed=3)
+        svc = self.service([primary, StubEstimator(9.0, name="backup")], tiny_table)
+        served = svc.serve_batch(distinct_queries(8))
+        assert all(s.estimate == 9.0 for s in served)
+        assert all(s.tier == "backup" and s.degraded for s in served)
+        assert svc.health().availability == 1.0
+        primary_health = svc.health().tiers[0]
+        assert primary_health.failures.get("nan", 0) == 8
+
+    def test_partial_exception_fault_keeps_availability(self, tiny_table):
+        # One raising query fails the whole sub-batch on that tier; the
+        # batch must still come back fully answered via the fallback.
+        primary = ExceptionFault(StubEstimator(4.0), probability=0.5, seed=11)
+        svc = self.service([primary, StubEstimator(9.0, name="backup")], tiny_table)
+        served = svc.serve_batch(distinct_queries(12))
+        assert len(served) == 12
+        assert all(np.isfinite(s.estimate) for s in served)
+        assert svc.health().availability == 1.0
+
+    def test_all_tiers_failing_reaches_last_resort(self, tiny_table):
+        primary = NaNFault(StubEstimator(4.0), probability=1.0, seed=3)
+        svc = self.service([primary], tiny_table)
+        queries = distinct_queries(5)
+        served = svc.serve_batch(queries)
+        for s, q in zip(served, queries):
+            assert s.tier == "last-resort"
+            assert s.estimate == tiny_table.num_rows * 0.1**q.num_predicates
+
+    def test_attempts_match_batch_size(self, tiny_table):
+        svc = self.service([StubEstimator(4.0)], tiny_table)
+        svc.serve_batch(distinct_queries(12))
+        tier = svc.health().tiers[0]
+        # One attempt (and one amortised latency sample) per batched query
+        # keeps the health window consistent with the scalar path.
+        assert tier.attempts == 12
+        assert tier.served == 12
+        assert tier.p50_ms >= 0.0
+
+    def test_estimate_many_routes_through_serve_batch(self, tiny_table):
+        svc = self.service([StubEstimator(4.0)], tiny_table)
+        out = svc.estimate_many(distinct_queries(6))
+        assert out.shape == (6,)
+        assert np.array_equal(out, np.full(6, 4.0))
+        assert svc.health().queries == 6
+
+
+class TestEstimateCache:
+    def test_rejects_nonpositive_capacity(self):
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="capacity"):
+                EstimateCache(capacity=bad)
+
+    def test_hit_and_miss_counters(self, query):
+        cache = EstimateCache(capacity=4)
+        assert cache.get(query) is None
+        cache.put(query, 7.0)
+        assert cache.get(query) == 7.0
+        assert query in cache
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = EstimateCache(capacity=2)
+        q1, q2, q3 = distinct_queries(3)
+        cache.put(q1, 1.0)
+        cache.put(q2, 2.0)
+        cache.get(q1)  # refresh q1 so q2 is the least recently used
+        cache.put(q3, 3.0)
+        assert cache.evictions == 1
+        assert q2 not in cache
+        assert q1 in cache and q3 in cache
+
+    def test_clear_drops_entries_but_keeps_counters(self, query):
+        cache = EstimateCache(capacity=4)
+        cache.put(query, 7.0)
+        cache.get(query)
+        cache.clear()
+        assert len(cache) == 0
+        assert query not in cache
+        assert cache.hits == 1
+
+
+class TestServiceCache:
+    def service(self, tiers, table, **kwargs):
+        svc = EstimatorService(tiers, **kwargs)
+        svc.fit(table)
+        return svc
+
+    def test_warm_queries_serve_from_cache(self, tiny_table):
+        svc = self.service([StubEstimator(4.0)], tiny_table, cache=32)
+        queries = distinct_queries(6)
+        cold = svc.serve_many(queries)
+        warm = svc.serve_many(queries)
+        assert [s.estimate for s in warm] == [s.estimate for s in cold]
+        assert all(s.tier == "cache" and s.tier_index == -1 for s in warm)
+        assert svc.cache.hits == 6 and svc.cache.misses == 6
+
+    def test_serve_batch_uses_cache(self, tiny_table):
+        svc = self.service([StubEstimator(4.0)], tiny_table, cache=32)
+        queries = distinct_queries(6)
+        svc.serve_batch(queries)
+        attempts_after_cold = svc.health().tiers[0].attempts
+        warm = svc.serve_batch(queries)
+        assert all(s.tier == "cache" for s in warm)
+        assert svc.health().tiers[0].attempts == attempts_after_cold
+
+    def test_update_invalidates_cache(self, tiny_table):
+        svc = self.service([HeuristicConstantEstimator()], tiny_table, cache=32)
+        queries = distinct_queries(4)
+        svc.serve_many(queries)
+        assert len(svc.cache) == 4
+        svc.update(tiny_table, tiny_table.data[:2])
+        assert len(svc.cache) == 0
+        served = svc.serve_many(queries)
+        # Refilled from the refreshed model, not from stale entries.
+        assert all(s.tier == "heuristic" for s in served)
+
+    def test_last_resort_answers_are_not_cached(self, tiny_table, query):
+        primary = NaNFault(StubEstimator(4.0), probability=1.0, seed=3)
+        svc = self.service([primary], tiny_table, cache=32)
+        first = svc.serve(query)
+        second = svc.serve(query)
+        assert first.tier == "last-resort"
+        # A transient outage must not pin the emergency constant: the
+        # retry walks the chain again instead of hitting the cache.
+        assert second.tier == "last-resort"
+        assert len(svc.cache) == 0
