@@ -1,0 +1,98 @@
+"""Model lifecycle under update-path faults: availability through
+crashing, flaky, hanging and regressed retrains (see repro.lifecycle)."""
+
+import pytest
+
+from repro.bench.lifecycle_exp import (
+    default_scenarios,
+    format_lifecycle,
+    lifecycle_experiment,
+    run_lifecycle_scenario,
+)
+from repro.lifecycle import PROMOTED, RETRAIN_FAILED, ROLLED_BACK
+
+PRIMARY = "lw-nn"
+
+
+@pytest.fixture(scope="module")
+def results(ctx, record_result):
+    out = lifecycle_experiment(ctx, primary=PRIMARY)
+    record_result("lifecycle_faults", format_lifecycle(out, primary=PRIMARY))
+    return {r.scenario: r for r in out}
+
+
+def test_availability_survives_every_retrain_fault(results):
+    """The acceptance bar: the incumbent answers every probe — before,
+    during (backoff windows) and after the pass — whatever the retrain
+    path does."""
+    for r in results.values():
+        assert r.availability == 1.0, r.scenario
+
+
+def test_every_scenario_reaches_its_expected_state(results):
+    for r in results.values():
+        assert r.as_expected, f"{r.scenario}: {r.state} != {r.expected}"
+
+
+def test_clean_retrain_promotes_and_bumps_generation(results):
+    r = results["clean-retrain"]
+    assert r.state == PROMOTED
+    assert r.generation == 1
+    assert r.gate == "pass"
+
+
+def test_crash_resumes_from_checkpoint_not_epoch_zero(results):
+    r = results["crash-mid-train"]
+    assert r.state == PROMOTED
+    assert r.resumed, "second attempt must resume from the checkpoint"
+    # Crash + resume costs strictly fewer epochs than two full runs.
+    clean_epochs = results["clean-retrain"].epochs_run
+    assert r.epochs_run < 2 * clean_epochs
+
+
+def test_torn_checkpoint_does_not_poison_the_retrain(results):
+    r = results["torn-checkpoint"]
+    assert r.state == PROMOTED
+
+
+def test_regressed_candidate_never_reaches_serving(results):
+    r = results["regressed-candidate"]
+    assert r.state == ROLLED_BACK
+    assert r.gate == "fail"
+    assert r.generation == 0, "generation must not advance on rollback"
+
+
+def test_exhausted_retrain_keeps_incumbent(results):
+    r = results["retrain-exhausted"]
+    assert r.state == RETRAIN_FAILED
+    assert r.generation == 0
+    assert r.probes_during_backoff > 0, "probes must be served during backoff"
+
+
+def test_lifecycle_pass_benchmark(ctx, benchmark, results):
+    """Benchmark one full drift->retrain->validate->promote pass."""
+    scenario = default_scenarios()[0]
+    result = benchmark(lambda: run_lifecycle_scenario(ctx, scenario, PRIMARY))
+    assert result.availability == 1.0
+
+
+@pytest.mark.slow
+def test_lifecycle_long_horizon(ctx, record_result):
+    """Five consecutive update rounds, alternating clean and faulty
+    retrains: availability must hold across the whole horizon."""
+    rounds = []
+    scenarios = default_scenarios()
+    by_name = {s.name: s for s in scenarios}
+    plan = [
+        "clean-retrain",
+        "crash-mid-train",
+        "retrain-exhausted",
+        "flaky-retrain",
+        "regressed-candidate",
+    ]
+    for name in plan:
+        rounds.append(run_lifecycle_scenario(ctx, by_name[name], PRIMARY))
+    record_result("lifecycle_long_horizon", format_lifecycle(rounds, PRIMARY))
+    for r in rounds:
+        assert r.availability == 1.0, r.scenario
+        assert r.as_expected, r.scenario

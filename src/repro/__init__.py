@@ -33,6 +33,7 @@ from . import (
     dynamic,
     explain,
     faults,
+    lifecycle,
     obs,
     persistence,
     planner,
@@ -64,6 +65,7 @@ from .registry import (
     make_estimator,
     make_fallback_chain,
     make_learned,
+    make_lifecycle_manager,
     make_service,
     make_traditional,
 )
@@ -94,9 +96,11 @@ __all__ = [
     "explain",
     "faults",
     "generate_workload",
+    "lifecycle",
     "make_estimator",
     "make_fallback_chain",
     "make_learned",
+    "make_lifecycle_manager",
     "make_service",
     "make_traditional",
     "obs",

@@ -26,6 +26,7 @@ from ..scale import Scale
 from . import figure2, robustness, rules_exp  # noqa: F401  (rules_exp via table6)
 from .batch_exp import batch_experiment
 from .context import BenchContext
+from .lifecycle_exp import format_lifecycle, lifecycle_experiment
 from .obs_exp import format_obs, obs_experiment
 from .serving_exp import format_serving, serving_experiment
 from .dynamic_exp import (
@@ -75,6 +76,7 @@ EXPERIMENTS: dict[str, Callable[[BenchContext], str]] = {
     "figure11": lambda ctx: robustness.format_figure11(figure11(ctx)),
     "table6": lambda ctx: format_table6(table6(ctx)),
     "serving": lambda ctx: format_serving(serving_experiment(ctx)),
+    "lifecycle": lambda ctx: format_lifecycle(lifecycle_experiment(ctx)),
     "obs": lambda ctx: format_obs(obs_experiment(ctx)),
     "batch": lambda ctx: batch_experiment(ctx),
 }

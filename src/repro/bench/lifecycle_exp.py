@@ -1,0 +1,276 @@
+"""Lifecycle-under-faults experiment: retrain, crash, resume, promote.
+
+For each scenario a :class:`~repro.lifecycle.ModelLifecycleManager` runs
+one drift-triggered pass over a Section 5 data update while the retrain
+path misbehaves in a controlled way (crash mid-training, flaky or
+hanging attempts, a torn checkpoint, a regressed candidate).  Probe
+queries are served through the :class:`~repro.serve.EstimatorService`
+before the pass, *during* it (the manager's injectable ``sleep`` hook
+fires between retry attempts, exactly when a naive deployment would be
+down), and after it.  The availability column is the fraction of those
+probes answered with a finite, in-bounds estimate — the experiment's
+claim is that it stays 1.0 no matter what the retrain does, because the
+incumbent is never unplugged until a candidate passes the promotion
+gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Callable
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.workload import Workload, generate_workload
+from ..datasets.updates import apply_update
+from ..faults import (
+    CrashAtEpochFault,
+    FlakyRetrainFault,
+    HangingRetrainFault,
+    NaNFault,
+    truncate_file,
+)
+from ..lifecycle import (
+    PROMOTED,
+    ROLLED_BACK,
+    RETRAIN_FAILED,
+    DriftDetector,
+    LifecycleReport,
+    ModelLifecycleManager,
+    PromotionGate,
+    RetryPolicy,
+)
+from ..registry import make_estimator, make_service
+from ..rules.enforce import is_sane
+from .context import BenchContext
+from .reporting import render_table
+
+
+@dataclass(frozen=True)
+class LifecycleScenario:
+    """One update-path fault applied to the retrain/promote loop."""
+
+    name: str
+    #: wraps the freshly built candidate in a fault injector
+    wrap: Callable[[CardinalityEstimator, int], CardinalityEstimator]
+    #: the terminal state the scenario is expected to reach
+    expect: str = PROMOTED
+    #: cooperative per-attempt deadline (None = unbounded)
+    attempt_deadline_seconds: float | None = None
+    #: True to plant a torn (truncated) checkpoint before the pass
+    torn_checkpoint: bool = False
+
+
+def default_scenarios() -> list[LifecycleScenario]:
+    """The update-path fault matrix run by :func:`lifecycle_experiment`."""
+    return [
+        LifecycleScenario("clean-retrain", lambda est, seed: est),
+        LifecycleScenario(
+            "crash-mid-train",
+            lambda est, seed: CrashAtEpochFault(
+                est, crash_epoch=max(1, est.target_epochs // 2)
+            ),
+        ),
+        LifecycleScenario(
+            "flaky-retrain",
+            lambda est, seed: FlakyRetrainFault(est, fail_attempts=2),
+        ),
+        LifecycleScenario(
+            "hanging-retrain",
+            lambda est, seed: HangingRetrainFault(
+                est, hang_seconds=0.6, hang_attempts=1
+            ),
+            attempt_deadline_seconds=0.5,
+        ),
+        LifecycleScenario(
+            "torn-checkpoint",
+            lambda est, seed: est,
+            torn_checkpoint=True,
+        ),
+        LifecycleScenario(
+            "regressed-candidate",
+            lambda est, seed: NaNFault(est, probability=1.0, seed=seed),
+            expect=ROLLED_BACK,
+        ),
+        LifecycleScenario(
+            "retrain-exhausted",
+            lambda est, seed: FlakyRetrainFault(est, fail_attempts=99),
+            expect=RETRAIN_FAILED,
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class LifecycleResult:
+    """Outcome of one lifecycle pass under one update-path fault."""
+
+    scenario: str
+    state: str
+    expected: str
+    as_expected: bool
+    attempts: int
+    resumed: bool
+    epochs_run: int
+    generation: int
+    #: finite in-bounds fraction over every probe served around the pass
+    availability: float
+    probes_served: int
+    #: probes served during backoff windows, while the retrain was down
+    probes_during_backoff: int
+    gate: str
+
+
+def run_lifecycle_scenario(
+    ctx: BenchContext,
+    scenario: LifecycleScenario,
+    primary: str = "lw-nn",
+    dataset: str = "census",
+    checkpoint_dir: str | Path | None = None,
+) -> LifecycleResult:
+    """Run one drift-triggered lifecycle pass under ``scenario``."""
+    if checkpoint_dir is None:
+        with TemporaryDirectory() as tmp:
+            return run_lifecycle_scenario(ctx, scenario, primary, dataset, tmp)
+
+    table = ctx.table(dataset)
+    train = ctx.train_workload(dataset)
+    probe_queries = list(ctx.test_workload(dataset).queries)[:30]
+    probe = Workload(
+        queries=tuple(probe_queries),
+        cardinalities=table.cardinalities(probe_queries),
+    )
+    seed = ctx.seed + 23
+
+    service = make_service(primary, scale=ctx.scale).fit(table, train)
+    manager = ModelLifecycleManager(
+        service,
+        lambda: scenario.wrap(make_estimator(primary, ctx.scale), seed),
+        DriftDetector(probe),
+        checkpoint_dir=checkpoint_dir,
+        gate=PromotionGate(probe_queries, seed=seed),
+        policy=RetryPolicy(
+            max_attempts=3, backoff_base_seconds=0.01, backoff_cap_seconds=0.05
+        ),
+        attempt_deadline_seconds=scenario.attempt_deadline_seconds,
+        seed=seed,
+        sleep=lambda _: probe_during_backoff(),
+    )
+
+    # The serving side of the experiment: probes answered around and
+    # *during* the pass (the sleep hook fires between retry attempts).
+    sane_flags: list[bool] = []
+    backoff_probes = 0
+
+    def serve_probes(n: int = 5) -> None:
+        for query in probe_queries[:n]:
+            served = service.serve(query)
+            sane_flags.append(
+                is_sane(served.estimate, manager.service.table.num_rows)
+            )
+
+    def probe_during_backoff() -> None:
+        nonlocal backoff_probes
+        serve_probes()
+        backoff_probes += 5
+
+    rng = np.random.default_rng(seed)
+    new_table, appended = apply_update(table, rng, fraction=0.6)
+    new_train = generate_workload(new_table, ctx.scale.train_queries, rng)
+
+    if scenario.torn_checkpoint:
+        plant_torn_checkpoint(manager, new_table, new_train)
+
+    serve_probes()
+    report: LifecycleReport = manager.on_update(new_table, appended, new_train)
+    serve_probes()
+
+    return LifecycleResult(
+        scenario=scenario.name,
+        state=report.state,
+        expected=scenario.expect,
+        as_expected=report.state == scenario.expect,
+        attempts=report.retrain.total_attempts if report.retrain else 0,
+        resumed=bool(report.retrain and report.retrain.resumed),
+        epochs_run=report.retrain.total_epochs_run if report.retrain else 0,
+        generation=report.generation,
+        availability=float(np.mean(sane_flags)) if sane_flags else 0.0,
+        probes_served=len(sane_flags),
+        probes_during_backoff=backoff_probes,
+        gate="-" if report.gate is None else ("pass" if report.gate.passed else "fail"),
+    )
+
+
+def plant_torn_checkpoint(
+    manager: ModelLifecycleManager, table, workload
+) -> None:
+    """Leave a half-trained then truncated checkpoint in the store.
+
+    Models a crash that tore the newest checkpoint mid-write *despite*
+    the atomic rename (e.g. disk-level corruption): the resume must
+    detect the bad checksum and fall back rather than trust it.
+    """
+    pilot = manager.candidate_factory()
+    if not getattr(pilot, "supports_resumable_training", False):
+        return
+    pilot.begin_training(table, workload)
+    pilot.train_epochs(workload, 1)
+    path = manager.store.save(pilot.training_state(), pilot.epochs_trained)
+    truncate_file(path)
+
+
+def lifecycle_experiment(
+    ctx: BenchContext,
+    primary: str = "lw-nn",
+    dataset: str = "census",
+    scenarios: list[LifecycleScenario] | None = None,
+) -> list[LifecycleResult]:
+    """Run every update-path fault scenario through the lifecycle."""
+    return [
+        run_lifecycle_scenario(ctx, scenario, primary, dataset)
+        for scenario in (scenarios or default_scenarios())
+    ]
+
+
+def format_lifecycle(
+    results: list[LifecycleResult], primary: str = "lw-nn"
+) -> str:
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.scenario,
+                r.state,
+                "yes" if r.as_expected else "NO",
+                str(r.attempts),
+                "yes" if r.resumed else "no",
+                str(r.epochs_run),
+                str(r.generation),
+                f"{100.0 * r.availability:.0f}%",
+                f"{r.probes_served}({r.probes_during_backoff})",
+                r.gate,
+            ]
+        )
+    return render_table(
+        [
+            "scenario",
+            "state",
+            "expected?",
+            "attempts",
+            "resumed",
+            "epochs",
+            "gen",
+            "avail",
+            "probes(backoff)",
+            "gate",
+        ],
+        rows,
+        title=(
+            f"Model lifecycle under update-path faults: {primary} primary; "
+            "avail = finite in-bounds probe answers served before/during/"
+            "after each retrain pass (incumbent serves until the gate "
+            "passes a candidate)"
+        ),
+    )

@@ -74,6 +74,11 @@ class CardinalityEstimator(ABC):
     name: str = "estimator"
     #: True for query-driven (regression) methods that need labelled queries.
     requires_workload: bool = False
+    #: True when the estimator implements the resumable-training protocol
+    #: (``begin_training`` / ``train_epochs`` / ``training_state`` /
+    #: ``restore_training``) that :mod:`repro.lifecycle` drives for
+    #: crash-safe checkpointed retraining.
+    supports_resumable_training: bool = False
 
     def __init__(self) -> None:
         self.timing = TimingRecord()

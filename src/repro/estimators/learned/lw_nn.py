@@ -22,10 +22,21 @@ from .featurize import LwFeaturizer, log_cardinality_labels
 
 
 class LwNnEstimator(CardinalityEstimator):
-    """Lightweight NN selectivity estimator (query-driven)."""
+    """Lightweight NN selectivity estimator (query-driven).
+
+    Implements the **resumable-training protocol** consumed by
+    :mod:`repro.lifecycle`: :meth:`begin_training` builds the model,
+    :meth:`train_epochs` advances it, and :meth:`training_state` /
+    :meth:`restore_training` capture and restore *everything* mutable —
+    parameters, Adam moments and step count, the training RNG's
+    bit-generator state, and the loss history — so a run resumed from a
+    checkpoint continues step-for-step identically to one that was never
+    interrupted.
+    """
 
     name = "lw-nn"
     requires_workload = True
+    supports_resumable_training = True
 
     def __init__(
         self,
@@ -48,6 +59,8 @@ class LwNnEstimator(CardinalityEstimator):
         self._featurizer: LwFeaturizer | None = None
         self._model: Sequential | None = None
         self._optimizer: Adam | None = None
+        self._train_rng: np.random.Generator | None = None
+        self.epochs_trained = 0
         self.loss_history: list[float] = []
 
     # ------------------------------------------------------------------
@@ -63,25 +76,33 @@ class LwNnEstimator(CardinalityEstimator):
 
     def _fit(self, table: Table, workload: Workload | None) -> None:
         assert workload is not None
-        rng = np.random.default_rng(self.seed)
-        self._featurizer = LwFeaturizer(table, self.use_ce_features)
-        self._model = self._build_model(self._featurizer.dimension, rng)
-        self._optimizer = Adam(self._model.parameters(), self.learning_rate)
-        self.loss_history = []
-        self._train(workload, self.epochs, rng)
+        self.begin_training(table, workload)
+        self.train_epochs(workload, self.epochs)
 
-    def _train(
-        self, workload: Workload, epochs: int, rng: np.random.Generator
-    ) -> None:
+    # ------------------------------------------------------------------
+    # Resumable-training protocol (driven by repro.lifecycle)
+    # ------------------------------------------------------------------
+    def begin_training(self, table: Table, workload: Workload) -> None:
+        """Initialise a fresh training run (epoch counter at zero)."""
+        self._table = table
+        self._train_rng = np.random.default_rng(self.seed)
+        self._featurizer = LwFeaturizer(table, self.use_ce_features)
+        self._model = self._build_model(self._featurizer.dimension, self._train_rng)
+        self._optimizer = Adam(self._model.parameters(), self.learning_rate)
+        self.epochs_trained = 0
+        self.loss_history = []
+
+    def train_epochs(self, workload: Workload, epochs: int) -> None:
+        """Advance the current training run by ``epochs`` epochs."""
         assert self._featurizer is not None and self._model is not None
-        assert self._optimizer is not None
+        assert self._optimizer is not None and self._train_rng is not None
         features = self._featurizer.features_many(list(workload.queries))
         labels = log_cardinality_labels(workload.cardinalities)
         n = len(labels)
         monitor = get_monitor()
         for _ in range(epochs):
             epoch_start = time.perf_counter() if monitor is not None else 0.0
-            order = rng.permutation(n)
+            order = self._train_rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
                 batch = order[start : start + self.batch_size]
@@ -91,6 +112,7 @@ class LwNnEstimator(CardinalityEstimator):
                 self._model.backward(grad[:, None])
                 self._optimizer.step()
                 epoch_loss += loss * len(batch)
+            self.epochs_trained += 1
             self.loss_history.append(epoch_loss / n)
             if monitor is not None:
                 monitor.on_epoch(
@@ -100,6 +122,65 @@ class LwNnEstimator(CardinalityEstimator):
                     grad_norm=global_grad_norm(self._model.parameters()),
                     seconds=time.perf_counter() - epoch_start,
                 )
+
+    @property
+    def target_epochs(self) -> int:
+        """Epochs a full from-scratch training run comprises."""
+        return self.epochs
+
+    def training_state(self) -> dict:
+        """Snapshot of all mutable training state, checkpoint-ready."""
+        assert self._model is not None and self._optimizer is not None
+        assert self._train_rng is not None
+        return {
+            "estimator": self.name,
+            "epochs_trained": self.epochs_trained,
+            "parameters": [p.value.copy() for p in self._model.parameters()],
+            "optimizer": self._optimizer.state_dict(),
+            "rng_state": self._train_rng.bit_generator.state,
+            "loss_history": list(self.loss_history),
+        }
+
+    def restore_training(
+        self, table: Table, workload: Workload, state: dict
+    ) -> None:
+        """Resume a training run from a :meth:`training_state` snapshot.
+
+        The featurizer is rebuilt deterministically from ``table``; the
+        model parameters, optimizer moments, and RNG position come from
+        the snapshot, so the next :meth:`train_epochs` call continues
+        exactly where the snapshot was taken.
+        """
+        if state.get("estimator") != self.name:
+            raise ValueError(
+                f"checkpoint belongs to {state.get('estimator')!r}, not {self.name!r}"
+            )
+        self._table = table
+        self._featurizer = LwFeaturizer(table, self.use_ce_features)
+        # Construction RNG is throwaway: every weight is overwritten.
+        self._model = self._build_model(
+            self._featurizer.dimension, np.random.default_rng(0)
+        )
+        params = self._model.parameters()
+        saved = state["parameters"]
+        if len(saved) != len(params):
+            raise ValueError(
+                f"checkpoint holds {len(saved)} parameter tensors, "
+                f"model has {len(params)}"
+            )
+        for p, value in zip(params, saved):
+            if p.value.shape != value.shape:
+                raise ValueError(
+                    f"checkpoint tensor shape {value.shape} does not match "
+                    f"model shape {p.value.shape}"
+                )
+            p.value = np.array(value, dtype=np.float64)
+        self._optimizer = Adam(params, self.learning_rate)
+        self._optimizer.load_state_dict(state["optimizer"])
+        self._train_rng = np.random.default_rng(self.seed)
+        self._train_rng.bit_generator.state = state["rng_state"]
+        self.epochs_trained = int(state["epochs_trained"])
+        self.loss_history = list(state["loss_history"])
 
     def _update(
         self, table: Table, appended: np.ndarray, workload: Workload | None
@@ -113,8 +194,8 @@ class LwNnEstimator(CardinalityEstimator):
             raise ValueError("lw-nn update needs a fresh training workload")
         assert self._model is not None
         self._featurizer = LwFeaturizer(table, self.use_ce_features)
-        rng = np.random.default_rng(self.seed + 1)
-        self._train(workload, self.update_epochs, rng)
+        self._train_rng = np.random.default_rng(self.seed + 1)
+        self.train_epochs(workload, self.update_epochs)
 
     # ------------------------------------------------------------------
     def _estimate(self, query: Query) -> float:

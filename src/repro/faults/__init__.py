@@ -1,21 +1,31 @@
 """Fault-injection harness: seeded, composable estimator wrappers that
 misbehave on purpose, used to prove the serving layer degrades
-gracefully."""
+gracefully and the model lifecycle recovers from crashes."""
 
 from .wrappers import (
     CorruptionFault,
+    CrashAtEpochFault,
     ExceptionFault,
     FaultInjector,
+    FlakyRetrainFault,
+    HangingRetrainFault,
     LatencyFault,
     NaNFault,
+    SimulatedCrash,
     StaleModelFault,
+    truncate_file,
 )
 
 __all__ = [
     "CorruptionFault",
+    "CrashAtEpochFault",
     "ExceptionFault",
     "FaultInjector",
+    "FlakyRetrainFault",
+    "HangingRetrainFault",
     "LatencyFault",
     "NaNFault",
+    "SimulatedCrash",
     "StaleModelFault",
+    "truncate_file",
 ]

@@ -19,10 +19,27 @@ production):
 Faults fire with probability ``probability`` per call after the first
 ``after`` calls, driven by a dedicated ``numpy`` generator, so a given
 ``seed`` yields an identical fault schedule on every run.
+
+**Update-path faults** target the training/retraining lifecycle instead
+of the query path (the hazards :mod:`repro.lifecycle` defends against):
+
+* :class:`CrashAtEpochFault` — training dies with :class:`SimulatedCrash`
+  when it reaches a chosen epoch, a configurable number of times.
+* :class:`FlakyRetrainFault` — the first N retrain attempts fail at
+  startup (transient infrastructure trouble).
+* :class:`HangingRetrainFault` — epochs stall, blowing the retrain
+  job's per-attempt deadline.
+
+All fault wrappers transparently delegate the resumable-training
+protocol (``begin_training`` / ``train_epochs`` / ``training_state`` /
+``restore_training``) to the wrapped estimator, so a fault-wrapped
+candidate drops straight into a :class:`repro.lifecycle.RetrainJob`.
+:func:`truncate_file` simulates a torn checkpoint on disk.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -31,6 +48,25 @@ from ..core.estimator import CardinalityEstimator
 from ..core.query import Query
 from ..core.table import Table
 from ..core.workload import Workload
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected process death during training (see CrashAtEpochFault)."""
+
+
+def truncate_file(path, keep_fraction: float = 0.5) -> int:
+    """Chop a file to its leading ``keep_fraction`` — a torn write.
+
+    Simulates the crash-mid-write hazard the checkpoint/artifact layer
+    must survive: the truncated file still exists at the final path but
+    fails its content checksum.  Returns the new size in bytes.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    size = os.path.getsize(path)
+    kept = int(size * keep_fraction)
+    os.truncate(path, kept)
+    return kept
 
 
 class FaultInjector(CardinalityEstimator):
@@ -102,6 +138,37 @@ class FaultInjector(CardinalityEstimator):
 
     def model_size_bytes(self) -> int:
         return self.inner.model_size_bytes()
+
+    # ------------------------------------------------------------------
+    # Resumable-training protocol: transparent delegation, so a
+    # fault-wrapped estimator can be driven by repro.lifecycle's
+    # checkpointing trainer.  Update-path faults override pieces.
+    # ------------------------------------------------------------------
+    @property
+    def supports_resumable_training(self) -> bool:  # type: ignore[override]
+        return getattr(self.inner, "supports_resumable_training", False)
+
+    @property
+    def epochs_trained(self) -> int:
+        return self.inner.epochs_trained
+
+    @property
+    def target_epochs(self) -> int:
+        return self.inner.target_epochs
+
+    def begin_training(self, table: Table, workload: Workload) -> None:
+        self.inner.begin_training(table, workload)
+        self._table = table
+
+    def train_epochs(self, workload: Workload, epochs: int) -> None:
+        self.inner.train_epochs(workload, epochs)
+
+    def training_state(self) -> dict:
+        return self.inner.training_state()
+
+    def restore_training(self, table: Table, workload: Workload, state: dict) -> None:
+        self.inner.restore_training(table, workload, state)
+        self._table = table
 
     # ------------------------------------------------------------------
     def _fault(self, query: Query) -> float:
@@ -231,6 +298,130 @@ class CorruptionFault(FaultInjector):
         for value in values:
             count += self._corrupt(value, seen, depth + 1)
         return count
+
+
+class CrashAtEpochFault(FaultInjector):
+    """Kill training when it reaches ``crash_epoch``, ``times`` times.
+
+    Models the mid-retrain process death of the lifecycle story: the
+    wrapper delegates training epoch by epoch and raises
+    :class:`SimulatedCrash` the moment the wrapped estimator's epoch
+    counter reaches ``crash_epoch`` (each crash consumes one of
+    ``times``; afterwards training proceeds normally, e.g. after a
+    resume from checkpoint).  Query-path behaviour is untouched.
+    """
+
+    kind = "crash-at-epoch"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        crash_epoch: int,
+        times: int = 1,
+    ) -> None:
+        super().__init__(inner, probability=0.0)
+        if crash_epoch < 0:
+            raise ValueError("crash_epoch must be non-negative")
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        self.crash_epoch = crash_epoch
+        self.crashes_left = times
+        self.crashes_fired = 0
+
+    def train_epochs(self, workload: Workload, epochs: int) -> None:
+        for _ in range(epochs):
+            if self.crashes_left and self.inner.epochs_trained >= self.crash_epoch:
+                self.crashes_left -= 1
+                self.crashes_fired += 1
+                raise SimulatedCrash(
+                    f"injected crash at epoch {self.inner.epochs_trained}"
+                )
+            self.inner.train_epochs(workload, 1)
+
+    def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
+        return self.inner.estimate(query)
+
+
+class FlakyRetrainFault(FaultInjector):
+    """The first ``fail_attempts`` training attempts die at startup.
+
+    Each call to :meth:`begin_training` or :meth:`restore_training`
+    counts as one attempt; transient infrastructure failures (OOM kills,
+    lost workers) present exactly like this to a retry loop.
+    """
+
+    kind = "flaky-retrain"
+
+    def __init__(self, inner: CardinalityEstimator, fail_attempts: int = 2) -> None:
+        super().__init__(inner, probability=0.0)
+        if fail_attempts < 0:
+            raise ValueError("fail_attempts must be non-negative")
+        self.fail_attempts = fail_attempts
+        self.attempts = 0
+
+    def _maybe_fail(self) -> None:
+        self.attempts += 1
+        if self.attempts <= self.fail_attempts:
+            raise RuntimeError(
+                f"injected flaky retrain failure (attempt {self.attempts})"
+            )
+
+    def begin_training(self, table: Table, workload: Workload) -> None:
+        self._maybe_fail()
+        super().begin_training(table, workload)
+
+    def restore_training(self, table: Table, workload: Workload, state: dict) -> None:
+        self._maybe_fail()
+        super().restore_training(table, workload, state)
+
+    def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
+        return self.inner.estimate(query)
+
+
+class HangingRetrainFault(FaultInjector):
+    """Epochs stall for ``hang_seconds`` during the first ``hang_attempts``
+    training attempts, blowing any per-attempt deadline.
+
+    The stall happens *before* each delegated epoch chunk, so a
+    cooperative deadline check (see
+    :class:`repro.lifecycle.RetrainJob`) observes the overrun after the
+    chunk returns and abandons the attempt; later attempts run clean.
+    """
+
+    kind = "hanging-retrain"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        hang_seconds: float = 0.05,
+        hang_attempts: int = 1,
+    ) -> None:
+        super().__init__(inner, probability=0.0)
+        if hang_seconds < 0.0:
+            raise ValueError("hang_seconds must be non-negative")
+        if hang_attempts < 0:
+            raise ValueError("hang_attempts must be non-negative")
+        self.hang_seconds = hang_seconds
+        self.hang_attempts = hang_attempts
+        self.attempts = 0
+        self.hangs_fired = 0
+
+    def begin_training(self, table: Table, workload: Workload) -> None:
+        self.attempts += 1
+        super().begin_training(table, workload)
+
+    def restore_training(self, table: Table, workload: Workload, state: dict) -> None:
+        self.attempts += 1
+        super().restore_training(table, workload, state)
+
+    def train_epochs(self, workload: Workload, epochs: int) -> None:
+        if self.attempts <= self.hang_attempts:
+            self.hangs_fired += 1
+            time.sleep(self.hang_seconds)
+        self.inner.train_epochs(workload, epochs)
+
+    def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
+        return self.inner.estimate(query)
 
 
 class StaleModelFault(FaultInjector):

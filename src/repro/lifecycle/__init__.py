@@ -1,0 +1,66 @@
+"""Crash-safe model lifecycle: checkpointed training, drift-triggered
+retraining with retry/backoff, validation-gated promotion and rollback.
+
+The dynamic environment of the paper's Section 5 is where learned
+estimators earn or lose their keep: data updates arrive, the model must
+retrain, and a stale or half-updated model silently corrupts the serving
+path.  ``repro.lifecycle`` makes that loop robust:
+
+* :mod:`~repro.lifecycle.checkpoint` — atomic, checksummed training
+  checkpoints (:class:`CheckpointStore`) so a crashed retrain resumes
+  from its last epoch instead of restarting;
+* :mod:`~repro.lifecycle.drift` — :class:`DriftDetector`, q-error
+  degradation on a held-out probe + row-growth triggers;
+* :mod:`~repro.lifecycle.retrain` — :class:`RetrainJob`, the supervised
+  attempt loop (per-attempt deadline, bounded retries, exponential
+  backoff with jitter);
+* :mod:`~repro.lifecycle.gate` — :class:`PromotionGate`, the
+  candidate-vs-incumbent validation (sanity, q-error non-regression,
+  logical rules);
+* :mod:`~repro.lifecycle.manager` — :class:`ModelLifecycleManager`,
+  the state machine wiring it all into an
+  :class:`~repro.serve.EstimatorService` via atomic hot-swap promotion
+  (with estimate-cache invalidation) and rollback-by-not-promoting.
+"""
+
+from .checkpoint import CHECKPOINT_KIND, Checkpoint, CheckpointStore
+from .drift import DriftDecision, DriftDetector
+from .gate import GateReport, PromotionGate
+from .manager import (
+    NO_DRIFT,
+    PROMOTED,
+    RETRAIN_FAILED,
+    ROLLED_BACK,
+    LifecycleReport,
+    ModelLifecycleManager,
+)
+from .retrain import (
+    AttemptRecord,
+    AttemptTimeout,
+    RetrainError,
+    RetrainJob,
+    RetrainReport,
+    RetryPolicy,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "AttemptTimeout",
+    "CHECKPOINT_KIND",
+    "Checkpoint",
+    "CheckpointStore",
+    "DriftDecision",
+    "DriftDetector",
+    "GateReport",
+    "LifecycleReport",
+    "ModelLifecycleManager",
+    "NO_DRIFT",
+    "PROMOTED",
+    "PromotionGate",
+    "RETRAIN_FAILED",
+    "ROLLED_BACK",
+    "RetrainError",
+    "RetrainJob",
+    "RetrainReport",
+    "RetryPolicy",
+]

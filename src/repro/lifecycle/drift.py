@@ -1,0 +1,107 @@
+"""Drift detection over the update stream (paper Section 5.1).
+
+When data updates arrive, a learned estimator degrades silently — the
+paper's Figures 6-8 quantify exactly how badly.  :class:`DriftDetector`
+watches two cheap signals and decides when a retrain is warranted:
+
+* **q-error degradation on a held-out probe workload**: the probe
+  queries are relabelled against the *current* table (ground truth is a
+  ``COUNT(*)`` scan, always available) and the incumbent's p95 q-error
+  is compared to the baseline recorded at its last (re)fit;
+* **row-count delta**: the fraction of rows appended since the baseline
+  table — the paper's update procedure appends 20%, far past the
+  default 10% trigger.
+
+Either signal past its threshold trips the detector.  The decision is a
+:class:`DriftDecision` value object so callers (and tests) can see *why*
+a retrain fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.metrics import qerrors
+from ..core.table import Table
+from ..core.workload import Workload
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one drift check."""
+
+    drifted: bool
+    #: which signals fired, e.g. ("qerror", "rows")
+    reasons: tuple[str, ...]
+    qerror_p95: float
+    baseline_p95: float
+    row_growth: float
+
+    @property
+    def degradation(self) -> float:
+        """Probe q-error relative to the baseline (1.0 = unchanged)."""
+        return self.qerror_p95 / self.baseline_p95 if self.baseline_p95 else 1.0
+
+
+class DriftDetector:
+    """Decides when the incumbent model has drifted from the data."""
+
+    def __init__(
+        self,
+        probe: Workload,
+        *,
+        degradation_factor: float = 2.0,
+        row_growth_threshold: float = 0.10,
+    ) -> None:
+        if degradation_factor < 1.0:
+            raise ValueError("degradation_factor must be >= 1")
+        if row_growth_threshold <= 0.0:
+            raise ValueError("row_growth_threshold must be positive")
+        self.probe = probe
+        self.degradation_factor = degradation_factor
+        self.row_growth_threshold = row_growth_threshold
+        self._baseline_p95: float | None = None
+        self._baseline_rows: int | None = None
+
+    # ------------------------------------------------------------------
+    def probe_p95(self, estimator: CardinalityEstimator, table: Table) -> float:
+        """p95 q-error of ``estimator`` on the probe, labelled vs ``table``."""
+        actuals = table.cardinalities(list(self.probe.queries))
+        estimates = estimator.estimate_many(list(self.probe.queries))
+        return float(np.percentile(qerrors(estimates, actuals), 95.0))
+
+    def set_baseline(self, estimator: CardinalityEstimator, table: Table) -> float:
+        """Record the healthy operating point (call after every (re)fit)."""
+        self._baseline_p95 = self.probe_p95(estimator, table)
+        self._baseline_rows = table.num_rows
+        return self._baseline_p95
+
+    @property
+    def has_baseline(self) -> bool:
+        return self._baseline_p95 is not None
+
+    @property
+    def baseline_p95(self) -> float | None:
+        return self._baseline_p95
+
+    def check(self, estimator: CardinalityEstimator, table: Table) -> DriftDecision:
+        """Compare the incumbent on the current table to its baseline."""
+        if self._baseline_p95 is None or self._baseline_rows is None:
+            raise RuntimeError("call set_baseline before check")
+        p95 = self.probe_p95(estimator, table)
+        growth = (table.num_rows - self._baseline_rows) / max(self._baseline_rows, 1)
+        reasons = []
+        if p95 > self._baseline_p95 * self.degradation_factor:
+            reasons.append("qerror")
+        if growth >= self.row_growth_threshold:
+            reasons.append("rows")
+        return DriftDecision(
+            drifted=bool(reasons),
+            reasons=tuple(reasons),
+            qerror_p95=p95,
+            baseline_p95=self._baseline_p95,
+            row_growth=growth,
+        )

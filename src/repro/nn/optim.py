@@ -49,6 +49,38 @@ class Adam:
         for p in self.parameters:
             p.zero_grad()
 
+    # ------------------------------------------------------------------
+    # Checkpointable state (see repro.lifecycle): the moment vectors and
+    # the step count are the whole of Adam's mutable state beyond the
+    # parameters themselves, so capturing them lets a resumed training
+    # run continue bit-for-bit where an interrupted one stopped.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (moments copied, not aliased)."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        m, v = state["m"], state["v"]
+        if len(m) != len(self.parameters) or len(v) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state holds {len(m)} moment vectors for "
+                f"{len(self.parameters)} parameters"
+            )
+        for p, m_i, v_i in zip(self.parameters, m, v):
+            if m_i.shape != p.value.shape or v_i.shape != p.value.shape:
+                raise ValueError(
+                    f"moment shape {m_i.shape} does not match parameter "
+                    f"shape {p.value.shape}"
+                )
+        self._t = int(state["t"])
+        self._m = [np.array(m_i, dtype=np.float64) for m_i in m]
+        self._v = [np.array(v_i, dtype=np.float64) for v_i in v]
+
 
 def global_grad_norm(parameters: list[Parameter]) -> float:
     """L2 norm over every parameter's accumulated gradient.

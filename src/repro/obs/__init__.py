@@ -28,6 +28,11 @@ from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     BREAKER_TRANSITIONS,
     ESTIMATOR_PHASE_SECONDS,
+    LIFECYCLE_CHECKPOINTS,
+    LIFECYCLE_MODEL_GENERATION,
+    LIFECYCLE_PROMOTIONS,
+    LIFECYCLE_RETRAIN_ATTEMPTS,
+    LIFECYCLE_TRANSITIONS,
     SERVE_CACHE,
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
@@ -87,6 +92,11 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LIFECYCLE_CHECKPOINTS",
+    "LIFECYCLE_MODEL_GENERATION",
+    "LIFECYCLE_PROMOTIONS",
+    "LIFECYCLE_RETRAIN_ATTEMPTS",
+    "LIFECYCLE_TRANSITIONS",
     "LatencyWindow",
     "MetricsRegistry",
     "SERVE_CACHE",

@@ -495,6 +495,11 @@ BREAKER_TRANSITIONS = "repro_breaker_transitions_total"
 TRAIN_EPOCHS = "repro_training_epochs_total"
 TRAIN_LOSS = "repro_training_loss"
 TRAIN_EPOCH_SECONDS = "repro_training_epoch_seconds"
+LIFECYCLE_TRANSITIONS = "repro_lifecycle_transitions_total"
+LIFECYCLE_RETRAIN_ATTEMPTS = "repro_lifecycle_retrain_attempts_total"
+LIFECYCLE_CHECKPOINTS = "repro_lifecycle_checkpoints_total"
+LIFECYCLE_PROMOTIONS = "repro_lifecycle_promotions_total"
+LIFECYCLE_MODEL_GENERATION = "repro_lifecycle_model_generation"
 
 
 def observe_phase(

@@ -10,12 +10,26 @@ complete and compact here; the header guards against loading artifacts
 from incompatible library versions, and a SHA-256 content checksum makes
 a truncated or bit-flipped artifact fail loudly instead of unpickling
 garbage into the serving path.
+
+Two layers:
+
+* :func:`save_bundle` / :func:`load_bundle` — the generic checksummed
+  container (magic, SHA-256, pickled dict with a ``kind`` tag).  All
+  writes are **atomic**: the bytes go to a temporary file in the target
+  directory, are fsynced, and only then renamed over the final path, so
+  a crash mid-write can never leave a torn artifact where a reader looks
+  for one.  :mod:`repro.lifecycle` stores its training checkpoints in
+  this container.
+* :func:`save_estimator` / :func:`load_estimator` — the estimator
+  artifact format built on top, with :class:`ArtifactInfo` metadata.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,6 +41,10 @@ FORMAT_VERSION = 2
 
 _MAGIC = b"repro-estimator"
 _DIGEST_BYTES = hashlib.sha256().digest_size
+
+#: ``kind`` tag of estimator artifacts (bundles without a tag predate
+#: the generic container and are treated as estimator artifacts).
+ESTIMATOR_KIND = "estimator"
 
 
 @dataclass(frozen=True)
@@ -44,6 +62,81 @@ class PersistenceError(RuntimeError):
     """Raised when an artifact cannot be read back safely."""
 
 
+# ----------------------------------------------------------------------
+# Atomic checksummed container (generic layer)
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: tmp file, fsync, rename.
+
+    A crash at any point leaves either the previous contents of ``path``
+    or the complete new contents — never a torn prefix.  The temporary
+    file lives in the target directory so the final ``os.replace`` is a
+    same-filesystem rename.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself (directory entry). Best-effort: some
+    # filesystems refuse O_RDONLY opens of directories.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def save_bundle(obj: object, path: str | Path, *, kind: str) -> None:
+    """Persist ``obj`` in the checksummed container, tagged ``kind``.
+
+    The write is atomic (:func:`atomic_write_bytes`); the load side
+    verifies the checksum and the ``kind`` tag before unpickling is
+    trusted, so a truncated/corrupt file or a bundle of the wrong kind
+    raises :class:`PersistenceError` instead of leaking garbage.
+    """
+    payload = pickle.dumps(
+        {"kind": kind, "format_version": FORMAT_VERSION, "payload": obj},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    checksum = hashlib.sha256(payload).digest()
+    atomic_write_bytes(path, _MAGIC + checksum + payload)
+
+
+def load_bundle(path: str | Path, *, kind: str) -> object:
+    """Load a :func:`save_bundle` artifact, verifying its ``kind``."""
+    bundle = _read_checked(path)
+    found = bundle.get("kind")
+    if found != kind:
+        raise PersistenceError(
+            f"{path} is a {found!r} bundle, expected {kind!r}"
+        )
+    version = bundle.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} was written with format {version}, "
+            f"this library reads format {FORMAT_VERSION}"
+        )
+    return bundle["payload"]
+
+
+# ----------------------------------------------------------------------
+# Estimator artifacts (built on the generic layer)
+# ----------------------------------------------------------------------
 def save_estimator(estimator: CardinalityEstimator, path: str | Path) -> ArtifactInfo:
     """Persist a *fitted* estimator; returns the stored metadata."""
     try:
@@ -60,26 +153,27 @@ def save_estimator(estimator: CardinalityEstimator, path: str | Path) -> Artifac
     payload = pickle.dumps({"info": info, "estimator": estimator},
                            protocol=pickle.HIGHEST_PROTOCOL)
     checksum = hashlib.sha256(payload).digest()
-    path = Path(path)
-    path.write_bytes(_MAGIC + checksum + payload)
+    atomic_write_bytes(path, _MAGIC + checksum + payload)
     return info
 
 
 def load_info(path: str | Path) -> ArtifactInfo:
     """Read only the metadata of an artifact."""
-    return _load(path)["info"]
+    return _load_estimator_bundle(path)["info"]
 
 
 def load_estimator(path: str | Path) -> CardinalityEstimator:
     """Load a previously saved estimator, ready to answer queries."""
-    bundle = _load(path)
+    bundle = _load_estimator_bundle(path)
     estimator = bundle["estimator"]
     if not isinstance(estimator, CardinalityEstimator):
         raise PersistenceError("artifact does not contain an estimator")
     return estimator
 
 
-def _load(path: str | Path) -> dict:
+def _read_checked(path: str | Path) -> dict:
+    """Magic + checksum + unpickle; the integrity layer shared by both
+    estimator artifacts and generic bundles."""
     data = Path(path).read_bytes()
     if not data.startswith(_MAGIC):
         raise PersistenceError(f"{path} is not a repro estimator artifact")
@@ -95,6 +189,13 @@ def _load(path: str | Path) -> dict:
         bundle = pickle.loads(payload)
     except Exception as exc:  # pickle raises many concrete types
         raise PersistenceError(f"could not unpickle {path}: {exc}") from exc
+    if not isinstance(bundle, dict):
+        raise PersistenceError(f"{path} does not contain a repro bundle")
+    return bundle
+
+
+def _load_estimator_bundle(path: str | Path) -> dict:
+    bundle = _read_checked(path)
     info = bundle.get("info")
     if not isinstance(info, ArtifactInfo):
         raise PersistenceError(f"{path} has no artifact metadata")

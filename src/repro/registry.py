@@ -31,6 +31,9 @@ from .estimators.traditional import (
     SamplingEstimator,
     StHolesEstimator,
 )
+from .core.table import Table
+from .core.workload import Workload
+from .lifecycle import DriftDetector, ModelLifecycleManager
 from .scale import Scale
 from .serve import EstimatorService, HeuristicConstantEstimator
 
@@ -172,4 +175,37 @@ def make_service(
     """
     return EstimatorService(
         make_fallback_chain(primary, fallbacks, scale), **service_kwargs
+    )
+
+
+def make_lifecycle_manager(
+    primary: str,
+    table: Table,
+    train_workload: Workload,
+    probe_workload: Workload,
+    checkpoint_dir,
+    fallbacks: Sequence[str] | None = None,
+    scale: Scale | None = None,
+    service_kwargs: dict | None = None,
+    **manager_kwargs,
+) -> ModelLifecycleManager:
+    """A :class:`~repro.lifecycle.ModelLifecycleManager` wired end to end.
+
+    Builds and fits a :func:`make_service` chain around ``primary`` on
+    ``table``, installs a :class:`~repro.lifecycle.DriftDetector` over
+    ``probe_workload`` (baselined against the fitted incumbent), and
+    makes fresh registry-configured instances of ``primary`` the
+    candidate factory for retrains.  Remaining keyword arguments
+    (``policy``, ``checkpoint_every``, ``attempt_deadline_seconds``,
+    telemetry sinks, ...) are forwarded to the manager.
+    """
+    scale = scale or Scale.default()
+    service = make_service(primary, fallbacks, scale, **(service_kwargs or {}))
+    service.fit(table, train_workload)
+    return ModelLifecycleManager(
+        service,
+        lambda: make_estimator(primary, scale),
+        DriftDetector(probe_workload),
+        checkpoint_dir=checkpoint_dir,
+        **manager_kwargs,
     )

@@ -4,9 +4,16 @@ Real deployments answer the same parametrized queries over and over
 (dashboards, prepared statements), and a cardinality estimate only goes
 stale when the underlying data changes.  :class:`EstimateCache` is a
 small LRU map from :class:`~repro.core.query.Query` (frozen, hence
-hashable) to the served estimate.  The service consults it before
-walking the fallback chain and clears it on ``update()``, so a hit is
-always as fresh as a cold call against the current model state.
+hashable) to the served estimate.
+
+Entries are **namespaced by model generation**: every key carries the
+generation counter current at insertion time, and
+:meth:`bump_generation` — called by the service on ``update()`` and on
+lifecycle hot-swaps (see :meth:`EstimatorService.replace_primary`) —
+makes every existing entry unreachable in O(1).  A hit is therefore
+always as fresh as a cold call against the *current* model; answers
+computed by a replaced model can never be served again, and stale
+entries age out through normal LRU eviction.
 
 The cache is opt-in: pass ``cache=`` to
 :class:`~repro.serve.service.EstimatorService`.
@@ -20,7 +27,7 @@ from ..core.query import Query
 
 
 class EstimateCache:
-    """Bounded LRU map from query to served estimate."""
+    """Bounded LRU map from (model generation, query) to served estimate."""
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity <= 0:
@@ -29,36 +36,50 @@ class EstimateCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._entries: OrderedDict[Query, float] = OrderedDict()
+        #: Generation tag stamped onto new entries; old-generation
+        #: entries are unreachable and simply age out of the LRU.
+        self.generation = 0
+        self._entries: OrderedDict[tuple[int, Query], float] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, query: Query) -> bool:
-        return query in self._entries
+        return (self.generation, query) in self._entries
 
     def get(self, query: Query) -> float | None:
-        """Cached estimate for ``query``, or None on a miss."""
+        """Cached estimate for ``query`` under the current generation."""
         try:
-            value = self._entries[query]
+            value = self._entries[(self.generation, query)]
         except KeyError:
             self.misses += 1
             return None
-        self._entries.move_to_end(query)
+        self._entries.move_to_end((self.generation, query))
         self.hits += 1
         return value
 
     def put(self, query: Query, estimate: float) -> None:
         """Insert or refresh an entry, evicting the least recently used."""
-        if query in self._entries:
-            self._entries.move_to_end(query)
-        self._entries[query] = estimate
+        key = (self.generation, query)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = estimate
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def bump_generation(self) -> int:
+        """Invalidate every entry by advancing the generation tag.
+
+        O(1): old entries stay in the map (counting against capacity
+        until evicted) but can never match a lookup again.  Returns the
+        new generation.
+        """
+        self.generation += 1
+        return self.generation
+
     def clear(self) -> None:
-        """Drop every entry (model state changed; estimates are stale)."""
+        """Drop every entry immediately (also reclaims their capacity)."""
         self._entries.clear()
 
     @property
@@ -69,5 +90,5 @@ class EstimateCache:
     def __repr__(self) -> str:
         return (
             f"EstimateCache(size={len(self)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"gen={self.generation}, hits={self.hits}, misses={self.misses})"
         )

@@ -271,6 +271,9 @@ class EstimatorService(CardinalityEstimator):
         self._degraded = 0
         self._shortcuts = 0
         self._last_resort = 0
+        #: Monotone counter bumped on every model replacement (update or
+        #: lifecycle hot-swap); namespaces the estimate cache.
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Estimator protocol
@@ -286,9 +289,8 @@ class EstimatorService(CardinalityEstimator):
             tier.estimator.update(
                 table, appended, workload if tier.estimator.requires_workload else None
             )
-        if self.cache is not None:
-            # Model state changed; every cached estimate is stale.
-            self.cache.clear()
+        # Model state changed; every cached estimate is stale.
+        self._advance_generation()
 
     def _estimate(self, query: Query) -> float:
         return self.serve(query).estimate
@@ -646,6 +648,66 @@ class EstimatorService(CardinalityEstimator):
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # Model lifecycle (hot-swap)
+    # ------------------------------------------------------------------
+    @property
+    def model_generation(self) -> int:
+        """Counter of model replacements; cache keys carry it."""
+        return self._generation
+
+    def replace_tier(self, index: int, estimator: CardinalityEstimator) -> None:
+        """Atomically swap the estimator behind one tier of the chain.
+
+        The promotion path of :mod:`repro.lifecycle` calls this (via
+        :meth:`replace_primary`) after a candidate passes the gate.  The
+        old estimator keeps answering until the single reference
+        assignment below, so there is no window where the chain has no
+        tier ``index``; the tier gets a fresh breaker and fresh stats
+        (the old model's failure history says nothing about the new
+        one), the estimate cache is invalidated by bumping the model
+        generation, and the service adopts the new estimator's table so
+        bounds checks and trivial answers reflect the data it was
+        trained on.
+        """
+        if not 0 <= index < len(self._tiers):
+            raise IndexError(f"no tier {index}; chain has {len(self._tiers)}")
+        old = self._tiers[index]
+        self._tiers[index] = _Tier(
+            estimator.name,
+            estimator,
+            CircuitBreaker(
+                self.breaker_config,
+                self._clock,
+                name=estimator.name,
+                events=self._events,
+                registry=self._registry,
+            ),
+        )
+        self.name = f"serve({'->'.join(t.name for t in self._tiers)})"
+        try:
+            self._table = estimator.table
+        except RuntimeError:
+            pass  # not fitted: caller is wiring a chain pre-fit
+        generation = self._advance_generation()
+        self._obs_events().emit(
+            "serve.model_swap",
+            tier_index=index,
+            old=old.name,
+            new=estimator.name,
+            generation=generation,
+        )
+
+    def replace_primary(self, estimator: CardinalityEstimator) -> None:
+        """Hot-swap the primary tier (see :meth:`replace_tier`)."""
+        self.replace_tier(0, estimator)
+
+    def _advance_generation(self) -> int:
+        self._generation += 1
+        if self.cache is not None:
+            self.cache.bump_generation()
+        return self._generation
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> ServiceHealth:
@@ -662,6 +724,11 @@ class EstimatorService(CardinalityEstimator):
     @property
     def tier_names(self) -> list[str]:
         return [t.name for t in self._tiers]
+
+    @property
+    def primary_estimator(self) -> CardinalityEstimator:
+        """The estimator behind tier 0 (the lifecycle incumbent)."""
+        return self._tiers[0].estimator
 
     def breaker_state(self, tier: str) -> BreakerState:
         """Current breaker state of the named tier."""

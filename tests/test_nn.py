@@ -190,6 +190,53 @@ class TestOptimizers:
         with pytest.raises(ValueError):
             SGD(layer.parameters(), -1.0)
 
+    def _train_steps(self, layer, opt, steps):
+        x = np.array([[1.0]])
+        for _ in range(steps):
+            out = layer.forward(x)
+            layer.zero_grad()
+            layer.backward(2 * (out - 7.0))
+            opt.step()
+
+    def test_adam_state_dict_round_trip_is_step_for_step(self, rng):
+        # One optimizer runs 40 steps straight; the other runs 15, has
+        # its state serialized into a fresh Adam, and runs the rest.
+        layer_a = Linear(1, 1, np.random.default_rng(3))
+        layer_b = Linear(1, 1, np.random.default_rng(3))
+        opt_a = Adam(layer_a.parameters(), 0.05)
+        opt_b = Adam(layer_b.parameters(), 0.05)
+
+        self._train_steps(layer_a, opt_a, 40)
+        self._train_steps(layer_b, opt_b, 15)
+
+        state = opt_b.state_dict()
+        resumed = Adam(layer_b.parameters(), 0.05)
+        resumed.load_state_dict(state)
+        self._train_steps(layer_b, resumed, 25)
+
+        for p_a, p_b in zip(layer_a.parameters(), layer_b.parameters()):
+            np.testing.assert_array_equal(p_a.value, p_b.value)
+
+    def test_adam_state_dict_is_a_deep_copy(self, rng):
+        layer = Linear(1, 1, rng)
+        opt = Adam(layer.parameters(), 0.05)
+        self._train_steps(layer, opt, 3)
+        state = opt.state_dict()
+        moments_before = [m.copy() for m in state["m"]]
+        self._train_steps(layer, opt, 3)
+        for saved, before in zip(state["m"], moments_before):
+            np.testing.assert_array_equal(saved, before)
+
+    def test_adam_load_state_dict_validates_shapes(self, rng):
+        layer = Linear(1, 1, rng)
+        opt = Adam(layer.parameters(), 0.05)
+        state = opt.state_dict()
+        with pytest.raises(ValueError):
+            Adam(Linear(2, 2, rng).parameters(), 0.05).load_state_dict(state)
+        state["m"] = state["m"][:-1]
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), 0.05).load_state_dict(state)
+
 
 class TestResMade:
     def test_autoregressive_property(self, rng):

@@ -8,8 +8,11 @@ from repro.estimators.traditional import PostgresEstimator
 from repro.persistence import (
     FORMAT_VERSION,
     PersistenceError,
+    atomic_write_bytes,
+    load_bundle,
     load_estimator,
     load_info,
+    save_bundle,
     save_estimator,
 )
 
@@ -110,3 +113,68 @@ class TestFailureModes:
         monkeypatch.undo()
         with pytest.raises(PersistenceError, match="format"):
             load_estimator(path)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_failed_write_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"original")
+
+        import repro.persistence as persistence
+
+        def exploding_fsync(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(persistence.os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_bytes(path, b"replacement")
+        # A crash mid-write must not tear the destination...
+        assert path.read_bytes() == b"original"
+        # ...and must not leave a temp file behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_estimator_is_atomic_over_existing(
+        self, small_synthetic, tmp_path, monkeypatch
+    ):
+        est = PostgresEstimator().fit(small_synthetic)
+        path = tmp_path / "pg.repro"
+        save_estimator(est, path)
+        good = path.read_bytes()
+
+        import repro.persistence as persistence
+
+        monkeypatch.setattr(
+            persistence,
+            "atomic_write_bytes",
+            lambda p, d: (_ for _ in ()).throw(OSError("torn")),
+        )
+        with pytest.raises(OSError):
+            save_estimator(est, path)
+        assert path.read_bytes() == good
+        load_estimator(path)  # still a valid artifact
+
+
+class TestBundles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "state.repro"
+        save_bundle({"x": np.arange(3.0)}, path, kind="unit-test")
+        payload = load_bundle(path, kind="unit-test")
+        np.testing.assert_array_equal(payload["x"], np.arange(3.0))
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "state.repro"
+        save_bundle({"x": 1}, path, kind="training-checkpoint")
+        with pytest.raises(PersistenceError, match="kind"):
+            load_bundle(path, kind="estimator")
+
+    def test_truncated_bundle_fails_checksum(self, tmp_path):
+        path = tmp_path / "state.repro"
+        save_bundle({"x": list(range(1000))}, path, kind="unit-test")
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(PersistenceError):
+            load_bundle(path, kind="unit-test")

@@ -75,6 +75,25 @@ class TestRegistry:
         large = make_estimator("naru", Scale.paper())
         assert small.epochs < large.epochs
 
+    def test_make_lifecycle_manager_wires_the_loop(self, tmp_path):
+        import numpy as np
+
+        from repro import generate_workload, make_lifecycle_manager
+        from repro.datasets import census
+
+        table = census(num_rows=500)
+        rng = np.random.default_rng(0)
+        train = generate_workload(table, 60, rng)
+        probe = generate_workload(table, 20, rng)
+        manager = make_lifecycle_manager(
+            "lw-nn", table, train, probe, tmp_path, scale=Scale.ci()
+        )
+        assert manager.incumbent.name == "lw-nn"
+        assert manager.detector.has_baseline
+        assert manager.generation == 0
+        report = manager.on_update(table, table.data[:0], train)
+        assert report.state == "no-drift"
+
     def test_query_driven_flags(self):
         flags = {
             name: make_estimator(name, Scale.ci()).requires_workload

@@ -640,8 +640,12 @@ class TestServiceCache:
         queries = distinct_queries(4)
         svc.serve_many(queries)
         assert len(svc.cache) == 4
+        generation = svc.model_generation
         svc.update(tiny_table, tiny_table.data[:2])
-        assert len(svc.cache) == 0
+        # Invalidation is by generation tag: old entries are unreachable.
+        assert svc.model_generation == generation + 1
+        assert svc.cache.generation == svc.model_generation
+        assert all(q not in svc.cache for q in queries)
         served = svc.serve_many(queries)
         # Refilled from the refreshed model, not from stale entries.
         assert all(s.tier == "heuristic" for s in served)
