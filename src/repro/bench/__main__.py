@@ -3,14 +3,23 @@
 Usage::
 
     python -m repro.bench table4 [--scale ci|default|paper] [--seed N]
-    python -m repro.bench all --scale ci
+    python -m repro.bench all --scale ci --jobs 4
     python -m repro.bench serving --trace-out          # + telemetry dump
     python -m repro.bench obs --scale ci               # telemetry IS the output
+    python -m repro.bench train                        # parallel/kernel baseline
+
+``--jobs N`` fans independent work across N worker processes via
+:mod:`repro.parallel`: with several experiments requested, whole
+experiments run concurrently (each in its own process with a fresh
+context); a single experiment fans its per-(method, dataset) training
+cells instead.  Results are bit-identical to ``--jobs 1``.
 
 ``--trace-out [DIR]`` installs a span collector and training monitor for
 the run and afterwards writes ``<experiment>_spans.jsonl``,
 ``<experiment>_metrics.prom`` / ``.json`` and ``<experiment>_events.jsonl``
-into DIR (default ``benchmarks/results/``).
+into DIR (default ``benchmarks/results/``).  Tracing forces experiments
+to run sequentially in-process (child telemetry dies with the fork), but
+per-cell fan-out still applies.
 """
 
 from __future__ import annotations
@@ -22,10 +31,12 @@ from collections.abc import Callable
 from pathlib import Path
 
 from .. import obs
+from ..parallel import ParallelExecutor, worker_seconds
 from ..scale import Scale
 from . import figure2, robustness, rules_exp  # noqa: F401  (rules_exp via table6)
 from .batch_exp import batch_experiment
 from .context import BenchContext
+from .train_exp import format_train, train_experiment
 from .lifecycle_exp import format_lifecycle, lifecycle_experiment
 from .obs_exp import format_obs, obs_experiment
 from .serving_exp import format_serving, serving_experiment
@@ -79,7 +90,21 @@ EXPERIMENTS: dict[str, Callable[[BenchContext], str]] = {
     "lifecycle": lambda ctx: format_lifecycle(lifecycle_experiment(ctx)),
     "obs": lambda ctx: format_obs(obs_experiment(ctx)),
     "batch": lambda ctx: batch_experiment(ctx),
+    "train": lambda ctx: format_train(train_experiment(ctx)),
 }
+
+
+def _experiment_task(item: tuple, _rng) -> tuple[str, str, float]:
+    """Executor task: run one whole experiment in a worker process.
+
+    Each worker builds a *fresh* context (jobs=1 — no nested pools) so
+    experiments don't share cached models; only the report string and
+    timing cross the pipe."""
+    name, scale, seed = item
+    ctx = BenchContext(scale, seed=seed)
+    start = time.perf_counter()
+    report = EXPERIMENTS[name](ctx)
+    return name, report, time.perf_counter() - start
 
 
 def experiment_names() -> list[str]:
@@ -110,10 +135,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help=f"experiment id or 'all'; one of: {', '.join(EXPERIMENTS)}",
+        nargs="+",
+        help=f"experiment id(s) or 'all'; one of: {', '.join(EXPERIMENTS)}",
     )
     parser.add_argument("--scale", default=None, help="ci | default | paper")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent training/experiment cells "
+        "(default 1 = serial; results are identical at any N)",
+    )
     parser.add_argument(
         "--trace-out",
         nargs="?",
@@ -125,11 +159,13 @@ def main(argv: list[str] | None = None) -> int:
         "into DIR (default: benchmarks/results)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     scale = Scale.from_name(args.scale) if args.scale else Scale.from_environment()
-    ctx = BenchContext(scale, seed=args.seed)
+    ctx = BenchContext(scale, seed=args.seed, jobs=args.jobs)
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = list(EXPERIMENTS) if "all" in args.experiment else list(args.experiment)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(
@@ -143,17 +179,37 @@ def main(argv: list[str] | None = None) -> int:
         collector = obs.install_collector()
         obs.install_monitor()
 
+    wall_start = time.perf_counter()
     try:
-        for name in names:
-            start = time.perf_counter()
-            print(EXPERIMENTS[name](ctx))
-            print(
-                f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]"
+        if args.jobs > 1 and len(names) > 1 and collector is None:
+            # Whole experiments fan across workers; reports print in
+            # request order regardless of completion order.
+            executor = ParallelExecutor(max_workers=args.jobs, base_seed=args.seed)
+            outcomes = executor.map_tasks(
+                _experiment_task, [(n, scale, args.seed) for n in names]
             )
-            print()
-        if collector is not None and args.experiment != "obs":
+            for name, report, seconds in outcomes:
+                print(report)
+                print(f"[{name} took {seconds:.1f}s at scale={scale.name}]")
+                print()
+        else:
+            for name in names:
+                start = time.perf_counter()
+                print(EXPERIMENTS[name](ctx))
+                print(
+                    f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]"
+                )
+                print()
+        if args.jobs > 1:
+            wall = time.perf_counter() - wall_start
+            busy = worker_seconds()
+            print(
+                f"[parallel: {args.jobs} jobs, {busy:.1f}s of worker time in "
+                f"{wall:.1f}s wall ({busy / max(wall, 1e-9):.2f}x concurrency)]"
+            )
+        if collector is not None and names != ["obs"]:
             # The obs experiment writes its own (richer) obs_* artifacts.
-            stem = args.experiment
+            stem = "all" if "all" in args.experiment else "_".join(names)
             for path in _dump_trace(Path(args.trace_out), stem, collector):
                 print(f"[trace written: {path}]")
     finally:

@@ -103,6 +103,9 @@ def table4(
     """Q-error summaries per dataset per method."""
     datasets = datasets or DATASETS
     methods = methods or (TRADITIONAL_NAMES + LEARNED_NAMES)
+    # Every (method, dataset) cell trains independently; with ctx.jobs > 1
+    # they fan across worker processes before the (cheap) evaluation loop.
+    ctx.prefit([(m, d) for d in datasets for m in methods])
     out: dict[str, dict[str, QErrorSummary]] = {}
     for dataset in datasets:
         test = ctx.test_workload(dataset)
@@ -168,6 +171,7 @@ def figure4(
     """
     datasets = datasets or DATASETS
     methods = methods or (["postgres", "mysql", "dbms-a"] + LEARNED_NAMES)
+    ctx.prefit([(m, d) for d in datasets for m in methods])
     rows = []
     for dataset in datasets:
         test = ctx.test_workload(dataset)
@@ -260,13 +264,21 @@ def table5(
         train = ctx.train_workload(dataset)
         test = ctx.test_workload(dataset)
         queries = list(test.queries)
+        def _sensitivity_cell(factory, _rng) -> float:
+            est = factory()
+            est.fit(table, train if est.requires_workload else None)
+            errors = qerrors(est.estimate_many(queries), test.cardinalities)
+            return float(errors.max())
+
+        executor = ctx.executor()
         for method, factories in grid.items():
-            max_errors = []
-            for factory in factories:
-                est = factory()
-                est.fit(table, train if est.requires_workload else None)
-                errors = qerrors(est.estimate_many(queries), test.cardinalities)
-                max_errors.append(float(errors.max()))
+            # The four architectures are independent training runs — the
+            # very tuning cost Table 5 is about — so they fan out too.
+            # Factories reach workers through fork-inherited memory.
+            if executor is None:
+                max_errors = [_sensitivity_cell(f, None) for f in factories]
+            else:
+                max_errors = executor.map_tasks(_sensitivity_cell, factories)
             out[method][dataset] = max(max_errors) / min(max_errors)
     return out
 

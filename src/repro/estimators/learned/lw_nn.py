@@ -47,8 +47,11 @@ class LwNnEstimator(CardinalityEstimator):
         learning_rate: float = 1e-3,
         use_ce_features: bool = True,
         seed: int = 0,
+        dtype: str = "float64",
     ) -> None:
         super().__init__()
+        if dtype not in ("float64", "float32"):
+            raise ValueError(f"dtype must be float64 or float32, got {dtype!r}")
         self.hidden_units = hidden_units
         self.epochs = epochs
         self.update_epochs = update_epochs
@@ -56,6 +59,8 @@ class LwNnEstimator(CardinalityEstimator):
         self.learning_rate = learning_rate
         self.use_ce_features = use_ce_features
         self.seed = seed
+        self.dtype = dtype
+        self._np_dtype = np.dtype(dtype)
         self._featurizer: LwFeaturizer | None = None
         self._model: Sequential | None = None
         self._optimizer: Adam | None = None
@@ -68,10 +73,10 @@ class LwNnEstimator(CardinalityEstimator):
         layers: list = []
         prev = in_dim
         for width in self.hidden_units:
-            layers.append(Linear(prev, width, rng))
+            layers.append(Linear(prev, width, rng, dtype=self._np_dtype))
             layers.append(ReLU())
             prev = width
-        layers.append(Linear(prev, 1, rng))
+        layers.append(Linear(prev, 1, rng, dtype=self._np_dtype))
         return Sequential(*layers)
 
     def _fit(self, table: Table, workload: Workload | None) -> None:
@@ -96,8 +101,12 @@ class LwNnEstimator(CardinalityEstimator):
         """Advance the current training run by ``epochs`` epochs."""
         assert self._featurizer is not None and self._model is not None
         assert self._optimizer is not None and self._train_rng is not None
-        features = self._featurizer.features_many(list(workload.queries))
-        labels = log_cardinality_labels(workload.cardinalities)
+        features = self._featurizer.features_many(list(workload.queries)).astype(
+            self._np_dtype, copy=False
+        )
+        labels = log_cardinality_labels(workload.cardinalities).astype(
+            self._np_dtype, copy=False
+        )
         n = len(labels)
         monitor = get_monitor()
         for _ in range(epochs):
@@ -174,7 +183,10 @@ class LwNnEstimator(CardinalityEstimator):
                     f"checkpoint tensor shape {value.shape} does not match "
                     f"model shape {p.value.shape}"
                 )
-            p.value = np.array(value, dtype=np.float64)
+            # The checkpoint's dtype is authoritative: a float32 run must
+            # resume in float32, never silently upcast.
+            p.value = np.array(value)
+            p.grad = np.zeros_like(p.value)
         self._optimizer = Adam(params, self.learning_rate)
         self._optimizer.load_state_dict(state["optimizer"])
         self._train_rng = np.random.default_rng(self.seed)
@@ -200,18 +212,22 @@ class LwNnEstimator(CardinalityEstimator):
     # ------------------------------------------------------------------
     def _estimate(self, query: Query) -> float:
         assert self._featurizer is not None and self._model is not None
-        feats = self._featurizer.features(query)[None, :]
+        feats = self._featurizer.features(query)[None, :].astype(
+            self._np_dtype, copy=False
+        )
         log_card = float(self._model.forward(feats)[0, 0])
         return float(np.exp(np.clip(log_card, -30.0, 30.0)))
 
     def _estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
         """Stack all feature vectors and run one MLP forward pass."""
         assert self._featurizer is not None and self._model is not None
-        feats = self._featurizer.features_many(list(queries))
+        feats = self._featurizer.features_many(list(queries)).astype(
+            self._np_dtype, copy=False
+        )
         log_cards = self._model.forward(feats)[:, 0]
         return np.exp(np.clip(log_cards, -30.0, 30.0))
 
     def model_size_bytes(self) -> int:
         if self._model is None:
             return 0
-        return 8 * self._model.num_parameters()
+        return sum(p.value.nbytes for p in self._model.parameters())

@@ -251,4 +251,4 @@ class MscnEstimator(CardinalityEstimator):
     def model_size_bytes(self) -> int:
         if self._network is None:
             return 0
-        return 8 * self._network.num_parameters()
+        return sum(p.value.nbytes for p in self._network.parameters())

@@ -55,12 +55,17 @@ class NaruEstimator(CardinalityEstimator):
         wildcard_rate: float = 0.25,
         seed: int = 0,
         inference_seed: int | None = None,
+        dtype: str = "float64",
     ) -> None:
         super().__init__()
         if block not in ("made", "transformer"):
             raise ValueError(f"unknown block {block!r}; use 'made' or 'transformer'")
         if wildcard_skipping and block != "made":
             raise ValueError("wildcard_skipping requires the MADE block")
+        if dtype not in ("float64", "float32"):
+            raise ValueError(f"dtype must be float64 or float32, got {dtype!r}")
+        if dtype != "float64" and block != "made":
+            raise ValueError("the float32 path requires the MADE block")
         self.hidden_units = hidden_units
         self.hidden_layers = hidden_layers
         self.max_bins = max_bins
@@ -74,6 +79,7 @@ class NaruEstimator(CardinalityEstimator):
         self.wildcard_rate = wildcard_rate
         self.seed = seed
         self.inference_seed = inference_seed
+        self.dtype = dtype
         self._disc: Discretizer | None = None
         self._model: ResMade | TransformerAR | None = None
         self._optimizer: Adam | None = None
@@ -87,7 +93,11 @@ class NaruEstimator(CardinalityEstimator):
         assert self._disc is not None
         if self.block == "made":
             return ResMade(
-                self._disc.cardinalities, self.hidden_units, self.hidden_layers, rng
+                self._disc.cardinalities,
+                self.hidden_units,
+                self.hidden_layers,
+                rng,
+                dtype=np.dtype(self.dtype),
             )
         return TransformerAR(
             self._disc.cardinalities,
@@ -365,4 +375,4 @@ class NaruEstimator(CardinalityEstimator):
     def model_size_bytes(self) -> int:
         if self._model is None:
             return 0
-        return 8 * self._model.num_parameters()
+        return sum(p.value.nbytes for p in self._model.parameters())

@@ -16,10 +16,14 @@ import numpy as np
 
 
 class Parameter:
-    """A trainable tensor together with its gradient accumulator."""
+    """A trainable tensor together with its gradient accumulator.
 
-    def __init__(self, value: np.ndarray) -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    ``dtype`` defaults to float64 (the substrate's reference precision);
+    pass ``np.float32`` for the opt-in reduced-precision training path.
+    """
+
+    def __init__(self, value: np.ndarray, dtype: np.dtype | None = None) -> None:
+        self.value = np.asarray(value, dtype=np.float64 if dtype is None else dtype)
         self.grad = np.zeros_like(self.value)
 
     def zero_grad(self) -> None:
@@ -62,11 +66,21 @@ def glorot_uniform(
 
 
 class Linear(Module):
-    """Fully-connected layer ``y = x @ W + b``."""
+    """Fully-connected layer ``y = x @ W + b``.
 
-    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
-        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng))
-        self.bias = Parameter(np.zeros(out_dim))
+    Inputs are expected in the layer's dtype; callers on the float32
+    path cast their feature matrices once, up front.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng), dtype=dtype)
+        self.bias = Parameter(np.zeros(out_dim), dtype=dtype)
         self._x: np.ndarray | None = None
 
     def parameters(self) -> list[Parameter]:
@@ -88,8 +102,14 @@ class MaskedLinear(Module):
     """Dense layer whose weight matrix is element-wise masked.
 
     The autoregressive property of MADE [Germain et al. 2015] is enforced
-    by zeroing forbidden connections; the mask is applied to both the
-    forward pass and the weight gradient so masked entries never move.
+    by zeroing forbidden connections.  The weight matrix is kept masked
+    as an *invariant* rather than re-masked on every pass: the initial
+    weights are masked, the weight gradient is masked, and a zero
+    gradient moves neither SGD nor Adam (zero moments, zero update), so
+    masked entries stay exactly 0.0 forever and ``forward``/``backward``
+    can use ``weight.value`` directly — one fewer ``in_dim x out_dim``
+    materialisation per pass in each direction.  Code that overwrites
+    ``weight.value`` wholesale must call :meth:`apply_mask` afterwards.
     """
 
     def __init__(
@@ -98,28 +118,34 @@ class MaskedLinear(Module):
         out_dim: int,
         mask: np.ndarray,
         rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
     ) -> None:
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = np.asarray(mask, dtype=dtype)
         if mask.shape != (in_dim, out_dim):
             raise ValueError(f"mask shape {mask.shape} != ({in_dim}, {out_dim})")
         self.mask = mask
-        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng) * mask)
-        self.bias = Parameter(np.zeros(out_dim))
+        self.weight = Parameter(glorot_uniform(in_dim, out_dim, rng) * mask, dtype=dtype)
+        self.bias = Parameter(np.zeros(out_dim), dtype=dtype)
         self._x: np.ndarray | None = None
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
 
+    def apply_mask(self) -> None:
+        """Re-establish the masked-weight invariant after an external
+        assignment to ``weight.value`` (e.g. loading a checkpoint)."""
+        self.weight.value *= self.mask
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
-        return x @ (self.weight.value * self.mask) + self.bias.value
+        return x @ self.weight.value + self.bias.value
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
         self.weight.grad += (self._x.T @ grad) * self.mask
         self.bias.grad += grad.sum(axis=0)
-        return grad @ (self.weight.value * self.mask).T
+        return grad @ self.weight.value.T
 
 
 class ReLU(Module):

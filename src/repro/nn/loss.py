@@ -59,7 +59,8 @@ def softmax_cross_entropy(
     n = logits.shape[0]
     probs = softmax(logits)
     picked = probs[np.arange(n), targets]
-    loss = float(-np.mean(np.log(np.maximum(picked, 1e-300))))
+    floor = np.finfo(picked.dtype).tiny  # dtype-aware log(0) guard
+    loss = float(-np.mean(np.log(np.maximum(picked, floor))))
     grad = probs
     grad[np.arange(n), targets] -= 1.0
     grad /= n

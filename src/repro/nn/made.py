@@ -35,10 +35,14 @@ class ResMadeBlock(Module):
     """
 
     def __init__(
-        self, hidden: int, degrees: np.ndarray, rng: np.random.Generator
+        self,
+        hidden: int,
+        degrees: np.ndarray,
+        rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
     ) -> None:
-        mask = (degrees[:, None] <= degrees[None, :]).astype(np.float64)
-        self.linear = MaskedLinear(hidden, hidden, mask, rng)
+        mask = (degrees[:, None] <= degrees[None, :]).astype(dtype)
+        self.linear = MaskedLinear(hidden, hidden, mask, rng, dtype=dtype)
         self.relu = ReLU()
 
     def parameters(self) -> list[Parameter]:
@@ -60,6 +64,9 @@ class ResMade(Module):
         hidden_layers: Total number of hidden layers (the first is a plain
             masked layer; the rest are residual blocks).
         rng: Source of randomness for initialisation.
+        dtype: Compute precision; float64 (default) is the reference
+            path, float32 the opt-in fast path (halved memory traffic in
+            every matmul — see DESIGN.md §10).
     """
 
     def __init__(
@@ -68,12 +75,14 @@ class ResMade(Module):
         hidden_units: int,
         hidden_layers: int,
         rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if len(cardinalities) < 1:
             raise ValueError("need at least one column")
         if hidden_layers < 1:
             raise ValueError("need at least one hidden layer")
         self.cardinalities = list(cardinalities)
+        self.dtype = np.dtype(dtype)
         n_cols = len(cardinalities)
         in_degrees = _degrees(self.cardinalities)
         # Hidden degrees cycle over 0..n_cols-2 (a unit of degree m may see
@@ -82,19 +91,19 @@ class ResMade(Module):
         max_degree = max(n_cols - 1, 1)
         hidden_degrees = np.arange(hidden_units, dtype=np.int64) % max_degree
 
-        in_mask = (in_degrees[:, None] <= hidden_degrees[None, :]).astype(np.float64)
+        in_mask = (in_degrees[:, None] <= hidden_degrees[None, :]).astype(dtype)
         self.input_layer = MaskedLinear(
-            int(in_degrees.size), hidden_units, in_mask, rng
+            int(in_degrees.size), hidden_units, in_mask, rng, dtype=dtype
         )
         self.input_relu = ReLU()
         self.blocks = [
-            ResMadeBlock(hidden_units, hidden_degrees, rng)
+            ResMadeBlock(hidden_units, hidden_degrees, rng, dtype=dtype)
             for _ in range(hidden_layers - 1)
         ]
         out_degrees = _degrees(self.cardinalities)
-        out_mask = (hidden_degrees[:, None] < out_degrees[None, :]).astype(np.float64)
+        out_mask = (hidden_degrees[:, None] < out_degrees[None, :]).astype(dtype)
         self.output_layer = MaskedLinear(
-            hidden_units, int(out_degrees.size), out_mask, rng
+            hidden_units, int(out_degrees.size), out_mask, rng, dtype=dtype
         )
         offsets = np.concatenate([[0], np.cumsum(self.cardinalities)])
         self._offsets = offsets
@@ -132,15 +141,15 @@ class ResMade(Module):
         """
         binned_rows = np.asarray(binned_rows, dtype=np.int64)
         batch = binned_rows.shape[0]
-        out = np.zeros((batch, int(self._offsets[-1])), dtype=np.float64)
+        out = np.zeros((batch, int(self._offsets[-1])), dtype=self.dtype)
         rows = np.arange(batch)
         for i, k in enumerate(self.cardinalities):
             vals = binned_rows[:, i]
             if np.any((vals < 0) | (vals >= k)):
                 raise ValueError(f"bin index out of range for column {i}")
-            hot = np.ones(batch) if input_mask is None else (
+            hot = np.ones(batch, dtype=self.dtype) if input_mask is None else (
                 ~input_mask[:, i]
-            ).astype(np.float64)
+            ).astype(self.dtype)
             out[rows, self._offsets[i] + vals] = hot
         return out
 
@@ -169,7 +178,7 @@ class ResMade(Module):
         """
         prefix_bins = np.asarray(prefix_bins, dtype=np.int64)
         batch = prefix_bins.shape[0]
-        x = np.zeros((batch, int(self._offsets[-1])))
+        x = np.zeros((batch, int(self._offsets[-1])), dtype=self.dtype)
         rows = np.arange(batch)
         for i in range(column):
             if present is None or present[i]:
@@ -194,7 +203,9 @@ class ResMade(Module):
         """
         prefix_bins = np.asarray(prefix_bins, dtype=np.int64)
         batch = prefix_bins.shape[0]
-        w_in = self.input_layer.weight.value * self.input_layer.mask
+        # The masked-weight invariant (see MaskedLinear) means the raw
+        # weight matrices are already masked — no re-materialisation.
+        w_in = self.input_layer.weight.value
         h = np.broadcast_to(
             self.input_layer.bias.value, (batch, w_in.shape[1])
         ).copy()
@@ -205,10 +216,7 @@ class ResMade(Module):
         for block in self.blocks:
             h = block.forward(h)
         lo, hi = int(self._offsets[column]), int(self._offsets[column + 1])
-        w_out = (
-            self.output_layer.weight.value[:, lo:hi]
-            * self.output_layer.mask[:, lo:hi]
-        )
+        w_out = self.output_layer.weight.value[:, lo:hi]
         return softmax(h @ w_out + self.output_layer.bias.value[lo:hi])
 
     # ------------------------------------------------------------------

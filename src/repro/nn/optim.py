@@ -12,6 +12,15 @@ class Adam:
 
     All three of the paper's neural estimators (Naru, MSCN, LW-NN) are
     trained with Adam in their original implementations.
+
+    The default ``fused=True`` step performs every array operation
+    in-place through two preallocated scratch buffers, eliminating the
+    seven per-parameter temporaries the naive expression allocates each
+    step.  Both paths execute the identical sequence of IEEE operations
+    (the fused form only reassociates multiplications, which commute
+    bitwise), so fused and unfused steps are **bit-identical**; the
+    unfused path is kept as the readable reference and for the
+    equivalence test in ``tests/test_nn.py``.
     """
 
     def __init__(
@@ -21,6 +30,7 @@ class Adam:
         beta1: float = 0.9,
         beta2: float = 0.999,
         epsilon: float = 1e-8,
+        fused: bool = True,
     ) -> None:
         if learning_rate <= 0.0:
             raise ValueError("learning_rate must be positive")
@@ -29,8 +39,11 @@ class Adam:
         self.beta1 = beta1
         self.beta2 = beta2
         self.epsilon = epsilon
+        self.fused = fused
         self._m = [np.zeros_like(p.value) for p in parameters]
         self._v = [np.zeros_like(p.value) for p in parameters]
+        self._scratch = [np.empty_like(p.value) for p in parameters]
+        self._scratch2 = [np.empty_like(p.value) for p in parameters]
         self._t = 0
 
     def step(self) -> None:
@@ -38,12 +51,35 @@ class Adam:
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
-            m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
-            p.value -= self.learning_rate * (m / bc1) / (np.sqrt(v / bc2) + self.epsilon)
+        if not self.fused:
+            for p, m, v in zip(self.parameters, self._m, self._v):
+                m *= self.beta1
+                m += (1.0 - self.beta1) * p.grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * p.grad**2
+                p.value -= self.learning_rate * (m / bc1) / (np.sqrt(v / bc2) + self.epsilon)
+            return
+        for p, m, v, s, s2 in zip(
+            self.parameters, self._m, self._v, self._scratch, self._scratch2
+        ):
+            grad = p.grad
+            # m <- beta1*m + (1-beta1)*grad, in place
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=s)
+            m += s
+            # v <- beta2*v + (1-beta2)*grad^2, in place
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=s)
+            s *= 1.0 - self.beta2
+            v += s
+            # p <- p - lr * (m/bc1) / (sqrt(v/bc2) + eps), in place
+            np.divide(v, bc2, out=s)
+            np.sqrt(s, out=s)
+            s += self.epsilon
+            np.divide(m, bc1, out=s2)
+            s2 *= self.learning_rate
+            s2 /= s
+            p.value -= s2
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -78,8 +114,16 @@ class Adam:
                     f"shape {p.value.shape}"
                 )
         self._t = int(state["t"])
-        self._m = [np.array(m_i, dtype=np.float64) for m_i in m]
-        self._v = [np.array(v_i, dtype=np.float64) for v_i in v]
+        # Moments adopt each parameter's dtype (a float32 model keeps
+        # float32 moments through a save/load cycle, never upcast).
+        self._m = [
+            np.array(m_i, dtype=p.value.dtype)
+            for p, m_i in zip(self.parameters, m)
+        ]
+        self._v = [
+            np.array(v_i, dtype=p.value.dtype)
+            for p, v_i in zip(self.parameters, v)
+        ]
 
 
 def global_grad_norm(parameters: list[Parameter]) -> float:

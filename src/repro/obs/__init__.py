@@ -33,6 +33,9 @@ from .metrics import (
     LIFECYCLE_PROMOTIONS,
     LIFECYCLE_RETRAIN_ATTEMPTS,
     LIFECYCLE_TRANSITIONS,
+    PARALLEL_TASKS,
+    PARALLEL_WORKERS,
+    PARALLEL_WORKER_SECONDS,
     SERVE_CACHE,
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
@@ -99,6 +102,9 @@ __all__ = [
     "LIFECYCLE_TRANSITIONS",
     "LatencyWindow",
     "MetricsRegistry",
+    "PARALLEL_TASKS",
+    "PARALLEL_WORKERS",
+    "PARALLEL_WORKER_SECONDS",
     "SERVE_CACHE",
     "SERVE_REQUESTS",
     "SERVE_TIER_ATTEMPTS",

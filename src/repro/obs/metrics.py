@@ -500,6 +500,9 @@ LIFECYCLE_RETRAIN_ATTEMPTS = "repro_lifecycle_retrain_attempts_total"
 LIFECYCLE_CHECKPOINTS = "repro_lifecycle_checkpoints_total"
 LIFECYCLE_PROMOTIONS = "repro_lifecycle_promotions_total"
 LIFECYCLE_MODEL_GENERATION = "repro_lifecycle_model_generation"
+PARALLEL_TASKS = "repro_parallel_tasks_total"
+PARALLEL_WORKER_SECONDS = "repro_parallel_worker_seconds_total"
+PARALLEL_WORKERS = "repro_parallel_workers"
 
 
 def observe_phase(

@@ -1,0 +1,28 @@
+"""Parallel execution engine: deterministic process-pool fan-out.
+
+See :mod:`repro.parallel.executor` for the design (seed derivation,
+fault containment, fork safety) and DESIGN.md §10 for how the tuning
+and benchmark layers use it.
+"""
+
+from .executor import (
+    ParallelError,
+    ParallelExecutor,
+    TaskFailure,
+    TaskHandle,
+    derive_rng,
+    derive_seed,
+    detect_worker_count,
+    worker_seconds,
+)
+
+__all__ = [
+    "ParallelError",
+    "ParallelExecutor",
+    "TaskFailure",
+    "TaskHandle",
+    "derive_rng",
+    "derive_seed",
+    "detect_worker_count",
+    "worker_seconds",
+]

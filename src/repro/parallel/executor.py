@@ -1,0 +1,439 @@
+"""Seeded, deterministic process-pool execution.
+
+The paper's cost analysis (Section 6.2, Figure 4) makes training — not
+inference — the dominant cost of learned estimators, and the benchmark
+harness multiplies that cost: every tuning trial and every
+(dataset, method) cell of the static tables trains its own model.  Those
+tasks are embarrassingly parallel, so :class:`ParallelExecutor` fans
+them across worker *processes* (numpy releases no GIL for us to share;
+separate address spaces are the only real concurrency a pure-python
+substrate gets).
+
+Design goals, in order:
+
+1. **Determinism.**  Parallel results must be *bit-identical* to serial
+   ones.  Every task receives its own :class:`numpy.random.Generator`
+   derived from ``(base_seed, task_index)`` via
+   :class:`numpy.random.SeedSequence` spawn keys — never a shared
+   stream, never time- or pid-dependent state — and results are reduced
+   in task order regardless of completion order.  A retried task gets
+   the *same* derived seed, so a transient crash cannot change the
+   answer.
+2. **Fault containment.**  Each task runs in its own forked process; a
+   task that raises, a worker killed mid-task, or a task that blows its
+   per-task timeout is retried once and then surfaced as a structured
+   :class:`TaskFailure` — never a hang, and never a poisoned pool (the
+   stdlib ``ProcessPoolExecutor`` marks the whole pool broken when one
+   worker dies, which is exactly wrong for a benchmark sweep).
+3. **Honest telemetry.**  The parent records ``parallel.tasks`` and
+   ``parallel.worker_seconds`` into :mod:`repro.obs` (child-side
+   registries die with the fork), so artifacts can report measured
+   speedup and parallel efficiency.
+
+Why ``fork`` (and why it is safe here): tasks receive their function
+and arguments through fork-inherited memory, so nothing on the *input*
+side needs to pickle — closures over tables, workloads and builder
+lambdas all work; only results cross a pipe.  Numpy state is safe to
+fork because the library holds no global locks between calls and every
+worker gets its own derived ``Generator``; the one caveat is a
+multi-threaded BLAS pool, whose worker threads would not survive the
+fork — run with ``OPENBLAS_NUM_THREADS=1`` (or equivalent) when fanning
+out, which is also what you want to avoid oversubscription.  On
+platforms without ``fork`` the executor degrades to the serial path,
+which produces identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import emit, get_registry
+from ..obs.metrics import PARALLEL_TASKS, PARALLEL_WORKER_SECONDS, PARALLEL_WORKERS
+
+#: A task takes (item, rng) and returns a picklable result.
+Task = Callable[[object, np.random.Generator], object]
+
+
+def detect_worker_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-linux
+        return max(1, os.cpu_count() or 1)
+
+
+def derive_seed(base_seed: int, index: int) -> np.random.SeedSequence:
+    """The per-task seed: ``SeedSequence(base_seed).spawn_key=(index,)``.
+
+    Deterministic in ``(base_seed, index)`` alone — independent of
+    worker identity, scheduling order, retries, and pool size — which is
+    what makes parallel runs bit-identical to serial ones.
+    """
+    return np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+
+
+def derive_rng(base_seed: int, index: int) -> np.random.Generator:
+    """A fresh generator on the per-task seed (see :func:`derive_seed`)."""
+    return np.random.default_rng(derive_seed(base_seed, index))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that failed all its attempts, as data (never an exception
+    escaping a worker): which task, what happened, and how often."""
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool = False
+    worker_died: bool = False
+
+    def __str__(self) -> str:
+        cause = (
+            "timed out" if self.timed_out
+            else "worker died" if self.worker_died
+            else f"{self.error_type}: {self.message}"
+        )
+        return f"task {self.index} failed after {self.attempts} attempts ({cause})"
+
+
+class ParallelError(RuntimeError):
+    """Raised by ``on_error='raise'`` when a task exhausts its retries."""
+
+    def __init__(self, failure: TaskFailure) -> None:
+        super().__init__(str(failure))
+        self.failure = failure
+
+
+def _child_main(fn: Task, item: object, seed: np.random.SeedSequence, conn) -> None:
+    """Worker body: run one task, ship (status, payload, seconds) back."""
+    start = time.perf_counter()
+    try:
+        result = fn(item, np.random.default_rng(seed))
+        conn.send(("ok", result, time.perf_counter() - start))
+    except BaseException as exc:  # noqa: BLE001 — everything becomes data
+        payload = (type(exc).__name__, str(exc), traceback.format_exc())
+        try:
+            conn.send(("error", payload, time.perf_counter() - start))
+        except Exception:
+            pass  # parent will observe the dead pipe as a worker death
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    deadline: float | None
+
+
+class TaskHandle:
+    """Future-like handle returned by :meth:`ParallelExecutor.submit`."""
+
+    def __init__(self, executor: "ParallelExecutor", fn: Task, item: object, index: int) -> None:
+        self._executor = executor
+        self._fn = fn
+        self._item = item
+        self._index = index
+        self._done = False
+        self._result: object = None
+
+    def result(self) -> object:
+        """Block until the task finishes; raise on structured failure."""
+        if not self._done:
+            self._result = self._executor.map_tasks(
+                self._fn, [self._item], first_index=self._index
+            )[0]
+            self._done = True
+        if isinstance(self._result, TaskFailure):
+            raise ParallelError(self._result)
+        return self._result
+
+
+class ParallelExecutor:
+    """Deterministic fan-out of tasks over forked worker processes.
+
+    Args:
+        max_workers: concurrent worker processes; ``None`` auto-detects
+            the CPUs available to this process.
+        base_seed: root of the per-task seed derivation.
+        task_timeout: per-task wall-clock budget in seconds; an
+            over-budget worker is killed (and the task retried once).
+        retries: extra attempts after a raise/crash/timeout (default 1:
+            "retry once, then surface").
+        mode: ``"fork"``, ``"serial"``, or ``"auto"`` (fork when the
+            platform supports it and ``max_workers > 1``).  The serial
+            mode runs tasks in-process with the same seed derivation and
+            ordering, so its results are bit-identical to fork mode.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        base_seed: int = 0,
+        task_timeout: float | None = None,
+        retries: int = 1,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in ("auto", "fork", "serial"):
+            raise ValueError(f"unknown mode {mode!r}; use auto, fork, or serial")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        if task_timeout is not None and task_timeout <= 0.0:
+            raise ValueError("task_timeout must be positive")
+        self.max_workers = max_workers if max_workers is not None else detect_worker_count()
+        self.base_seed = base_seed
+        self.task_timeout = task_timeout
+        self.retries = retries
+        fork_available = "fork" in multiprocessing.get_all_start_methods()
+        if mode == "fork" and not fork_available:
+            raise RuntimeError("fork start method unavailable on this platform")
+        if mode == "auto":
+            mode = "fork" if fork_available and self.max_workers > 1 else "serial"
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Task, item: object, index: int = 0) -> TaskHandle:
+        """One-task variant of :meth:`map_tasks`; ``index`` picks the
+        derived seed so independent submissions stay deterministic."""
+        return TaskHandle(self, fn, item, index)
+
+    def map_tasks(
+        self,
+        fn: Task,
+        items: Sequence[object],
+        on_error: str = "raise",
+        reduce: Callable[[list], object] | None = None,
+        first_index: int = 0,
+    ) -> list | object:
+        """Run ``fn(item, rng)`` for every item; results in input order.
+
+        ``on_error='raise'`` raises :class:`ParallelError` on the first
+        exhausted task (remaining workers are killed);
+        ``on_error='return'`` leaves a :class:`TaskFailure` in that
+        task's result slot instead.  ``reduce``, when given, is applied
+        to the ordered result list and its value returned — the
+        reduction always sees results in task order, independent of
+        completion order.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"unknown on_error {on_error!r}; use raise or return")
+        items = list(items)
+        registry = get_registry()
+        registry.gauge(PARALLEL_WORKERS, "Configured parallel worker count").set(
+            self.max_workers, mode=self.mode
+        )
+        if not items:
+            return reduce([]) if reduce is not None else []
+        # Fork mode forks even for a single task: crash/timeout
+        # containment is part of the contract, not an optimisation.
+        if self.mode == "serial":
+            results = self._run_serial(fn, items, on_error, first_index)
+        else:
+            results = self._run_forked(fn, items, on_error, first_index)
+        return reduce(results) if reduce is not None else results
+
+    # ------------------------------------------------------------------
+    # Serial path (also the semantics reference for the forked one)
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, fn: Task, items: list, on_error: str, first_index: int
+    ) -> list:
+        results: list = []
+        for offset, item in enumerate(items):
+            index = first_index + offset
+            outcome: object = None
+            for attempt in range(1, self.retries + 2):
+                start = time.perf_counter()
+                try:
+                    outcome = fn(item, derive_rng(self.base_seed, index))
+                    self._record(True, time.perf_counter() - start)
+                    break
+                except Exception as exc:  # in-process: only raises are catchable
+                    self._record(False, time.perf_counter() - start)
+                    outcome = TaskFailure(
+                        index=index,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=attempt,
+                    )
+                    self._emit_retry(outcome, will_retry=attempt <= self.retries)
+            if isinstance(outcome, TaskFailure) and on_error == "raise":
+                raise ParallelError(outcome)
+            results.append(outcome)
+        return results
+
+    # ------------------------------------------------------------------
+    # Forked path
+    # ------------------------------------------------------------------
+    def _launch(self, ctx, fn: Task, items: list, index: int, attempt: int, first_index: int):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main,
+            args=(fn, items[index - first_index], derive_seed(self.base_seed, index), child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        deadline = (
+            time.monotonic() + self.task_timeout if self.task_timeout is not None else None
+        )
+        return parent_conn, _Running(index, attempt, process, deadline)
+
+    def _run_forked(
+        self, fn: Task, items: list, on_error: str, first_index: int
+    ) -> list:
+        ctx = multiprocessing.get_context("fork")
+        pending: deque[tuple[int, int]] = deque(
+            (first_index + i, 1) for i in range(len(items))
+        )
+        running: dict[object, _Running] = {}
+        slots: dict[int, object] = {}
+        failure_to_raise: TaskFailure | None = None
+
+        def settle(index: int, attempt: int, failure: TaskFailure) -> None:
+            nonlocal failure_to_raise
+            if attempt <= self.retries:
+                self._emit_retry(failure, will_retry=True)
+                pending.append((index, attempt + 1))
+            else:
+                self._emit_retry(failure, will_retry=False)
+                slots[index] = failure
+                if on_error == "raise" and failure_to_raise is None:
+                    failure_to_raise = failure
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.max_workers and failure_to_raise is None:
+                    index, attempt = pending.popleft()
+                    conn, state = self._launch(ctx, fn, items, index, attempt, first_index)
+                    running[conn] = state
+                if not running:
+                    break
+                now = time.monotonic()
+                deadlines = [s.deadline for s in running.values() if s.deadline is not None]
+                wait_for = min((d - now for d in deadlines), default=None)
+                ready = multiprocessing.connection.wait(
+                    list(running), timeout=max(wait_for, 0.0) if wait_for is not None else None
+                )
+                for conn in ready:
+                    state = running.pop(conn)
+                    try:
+                        status, payload, seconds = conn.recv()
+                    except (EOFError, OSError):  # died before sending
+                        state.process.join()
+                        self._record(False, 0.0)
+                        settle(
+                            state.index,
+                            state.attempt,
+                            TaskFailure(
+                                index=state.index,
+                                error_type="WorkerDied",
+                                message=f"exitcode {state.process.exitcode}",
+                                attempts=state.attempt,
+                                worker_died=True,
+                            ),
+                        )
+                    else:
+                        state.process.join()
+                        self._record(status == "ok", seconds)
+                        if status == "ok":
+                            slots[state.index] = payload
+                        else:
+                            error_type, message, _tb = payload
+                            settle(
+                                state.index,
+                                state.attempt,
+                                TaskFailure(
+                                    index=state.index,
+                                    error_type=error_type,
+                                    message=message,
+                                    attempts=state.attempt,
+                                ),
+                            )
+                    finally:
+                        conn.close()
+                now = time.monotonic()
+                for conn in [
+                    c for c, s in running.items()
+                    if s.deadline is not None and now >= s.deadline
+                ]:
+                    state = running.pop(conn)
+                    state.process.kill()
+                    state.process.join()
+                    conn.close()
+                    self._record(False, self.task_timeout or 0.0)
+                    settle(
+                        state.index,
+                        state.attempt,
+                        TaskFailure(
+                            index=state.index,
+                            error_type="Timeout",
+                            message=f"exceeded {self.task_timeout:.3g}s",
+                            attempts=state.attempt,
+                            timed_out=True,
+                        ),
+                    )
+                if failure_to_raise is not None and not running:
+                    break
+        finally:
+            for conn, state in running.items():
+                state.process.kill()
+                state.process.join()
+                conn.close()
+        if failure_to_raise is not None:
+            raise ParallelError(failure_to_raise)
+        return [slots[first_index + i] for i in range(len(items))]
+
+    # ------------------------------------------------------------------
+    # Telemetry (recorded in the parent; child registries die with it)
+    # ------------------------------------------------------------------
+    def _record(self, ok: bool, seconds: float) -> None:
+        registry = get_registry()
+        registry.counter(
+            PARALLEL_TASKS, "Parallel task attempts by status"
+        ).inc(status="ok" if ok else "failed", mode=self.mode)
+        registry.counter(
+            PARALLEL_WORKER_SECONDS,
+            "Cumulative wall-clock seconds spent inside parallel tasks",
+        ).inc(seconds, mode=self.mode)
+
+    def _emit_retry(self, failure: TaskFailure, will_retry: bool) -> None:
+        emit(
+            "parallel.retry" if will_retry else "parallel.task_failed",
+            index=failure.index,
+            attempts=failure.attempts,
+            error_type=failure.error_type,
+            timed_out=failure.timed_out,
+            worker_died=failure.worker_died,
+        )
+        if will_retry:
+            get_registry().counter(
+                PARALLEL_TASKS, "Parallel task attempts by status"
+            ).inc(status="retried", mode=self.mode)
+
+
+def worker_seconds(mode: str | None = None) -> float:
+    """Cumulative ``parallel.worker_seconds`` recorded so far (sum over
+    modes unless one is named) — the numerator of parallel efficiency."""
+    metric = get_registry().get(PARALLEL_WORKER_SECONDS)
+    if metric is None:
+        return 0.0
+    if mode is not None:
+        return metric.value(mode=mode)  # type: ignore[attr-defined]
+    snapshot = metric.snapshot()
+    return float(sum(series["value"] for series in snapshot["series"]))

@@ -14,6 +14,13 @@ behind one interface:
 Scores are validation-workload q-errors: query-driven methods tune on
 held-out queries, data-driven ones may use the same signal or their own
 training loss (the paper tunes Naru by loss; pass ``score="loss"``).
+
+Every strategy accepts ``parallelism=N`` (or a preconfigured
+:class:`~repro.parallel.ParallelExecutor`): trials are independent
+training runs — the Table 5 cost the paper complains about — so they
+fan across worker processes.  Configurations are sampled *before* the
+fan-out and results are reduced in trial order, so a parallel search is
+bit-identical to a serial one (same trials, same scores, same winner).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from ..core.estimator import CardinalityEstimator
 from ..core.metrics import qerrors
 from ..core.table import Table
 from ..core.workload import Workload
+from ..parallel import ParallelExecutor
 
 #: A builder takes a configuration dict and returns an unfit estimator.
 Builder = Callable[[Mapping[str, object]], CardinalityEstimator]
@@ -120,6 +128,55 @@ def _run_trial(
     return estimator, trial
 
 
+def _trial_task(
+    item: tuple, _rng: np.random.Generator
+) -> tuple[CardinalityEstimator, Trial]:
+    """Executor task body for one trial.
+
+    The builder, table and workloads reach the worker through
+    fork-inherited memory (the item tuple), so nothing on the input side
+    pickles.  The executor-derived rng is deliberately unused: every
+    estimator seeds itself from its own configuration, which is what
+    keeps a parallel search bit-identical to a serial one.
+    """
+    build, config, table, train, validation = item
+    return _run_trial(build, config, table, train, validation)
+
+
+def _resolve_executor(
+    parallelism: int, executor: ParallelExecutor | None
+) -> ParallelExecutor | None:
+    """An explicit executor wins; otherwise build one for ``parallelism``
+    workers (``None`` for 1 — the plain in-process loop)."""
+    if executor is not None:
+        return executor
+    if parallelism < 1:
+        raise ValueError("parallelism must be at least 1")
+    if parallelism == 1:
+        return None
+    return ParallelExecutor(max_workers=parallelism)
+
+
+def _run_trials(
+    build: Builder,
+    configs: list[dict[str, object]],
+    table: Table,
+    train: Workload | None,
+    validation: Workload,
+    parallelism: int,
+    executor: ParallelExecutor | None,
+) -> list[tuple[CardinalityEstimator, Trial]]:
+    """All trials, in config order — in-process or fanned across workers."""
+    executor = _resolve_executor(parallelism, executor)
+    if executor is None:
+        return [
+            _run_trial(build, config, table, train, validation)
+            for config in configs
+        ]
+    items = [(build, config, table, train, validation) for config in configs]
+    return executor.map_tasks(_trial_task, items)
+
+
 def grid_search(
     build: Builder,
     space: SearchSpace,
@@ -127,12 +184,16 @@ def grid_search(
     train: Workload | None,
     validation: Workload,
     max_trials: int | None = None,
+    parallelism: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> TuningResult:
     """Exhaustive search (optionally truncated to ``max_trials``)."""
     configs = space.grid()
     if max_trials is not None:
         configs = configs[:max_trials]
-    return _search_over(build, configs, table, train, validation)
+    return _search_over(
+        build, configs, table, train, validation, parallelism, executor
+    )
 
 
 def random_search(
@@ -143,12 +204,20 @@ def random_search(
     validation: Workload,
     num_trials: int,
     rng: np.random.Generator,
+    parallelism: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> TuningResult:
-    """Evaluate ``num_trials`` uniformly sampled configurations."""
+    """Evaluate ``num_trials`` uniformly sampled configurations.
+
+    Configurations are drawn from ``rng`` up front (so the sampled set
+    does not depend on ``parallelism``), then fanned out.
+    """
     if num_trials < 1:
         raise ValueError("need at least one trial")
     configs = [space.sample(rng) for _ in range(num_trials)]
-    return _search_over(build, configs, table, train, validation)
+    return _search_over(
+        build, configs, table, train, validation, parallelism, executor
+    )
 
 
 def _search_over(
@@ -157,13 +226,19 @@ def _search_over(
     table: Table,
     train: Workload | None,
     validation: Workload,
+    parallelism: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> TuningResult:
     if not configs:
         raise ValueError("no configurations to evaluate")
+    outcomes = _run_trials(
+        build, configs, table, train, validation, parallelism, executor
+    )
     trials: list[Trial] = []
     best: tuple[float, CardinalityEstimator, dict] | None = None
-    for config in configs:
-        estimator, trial = _run_trial(build, config, table, train, validation)
+    # First-best tie-break over the config order: identical to the serial
+    # loop because map_tasks returns results in task order.
+    for estimator, trial in outcomes:
         trials.append(trial)
         if best is None or trial.score < best[0]:
             best = (trial.score, estimator, trial.config)
@@ -188,13 +263,17 @@ def successive_halving(
     min_epochs: int = 1,
     max_epochs: int = 8,
     epochs_key: str = "epochs",
+    parallelism: int = 1,
+    executor: ParallelExecutor | None = None,
 ) -> TuningResult:
     """Successive halving over the epoch budget.
 
     All configurations start at ``min_epochs``; each rung keeps the best
     ``1/eta`` and multiplies the budget by ``eta`` until ``max_epochs``.
     The configuration dict's ``epochs_key`` entry is overridden with the
-    rung's budget (the builder must honour it).
+    rung's budget (the builder must honour it).  With ``parallelism``
+    each rung's configurations train concurrently; rungs themselves stay
+    sequential (each needs the previous rung's scores).
     """
     if num_configs < 2:
         raise ValueError("need at least two configurations to halve")
@@ -205,15 +284,20 @@ def successive_halving(
     trials: list[Trial] = []
     best: tuple[float, CardinalityEstimator, dict] | None = None
     while True:
-        scored: list[tuple[float, dict]] = []
+        staged_configs = []
         for config in survivors:
             staged = dict(config)
             staged[epochs_key] = epochs
-            estimator, trial = _run_trial(build, staged, table, train, validation)
+            staged_configs.append(staged)
+        outcomes = _run_trials(
+            build, staged_configs, table, train, validation, parallelism, executor
+        )
+        scored: list[tuple[float, dict]] = []
+        for config, (estimator, trial) in zip(survivors, outcomes):
             trials.append(trial)
             scored.append((trial.score, config))
             if best is None or trial.score < best[0]:
-                best = (trial.score, estimator, staged)
+                best = (trial.score, estimator, trial.config)
         if len(survivors) <= 1 or epochs >= max_epochs:
             break
         scored.sort(key=lambda pair: pair[0])

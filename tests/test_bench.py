@@ -217,3 +217,39 @@ class TestObsExperiment:
         # collector/monitor were restored to the pre-experiment state
         assert get_collector() is None
         assert get_monitor() is None
+
+
+class TestParallelJobs:
+    """--jobs must change wall-clock only: identical tables at any N."""
+
+    def test_jobs_validated(self, tiny_scale):
+        with pytest.raises(ValueError):
+            BenchContext(tiny_scale, jobs=0)
+
+    def test_executor_only_with_jobs(self, tiny_scale):
+        assert BenchContext(tiny_scale, jobs=1).executor() is None
+        parallel_ctx = BenchContext(tiny_scale, jobs=2)
+        assert parallel_ctx.executor() is not None
+        assert parallel_ctx.executor() is parallel_ctx.executor()
+
+    def test_prefit_fills_the_estimator_cache(self, tiny_scale):
+        jctx = BenchContext(tiny_scale, seed=11, jobs=2)
+        pairs = [("postgres", "census"), ("lw-xgb", "census")]
+        jctx.prefit(pairs)
+        assert set(jctx._fitted) == set(pairs)
+        # A second prefit is a no-op (nothing retrains).
+        fitted_before = dict(jctx._fitted)
+        jctx.prefit(pairs)
+        assert all(jctx._fitted[k] is fitted_before[k] for k in pairs)
+
+    def test_table4_cell_identical_at_any_job_count(self, tiny_scale):
+        serial_ctx = BenchContext(tiny_scale, seed=11)
+        jobs_ctx = BenchContext(tiny_scale, seed=11, jobs=2)
+        kwargs = dict(datasets=["census"], methods=["postgres", "lw-nn"])
+        serial = table4(serial_ctx, **kwargs)
+        parallel = table4(jobs_ctx, **kwargs)
+        for method in kwargs["methods"]:
+            assert (
+                serial["census"][method].as_tuple()
+                == parallel["census"][method].as_tuple()
+            ), method

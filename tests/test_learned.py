@@ -218,3 +218,60 @@ class TestMscn:
         train, _ = synthetic_workloads
         est = MscnEstimator(epochs=15).fit(small_synthetic, train)
         assert est.loss_history[-1] < est.loss_history[0]
+
+
+class TestFloat32Path:
+    """The opt-in float32 training path: half the bytes, same answers.
+
+    Tolerance contract (documented in DESIGN.md §10): float32 p95
+    q-error must stay within 10% of the float64 p95 on the same
+    workload.  In practice the two agree to several decimal places at
+    these model sizes — the tolerance is headroom, not an expectation.
+    """
+
+    def test_lw_nn_float32_matches_float64_p95(
+        self, small_synthetic, synthetic_workloads
+    ):
+        train, test = synthetic_workloads
+        queries = list(test.queries)
+        p95 = {}
+        for dtype in ("float64", "float32"):
+            est = LwNnEstimator(epochs=10, hidden_units=(32, 32), dtype=dtype)
+            est.fit(small_synthetic, train)
+            errors = qerrors(est.estimate_many(queries), test.cardinalities)
+            p95[dtype] = float(np.quantile(errors, 0.95))
+        ratio = p95["float32"] / p95["float64"]
+        assert 1 / 1.1 <= ratio <= 1.1, f"p95 drifted: {p95}"
+
+    def test_lw_nn_float32_model_is_half_the_bytes(
+        self, small_synthetic, synthetic_workloads
+    ):
+        train, _ = synthetic_workloads
+        sizes = {}
+        for dtype in ("float64", "float32"):
+            est = LwNnEstimator(epochs=1, hidden_units=(16,), dtype=dtype)
+            est.fit(small_synthetic, train)
+            sizes[dtype] = est.model_size_bytes()
+        assert sizes["float32"] * 2 == sizes["float64"]
+
+    def test_naru_float32_matches_float64_p95(self, small_synthetic, synthetic_workloads):
+        _, test = synthetic_workloads
+        queries = list(test.queries)
+        p95 = {}
+        for dtype in ("float64", "float32"):
+            est = NaruEstimator(
+                epochs=3, num_samples=100, inference_seed=7, dtype=dtype
+            )
+            est.fit(small_synthetic)
+            errors = qerrors(est.estimate_many(queries), test.cardinalities)
+            p95[dtype] = float(np.quantile(errors, 0.95))
+        ratio = p95["float32"] / p95["float64"]
+        assert 1 / 1.1 <= ratio <= 1.1, f"p95 drifted: {p95}"
+
+    def test_dtype_validated(self):
+        with pytest.raises(ValueError):
+            LwNnEstimator(dtype="float16")
+        with pytest.raises(ValueError):
+            NaruEstimator(dtype="float16")
+        with pytest.raises(ValueError):
+            NaruEstimator(dtype="float32", block="transformer")

@@ -302,3 +302,104 @@ class TestResMade:
             opt.step()
             losses.append(loss)
         assert losses[-1] < losses[0]
+
+
+class TestFusedAdam:
+    """The fused in-place step must be bit-identical to the reference."""
+
+    def _mlp_and_batch(self, dtype=np.float64):
+        rng = np.random.default_rng(5)
+        model = Sequential(
+            Linear(6, 16, np.random.default_rng(9), dtype=dtype),
+            ReLU(),
+            Linear(16, 1, np.random.default_rng(10), dtype=dtype),
+        )
+        x = rng.standard_normal((32, 6)).astype(dtype)
+        y = rng.standard_normal(32).astype(dtype)
+        return model, x, y
+
+    def _train(self, fused: bool, dtype=np.float64):
+        model, x, y = self._mlp_and_batch(dtype)
+        opt = Adam(model.parameters(), 1e-2, fused=fused)
+        for _ in range(25):
+            pred = model.forward(x).ravel()
+            _, grad = mse_loss(pred, y)
+            opt.zero_grad()
+            model.backward(grad[:, None])
+            opt.step()
+        return model
+
+    def test_bit_identical_to_unfused_float64(self):
+        fused = self._train(fused=True)
+        unfused = self._train(fused=False)
+        for p_f, p_u in zip(fused.parameters(), unfused.parameters()):
+            np.testing.assert_array_equal(p_f.value, p_u.value)
+
+    def test_bit_identical_to_unfused_float32(self):
+        fused = self._train(fused=True, dtype=np.float32)
+        unfused = self._train(fused=False, dtype=np.float32)
+        for p_f, p_u in zip(fused.parameters(), unfused.parameters()):
+            np.testing.assert_array_equal(p_f.value, p_u.value)
+
+    def test_moments_adopt_parameter_dtype_on_load(self):
+        # A float32 model restoring float64-saved moments must come back
+        # float32: persistence never silently upcasts a model.
+        layer = Linear(3, 3, np.random.default_rng(0), dtype=np.float32)
+        opt = Adam(layer.parameters(), 1e-3)
+        state = opt.state_dict()
+        state["m"] = [m.astype(np.float64) for m in state["m"]]
+        state["v"] = [v.astype(np.float64) for v in state["v"]]
+        fresh = Adam(layer.parameters(), 1e-3)
+        fresh.load_state_dict(state)
+        assert all(m.dtype == np.float32 for m in fresh._m)
+        assert all(v.dtype == np.float32 for v in fresh._v)
+
+
+class TestFloat32Path:
+    """The opt-in float32 dtype must survive every layer it touches."""
+
+    def test_linear_forward_backward_stay_float32(self, rng):
+        layer = Linear(4, 3, rng, dtype=np.float32)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.dtype == np.float32
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.dtype == np.float32
+        assert layer.weight.grad.dtype == np.float32
+
+    def test_masked_linear_invariant_under_float32_adam(self, rng):
+        mask = (rng.random((4, 4)) < 0.5).astype(np.float32)
+        layer = MaskedLinear(4, 4, mask, rng, dtype=np.float32)
+        opt = Adam(layer.parameters(), 1e-2)
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        for _ in range(10):
+            out = layer.forward(x)
+            layer.zero_grad()
+            layer.backward(np.ones_like(out))
+            opt.step()
+        # Masked entries stay exactly 0.0, which is what lets forward
+        # use weight.value directly without re-multiplying the mask.
+        np.testing.assert_array_equal(
+            layer.weight.value[mask == 0.0],
+            np.zeros(int((mask == 0.0).sum()), dtype=np.float32),
+        )
+        assert layer.weight.value.dtype == np.float32
+
+    def test_resmade_float32_distributions_sum_to_one(self, rng):
+        model = ResMade([3, 4], hidden_units=8, hidden_layers=2, rng=rng,
+                        dtype=np.float32)
+        x = model.encode(np.array([[0, 1], [2, 3]]))
+        assert x.dtype == np.float32
+        logits = model.forward(x)
+        assert logits.dtype == np.float32
+        for col in range(2):
+            dist = model.column_distribution(logits, col)
+            np.testing.assert_allclose(dist.sum(axis=1), [1.0, 1.0], rtol=1e-5)
+
+    def test_cross_entropy_float32_guard(self, rng):
+        # log(0) guard must use the float32 tiny, not underflow to -inf.
+        logits = rng.standard_normal((4, 3)).astype(np.float32) * 50.0
+        targets = np.array([0, 1, 2, 0])
+        loss, grad = softmax_cross_entropy(logits, targets)
+        assert np.isfinite(loss)
+        assert grad.dtype == np.float32

@@ -1,0 +1,208 @@
+"""Tests for the deterministic process-pool executor (repro.parallel).
+
+The contract under test: parallel results are bit-identical to serial
+ones; a raising task, a dying worker, or an over-budget task is retried
+once and then surfaced as a structured :class:`TaskFailure` — never a
+hang, never a poisoned pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import SimulatedCrash
+from repro.obs import get_registry
+from repro.obs.metrics import PARALLEL_TASKS
+from repro.parallel import (
+    ParallelError,
+    ParallelExecutor,
+    TaskFailure,
+    derive_rng,
+    derive_seed,
+    detect_worker_count,
+    worker_seconds,
+)
+
+FORK_AVAILABLE = "fork" in __import__("multiprocessing").get_all_start_methods()
+needs_fork = pytest.mark.skipif(not FORK_AVAILABLE, reason="no fork on platform")
+
+
+# ----------------------------------------------------------------------
+# Task bodies (module level only for readability; fork needs no pickling)
+# ----------------------------------------------------------------------
+def _square(item, _rng):
+    return item * item
+
+
+def _draw(item, rng):
+    """Consumes the executor-derived rng: the determinism acid test."""
+    return float(rng.standard_normal()) + item
+
+
+def _raise_simulated_crash(item, _rng):
+    raise SimulatedCrash(f"injected for item {item}")
+
+
+def _die_by_signal(item, _rng):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_forever(item, _rng):
+    time.sleep(60.0)
+
+
+def _crash_once_then_succeed(item, _rng):
+    """Fails on first attempt, succeeds on retry (flag file in /tmp)."""
+    flag, value = item
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("attempted")
+        raise SimulatedCrash("first attempt dies")
+    return value
+
+
+class TestSeedDerivation:
+    def test_detect_worker_count_positive(self):
+        assert detect_worker_count() >= 1
+
+    def test_same_inputs_same_seed(self):
+        a = derive_rng(7, 3).standard_normal(4)
+        b = derive_rng(7, 3).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_indices_distinct_streams(self):
+        a = derive_rng(7, 0).standard_normal(4)
+        b = derive_rng(7, 1).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_seed_independent_of_pool_shape(self):
+        # The derivation has no worker/pool inputs at all — the seed for
+        # (base, index) is a pure function of those two values.
+        s1 = derive_seed(5, 2).generate_state(4)
+        s2 = derive_seed(5, 2).generate_state(4)
+        np.testing.assert_array_equal(s1, s2)
+
+
+class TestMapTasks:
+    def test_serial_results_in_order(self):
+        ex = ParallelExecutor(max_workers=1, mode="serial")
+        assert ex.map_tasks(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    @needs_fork
+    def test_fork_results_in_order(self):
+        ex = ParallelExecutor(max_workers=4, mode="fork")
+        assert ex.map_tasks(_square, list(range(8))) == [i * i for i in range(8)]
+
+    @needs_fork
+    def test_fork_bit_identical_to_serial(self):
+        serial = ParallelExecutor(max_workers=1, base_seed=11, mode="serial")
+        forked = ParallelExecutor(max_workers=4, base_seed=11, mode="fork")
+        items = list(range(6))
+        assert serial.map_tasks(_draw, items) == forked.map_tasks(_draw, items)
+
+    def test_empty_items(self):
+        ex = ParallelExecutor(max_workers=2, mode="serial")
+        assert ex.map_tasks(_square, []) == []
+        assert ex.map_tasks(_square, [], reduce=sum) == 0
+
+    def test_reduce_sees_task_order(self):
+        ex = ParallelExecutor(max_workers=2, mode="serial")
+        assert ex.map_tasks(_square, [3, 1, 2], reduce=tuple) == (9, 1, 4)
+
+    def test_submit_handle(self):
+        ex = ParallelExecutor(max_workers=1, mode="serial")
+        assert ex.submit(_square, 9).result() == 81
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(mode="threads")
+        with pytest.raises(ValueError):
+            ParallelExecutor(mode="serial").map_tasks(_square, [1], on_error="ignore")
+
+
+class TestFaultContainment:
+    def test_serial_raise_becomes_structured_failure(self):
+        ex = ParallelExecutor(max_workers=1, mode="serial")
+        [failure] = ex.map_tasks(_raise_simulated_crash, ["x"], on_error="return")
+        assert isinstance(failure, TaskFailure)
+        assert failure.error_type == "SimulatedCrash"
+        assert failure.attempts == 2  # retried once, then surfaced
+
+    @needs_fork
+    def test_fork_raise_becomes_structured_failure(self):
+        ex = ParallelExecutor(max_workers=2, mode="fork")
+        results = ex.map_tasks(
+            _raise_simulated_crash, ["a", "b"], on_error="return"
+        )
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert {r.error_type for r in results} == {"SimulatedCrash"}
+
+    @needs_fork
+    def test_killed_worker_is_contained(self):
+        """SIGKILL mid-task must not kill the parent or hang the pool."""
+        ex = ParallelExecutor(max_workers=2, mode="fork")
+        [ok, failure] = ex.map_tasks(
+            lambda item, rng: _die_by_signal(item, rng) if item else _square(3, rng),
+            [False, True],
+            on_error="return",
+        )
+        assert ok == 9
+        assert isinstance(failure, TaskFailure)
+        assert failure.worker_died
+        assert failure.attempts == 2
+
+    @needs_fork
+    def test_timeout_kills_and_surfaces(self):
+        ex = ParallelExecutor(max_workers=1, mode="fork", task_timeout=0.2, retries=0)
+        start = time.perf_counter()
+        [failure] = ex.map_tasks(_sleep_forever, [0], on_error="return")
+        elapsed = time.perf_counter() - start
+        assert isinstance(failure, TaskFailure)
+        assert failure.timed_out
+        assert elapsed < 10.0  # bounded, nowhere near the 60s sleep
+
+    @needs_fork
+    def test_retry_once_then_succeed(self, tmp_path):
+        flag = str(tmp_path / "attempted.flag")
+        ex = ParallelExecutor(max_workers=1, mode="fork")
+        assert ex.map_tasks(_crash_once_then_succeed, [(flag, 42)]) == [42]
+
+    def test_on_error_raise(self):
+        ex = ParallelExecutor(max_workers=1, mode="serial")
+        with pytest.raises(ParallelError) as excinfo:
+            ex.map_tasks(_raise_simulated_crash, ["x"])
+        assert excinfo.value.failure.error_type == "SimulatedCrash"
+
+    def test_failure_str_mentions_cause(self):
+        f = TaskFailure(index=3, error_type="Timeout", message="", attempts=2, timed_out=True)
+        assert "task 3" in str(f) and "timed out" in str(f)
+
+
+class TestTelemetry:
+    def test_counters_recorded(self):
+        ex = ParallelExecutor(max_workers=1, mode="serial")
+        ex.map_tasks(_square, [1, 2, 3])
+        ex.map_tasks(_raise_simulated_crash, ["x"], on_error="return")
+        counter = get_registry().get(PARALLEL_TASKS)
+        assert counter.value(status="ok", mode="serial") == 3
+        assert counter.value(status="failed", mode="serial") == 2  # 1 task x 2 attempts
+        assert counter.value(status="retried", mode="serial") == 1
+        assert worker_seconds(mode="serial") >= 0.0
+
+    @needs_fork
+    def test_worker_seconds_accumulate(self):
+        before = worker_seconds(mode="fork")
+        ex = ParallelExecutor(max_workers=2, mode="fork")
+        ex.map_tasks(lambda item, rng: time.sleep(0.05), [0, 1])
+        assert worker_seconds(mode="fork") - before >= 0.08

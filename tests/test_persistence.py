@@ -178,3 +178,55 @@ class TestBundles:
         path.write_bytes(path.read_bytes()[:-20])
         with pytest.raises(PersistenceError):
             load_bundle(path, kind="unit-test")
+
+
+class TestFloat32RoundTrip:
+    """A float32 model must come back float32 — never upcast on load."""
+
+    def test_save_load_preserves_dtype_and_estimates(
+        self, small_synthetic, tmp_path, rng
+    ):
+        from repro.core import generate_workload
+        from repro.estimators.learned import LwNnEstimator
+
+        train = generate_workload(small_synthetic, 80, rng)
+        est = LwNnEstimator(epochs=3, hidden_units=(16,), dtype="float32")
+        est.fit(small_synthetic, train)
+        path = tmp_path / "lwnn32.repro"
+        save_estimator(est, path)
+
+        loaded = load_estimator(path)
+        assert loaded.dtype == "float32"
+        assert all(
+            p.value.dtype == np.float32 for p in loaded._model.parameters()
+        )
+        test = generate_workload(small_synthetic, 30, rng)
+        np.testing.assert_array_equal(
+            loaded.estimate_many(list(test.queries)),
+            est.estimate_many(list(test.queries)),
+        )
+
+    def test_training_state_restore_keeps_float32(self, small_synthetic, rng):
+        from repro.core import generate_workload
+        from repro.estimators.learned import LwNnEstimator
+
+        train = generate_workload(small_synthetic, 80, rng)
+        est = LwNnEstimator(epochs=4, hidden_units=(16,), dtype="float32")
+        est.begin_training(small_synthetic, train)
+        est.train_epochs(train, 2)
+        state = est.training_state()
+
+        resumed = LwNnEstimator(epochs=4, hidden_units=(16,), dtype="float32")
+        resumed.restore_training(small_synthetic, train, state)
+        assert all(
+            p.value.dtype == np.float32 for p in resumed._model.parameters()
+        )
+        assert all(m.dtype == np.float32 for m in resumed._optimizer._m)
+
+        # The resumed run must continue step-for-step with the original.
+        est.train_epochs(train, 2)
+        resumed.train_epochs(train, 2)
+        for p_a, p_b in zip(
+            est._model.parameters(), resumed._model.parameters()
+        ):
+            np.testing.assert_array_equal(p_a.value, p_b.value)

@@ -157,3 +157,60 @@ class TestSuccessiveHalving:
             successive_halving(
                 _lw_builder, space, table, train, valid, rng, eta=1
             )
+
+
+class TestParallelSearch:
+    """parallelism=N must change wall-clock only, never the answer."""
+
+    def test_grid_search_parallel_matches_serial(self, tuning_setting):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [4, 8], "max_depth": [2, 3]})
+        serial = grid_search(_lw_builder, space, table, train, valid)
+        parallel = grid_search(
+            _lw_builder, space, table, train, valid, parallelism=4
+        )
+        assert [t.score for t in serial.trials] == [t.score for t in parallel.trials]
+        assert serial.best_config == parallel.best_config
+        assert serial.best_score == parallel.best_score
+
+    def test_random_search_parallel_matches_serial(self, tuning_setting):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [4, 8, 16], "max_depth": [2, 3]})
+        serial = random_search(
+            _lw_builder, space, table, train, valid,
+            num_trials=4, rng=np.random.default_rng(0),
+        )
+        parallel = random_search(
+            _lw_builder, space, table, train, valid,
+            num_trials=4, rng=np.random.default_rng(0), parallelism=4,
+        )
+        assert [t.config for t in serial.trials] == [t.config for t in parallel.trials]
+        assert [t.score for t in serial.trials] == [t.score for t in parallel.trials]
+        assert serial.best_config == parallel.best_config
+
+    def test_successive_halving_parallel_matches_serial(self, tuning_setting):
+        table, train, valid = tuning_setting
+
+        def builder(config):
+            return LwXgbEstimator(
+                num_trees=int(config.get("epochs", 4)),
+                max_depth=int(config["max_depth"]),
+            )
+
+        space = SearchSpace({"max_depth": [2, 3, 4, 5]})
+        kwargs = dict(num_configs=4, eta=2, min_epochs=2, max_epochs=8)
+        serial = successive_halving(
+            builder, space, table, train, valid, np.random.default_rng(1), **kwargs
+        )
+        parallel = successive_halving(
+            builder, space, table, train, valid, np.random.default_rng(1),
+            parallelism=4, **kwargs,
+        )
+        assert [t.score for t in serial.trials] == [t.score for t in parallel.trials]
+        assert serial.best_config == parallel.best_config
+
+    def test_parallelism_validated(self, tuning_setting):
+        table, train, valid = tuning_setting
+        space = SearchSpace({"num_trees": [4]})
+        with pytest.raises(ValueError):
+            grid_search(_lw_builder, space, table, train, valid, parallelism=0)
