@@ -25,6 +25,7 @@ per-cell fan-out still applies.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from collections.abc import Callable
@@ -39,6 +40,7 @@ from .context import BenchContext
 from .train_exp import format_train, train_experiment
 from .lifecycle_exp import format_lifecycle, lifecycle_experiment
 from .obs_exp import format_obs, obs_experiment
+from .scale_exp import format_scale, scale_experiment
 from .serving_exp import format_serving, serving_experiment
 from .dynamic_exp import (
     figure6,
@@ -91,6 +93,7 @@ EXPERIMENTS: dict[str, Callable[[BenchContext], str]] = {
     "obs": lambda ctx: format_obs(obs_experiment(ctx)),
     "batch": lambda ctx: batch_experiment(ctx),
     "train": lambda ctx: format_train(train_experiment(ctx)),
+    "scale": lambda ctx: format_scale(scale_experiment(ctx)),
 }
 
 
@@ -126,6 +129,10 @@ def _dump_trace(out_dir: Path, stem: str, collector: obs.SpanCollector) -> list[
     registry.to_json(metrics_json_path)
     obs.get_events().to_jsonl(events_path)
     return [str(p) for p in (spans_path, metrics_text_path, metrics_json_path, events_path)]
+
+
+def _sigterm_to_interrupt(signum, frame):
+    raise KeyboardInterrupt
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -179,7 +186,15 @@ def main(argv: list[str] | None = None) -> int:
         collector = obs.install_collector()
         obs.install_monitor()
 
+    # A supervisor's SIGTERM gets the same graceful path as Ctrl-C:
+    # experiments unwind via KeyboardInterrupt (flushing their partial
+    # artifacts, e.g. the scale experiment's BENCH_serve.json), the
+    # trace dump below still runs, and the exit code is non-zero.
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+
     wall_start = time.perf_counter()
+    completed: list[str] = []
+    interrupted = False
     try:
         if args.jobs > 1 and len(names) > 1 and collector is None:
             # Whole experiments fan across workers; reports print in
@@ -192,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(report)
                 print(f"[{name} took {seconds:.1f}s at scale={scale.name}]")
                 print()
+                completed.append(name)
         else:
             for name in names:
                 start = time.perf_counter()
@@ -200,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
                     f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]"
                 )
                 print()
+                completed.append(name)
         if args.jobs > 1:
             wall = time.perf_counter() - wall_start
             busy = worker_seconds()
@@ -207,16 +224,29 @@ def main(argv: list[str] | None = None) -> int:
                 f"[parallel: {args.jobs} jobs, {busy:.1f}s of worker time in "
                 f"{wall:.1f}s wall ({busy / max(wall, 1e-9):.2f}x concurrency)]"
             )
-        if collector is not None and names != ["obs"]:
-            # The obs experiment writes its own (richer) obs_* artifacts.
-            stem = "all" if "all" in args.experiment else "_".join(names)
-            for path in _dump_trace(Path(args.trace_out), stem, collector):
-                print(f"[trace written: {path}]")
+    except KeyboardInterrupt:
+        interrupted = True
+        pending = [n for n in names if n not in completed]
+        print(
+            f"\n[interrupted during {pending[0] if pending else '?'}; "
+            f"completed: {', '.join(completed) or 'none'}]",
+            file=sys.stderr,
+        )
     finally:
-        if collector is not None:
-            obs.uninstall_collector()
-            obs.uninstall_monitor()
-    return 0
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        try:
+            if collector is not None and names != ["obs"]:
+                # The obs experiment writes its own (richer) obs_*
+                # artifacts.  On interrupt the spans/metrics/events
+                # gathered so far are still flushed.
+                stem = "all" if "all" in args.experiment else "_".join(names)
+                for path in _dump_trace(Path(args.trace_out), stem, collector):
+                    print(f"[trace written: {path}]")
+        finally:
+            if collector is not None:
+                obs.uninstall_collector()
+                obs.uninstall_monitor()
+    return 130 if interrupted else 0
 
 
 if __name__ == "__main__":

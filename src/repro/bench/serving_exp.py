@@ -155,7 +155,7 @@ def run_scenario(
     for i, query in enumerate(queries):
         try:
             value = unguarded.estimate(query)
-        except Exception:
+        except Exception:  # lint-ok: unanswered queries ARE the measurement
             continue
         if is_sane(value, table.num_rows):
             answered_idx.append(i)

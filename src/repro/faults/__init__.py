@@ -1,6 +1,7 @@
 """Fault-injection harness: seeded, composable estimator wrappers that
 misbehave on purpose, used to prove the serving layer degrades
-gracefully and the model lifecycle recovers from crashes."""
+gracefully, the model lifecycle recovers from crashes, and the sharded
+serving tier survives worker-level chaos."""
 
 from .wrappers import (
     CorruptionFault,
@@ -12,7 +13,11 @@ from .wrappers import (
     LatencyFault,
     NaNFault,
     SimulatedCrash,
+    SlowWorkerFault,
     StaleModelFault,
+    WorkerCrashFault,
+    WorkerHangFault,
+    queue_flood,
     truncate_file,
 )
 
@@ -26,6 +31,10 @@ __all__ = [
     "LatencyFault",
     "NaNFault",
     "SimulatedCrash",
+    "SlowWorkerFault",
     "StaleModelFault",
+    "WorkerCrashFault",
+    "WorkerHangFault",
+    "queue_flood",
     "truncate_file",
 ]

@@ -30,6 +30,21 @@ of the query path (the hazards :mod:`repro.lifecycle` defends against):
 * :class:`HangingRetrainFault` — epochs stall, blowing the retrain
   job's per-attempt deadline.
 
+**Worker-level faults** target a forked serving worker rather than the
+model (the hazards :mod:`repro.shard`'s supervisor defends against):
+
+* :class:`WorkerCrashFault` — the hosting *process* dies mid-estimate
+  (``os._exit``; injectable for in-process unit tests), so a sharded
+  worker disappears mid-batch exactly like an OOM kill.
+* :class:`WorkerHangFault` — an estimate stalls far past any heartbeat
+  or request deadline (injectable sleep), simulating a wedged worker.
+* :class:`SlowWorkerFault` — every *batch* pays a fixed delay,
+  simulating a degraded-but-alive worker (distinct from
+  :class:`LatencyFault`, which stalls per query).
+
+:func:`queue_flood` is the matching traffic generator: it tiles a
+workload into a seeded burst that overflows any bounded admission queue.
+
 All fault wrappers transparently delegate the resumable-training
 protocol (``begin_training`` / ``train_epochs`` / ``training_state`` /
 ``restore_training``) to the wrapped estimator, so a fault-wrapped
@@ -41,6 +56,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -422,6 +438,136 @@ class HangingRetrainFault(FaultInjector):
 
     def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
         return self.inner.estimate(query)
+
+
+class WorkerCrashFault(FaultInjector):
+    """Kill the hosting process mid-estimate — a serving worker dying.
+
+    When the seeded schedule fires, the wrapper terminates the *process*
+    via ``os._exit(exit_code)`` (no cleanup, no exception propagation —
+    exactly what an OOM kill or segfault looks like from the parent's
+    end of the pipe).  Inside a forked :mod:`repro.shard` worker the
+    supervisor observes a dead pipe mid-batch; that is the scenario this
+    wrapper exists to produce.
+
+    Unit tests run in the parent process, so ``_exit`` is injectable:
+    pass a callable (e.g. one raising :class:`SimulatedCrash`) and it is
+    invoked instead of ``os._exit``.
+    """
+
+    kind = "worker-crash"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        exit_code: int = 3,
+        _exit: Callable[[int], None] | None = None,
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        self.exit_code = exit_code
+        self._exit = os._exit if _exit is None else _exit
+
+    def _fault(self, query: Query) -> float:
+        self._exit(self.exit_code)
+        # Only reachable with an injected (non-exiting) _exit double.
+        return self.inner.estimate(query)
+
+
+class WorkerHangFault(FaultInjector):
+    """Stall an estimate far past any request deadline — a wedged worker.
+
+    Unlike :class:`LatencyFault` (a *slow but recovering* tier), the
+    hang is meant to exceed the supervisor's heartbeat/request timeout
+    so the worker gets killed and restarted; ``hang_seconds`` defaults
+    high enough that a test that fails to time out hangs visibly rather
+    than passing silently.  ``sleep`` is injectable for unit tests.
+    """
+
+    kind = "worker-hang"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        hang_seconds: float = 30.0,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        if hang_seconds < 0.0:
+            raise ValueError("hang_seconds must be non-negative")
+        self.hang_seconds = hang_seconds
+        self._sleep = sleep
+
+    def _fault(self, query: Query) -> float:
+        self._sleep(self.hang_seconds)
+        return self.inner.estimate(query)
+
+
+class SlowWorkerFault(FaultInjector):
+    """Delay every *batch* by a fixed amount — a degraded, alive worker.
+
+    A slow worker is not a hung worker: it keeps answering correctly,
+    just late enough to erode the deadline budget and trip
+    deadline-aware admission control.  The delay is paid once per
+    ``estimate_many`` call (and once per scalar call), not per query, so
+    batch size controls the per-query cost exactly like a worker whose
+    host is CPU-starved.  ``sleep`` is injectable for unit tests.
+    """
+
+    kind = "slow-worker"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        delay_seconds: float = 0.01,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(inner, probability, seed, after)
+        if delay_seconds < 0.0:
+            raise ValueError("delay_seconds must be non-negative")
+        self.delay_seconds = delay_seconds
+        self._sleep = sleep
+
+    def estimate_many(self, queries) -> np.ndarray:
+        """One fault roll — and at most one delay — for the whole batch."""
+        if self._table is None:
+            raise RuntimeError(f"{self.name} must be fit before estimating")
+        self._calls += 1
+        if self._calls > self.after and self._rng.random() < self.probability:
+            self.faults_fired += 1
+            self._sleep(self.delay_seconds)
+        return np.asarray(self.inner.estimate_many(queries), dtype=np.float64)
+
+    def _fault(self, query: Query) -> float:
+        self._sleep(self.delay_seconds)
+        return self.inner.estimate(query)
+
+
+def queue_flood(
+    queries: Sequence[Query], multiplier: int = 8, seed: int = 0
+) -> list[Query]:
+    """Tile a workload into a seeded burst that overflows bounded queues.
+
+    Returns ``multiplier`` copies of ``queries`` in a deterministic
+    shuffled order — the traffic shape of a dashboard stampede or a
+    retry storm: the same parametrized queries, all at once, far beyond
+    any per-shard admission capacity.  The multiset of queries is
+    preserved exactly, so availability accounting stays exact under the
+    flood.
+    """
+    if multiplier < 1:
+        raise ValueError(f"multiplier must be at least 1, got {multiplier}")
+    flood = [q for q in queries for _ in range(multiplier)]
+    order = np.random.default_rng(seed).permutation(len(flood))
+    return [flood[i] for i in order]
 
 
 class StaleModelFault(FaultInjector):

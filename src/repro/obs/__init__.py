@@ -37,6 +37,11 @@ from .metrics import (
     PARALLEL_WORKERS,
     PARALLEL_WORKER_SECONDS,
     SERVE_CACHE,
+    SHARD_REQUESTS,
+    SHARD_SHED,
+    SHARD_SWAPS,
+    SHARD_WORKER_RESTARTS,
+    SHARD_WORKERS,
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
     SERVE_TIER_SECONDS,
@@ -109,6 +114,11 @@ __all__ = [
     "SERVE_REQUESTS",
     "SERVE_TIER_ATTEMPTS",
     "SERVE_TIER_SECONDS",
+    "SHARD_REQUESTS",
+    "SHARD_SHED",
+    "SHARD_SWAPS",
+    "SHARD_WORKERS",
+    "SHARD_WORKER_RESTARTS",
     "Sample",
     "Span",
     "SpanCollector",

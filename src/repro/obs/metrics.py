@@ -503,6 +503,11 @@ LIFECYCLE_MODEL_GENERATION = "repro_lifecycle_model_generation"
 PARALLEL_TASKS = "repro_parallel_tasks_total"
 PARALLEL_WORKER_SECONDS = "repro_parallel_worker_seconds_total"
 PARALLEL_WORKERS = "repro_parallel_workers"
+SHARD_REQUESTS = "repro_shard_requests_total"
+SHARD_SHED = "repro_shard_shed_total"
+SHARD_WORKER_RESTARTS = "repro_shard_worker_restarts_total"
+SHARD_WORKERS = "repro_shard_workers"
+SHARD_SWAPS = "repro_shard_swaps_total"
 
 
 def observe_phase(

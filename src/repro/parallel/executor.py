@@ -125,7 +125,7 @@ def _child_main(fn: Task, item: object, seed: np.random.SeedSequence, conn) -> N
         payload = (type(exc).__name__, str(exc), traceback.format_exc())
         try:
             conn.send(("error", payload, time.perf_counter() - start))
-        except Exception:
+        except Exception:  # lint-ok: parent observes the dead pipe
             pass  # parent will observe the dead pipe as a worker death
     finally:
         conn.close()

@@ -178,6 +178,41 @@ def make_service(
     )
 
 
+def make_shard_service(
+    primary: str | CardinalityEstimator,
+    table: Table,
+    fallbacks: Sequence[str] | None = None,
+    scale: Scale | None = None,
+    workload: Workload | None = None,
+    **router_kwargs,
+) -> "ShardRouter":
+    """A fitted :class:`~repro.shard.ShardRouter` around ``primary``.
+
+    ``primary`` may be an estimator name (resolved with the same typo
+    hints as :func:`make_estimator`) or an already-fitted instance.
+    Fallback tiers default to :data:`DEFAULT_FALLBACK_NAMES`; they and
+    an unfitted primary are fitted on ``table`` here, so the returned
+    router is ready to ``start()``.  Keyword arguments (``num_shards``,
+    ``workers_per_shard``, ``admission``, ``policy``, ``mode``,
+    ``worker_estimator``, timeouts, telemetry sinks, ...) are forwarded
+    to the router.
+    """
+    from .shard import ShardRouter  # late: repro.shard imports this module's deps
+
+    if isinstance(primary, str):
+        primary = make_estimator(primary, scale)
+    names = DEFAULT_FALLBACK_NAMES if fallbacks is None else list(fallbacks)
+    tiers = [make_estimator(n, scale) for n in names]
+    for estimator in [primary, *tiers]:
+        try:
+            estimator.table
+        except RuntimeError:
+            estimator.fit(
+                table, workload if estimator.requires_workload else None
+            )
+    return ShardRouter(primary, tiers, **router_kwargs)
+
+
 def make_lifecycle_manager(
     primary: str,
     table: Table,

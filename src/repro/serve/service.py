@@ -546,7 +546,13 @@ class EstimatorService(CardinalityEstimator):
                         tier.estimator.estimate_many(sub), dtype=np.float64
                     )
                     failed = raw.shape != (len(sub),)
-                except Exception:
+                except Exception as exc:
+                    self._obs_events().emit(
+                        "serve.batch_tier_error",
+                        tier=tier.name,
+                        batch=len(sub),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     failed = True
                 per_query = (self._clock() - call_start) / len(pending)
                 for _ in pending:

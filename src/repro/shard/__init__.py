@@ -1,0 +1,50 @@
+"""Sharded serving: consistent-hash routing, supervised fork-based
+worker pools, admission control with priority load shedding, and
+rolling model swaps — the million-query robustness tier on top of
+:mod:`repro.serve` and :mod:`repro.parallel`.
+
+Layering::
+
+    ShardRouter                 route by consistent hash, rolling swaps
+      └── Shard (×N)            admission + worker pool + fallback chain
+            ├── AdmissionController   quotas, capacity, deadlines → shed
+            ├── WorkerSupervisor      forked workers, restarts, drain
+            └── EstimatorService      in-process degradation chain
+
+Every request gets an answer — worker, fallback chain, or heuristic
+shed tier — so availability stays 1.0 under the whole chaos matrix
+(worker crashes, hangs, slow workers, queue floods, model corruption,
+failed swaps, exhausted restart budgets).
+"""
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    ShardRequest,
+)
+from .hashing import HashRing, stable_hash
+from .router import (
+    RollingSwapReport,
+    Shard,
+    ShardRouter,
+    ShardStats,
+    routing_key,
+)
+from .supervisor import DispatchResult, WorkerSupervisor
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DispatchResult",
+    "HashRing",
+    "RollingSwapReport",
+    "Shard",
+    "ShardRequest",
+    "ShardRouter",
+    "ShardStats",
+    "WorkerSupervisor",
+    "routing_key",
+    "stable_hash",
+]

@@ -1,0 +1,87 @@
+"""Consistent-hash ring for shard routing.
+
+A :class:`HashRing` maps routing keys (tenant + query identity) to shard
+names so that (a) the same key always lands on the same shard — shard-
+local estimate caches stay hot and per-tenant traffic is stable — and
+(b) adding or removing a shard only remaps ``~1/num_shards`` of the key
+space, instead of reshuffling everything like ``hash(key) % N`` would.
+
+Hashes are :func:`hashlib.blake2b` digests of the key bytes, **not**
+Python's builtin ``hash`` (which is salted per process via
+``PYTHONHASHSEED`` — routing must be identical across runs and across
+forked workers).  Each shard is placed at ``replicas`` points on the
+ring (virtual nodes) so the key space splits evenly even with few
+shards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual replicas."""
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def _point(self, node: str, replica: int) -> int:
+        return stable_hash(f"{node}#{replica}")
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = self._point(node, replica)
+            # Blake2b collisions across distinct (node, replica) labels
+            # are astronomically unlikely; first writer keeps the point.
+            if point not in self._owners:
+                self._owners[point] = node
+                bisect.insort(self._points, point)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        for replica in range(self.replicas):
+            point = self._point(node, replica)
+            if self._owners.get(point) == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def node_for(self, key: str) -> str:
+        """The shard owning ``key``: first ring point clockwise of it."""
+        if not self._points:
+            raise RuntimeError("hash ring has no nodes")
+        point = stable_hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owners[self._points[index]]

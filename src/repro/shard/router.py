@@ -1,0 +1,505 @@
+"""Sharded serving: consistent-hash routing over supervised worker pools.
+
+The top of the :mod:`repro.shard` stack.  A :class:`ShardRouter` splits
+million-query traffic across ``num_shards`` independent shards; each
+:class:`Shard` owns
+
+* a :class:`~repro.shard.supervisor.WorkerSupervisor` over forked
+  workers that inherit the fitted model (the fast path),
+* an :class:`~repro.shard.admission.AdmissionController` deciding who
+  gets a worker slot and who sheds to the heuristic tier,
+* an in-process :class:`~repro.serve.EstimatorService` fallback chain
+  (the clean parent copy of the model, then the heuristics) that
+  answers whenever the worker path cannot — corrupt worker results,
+  dispatch failure, or a fully exhausted restart budget.
+
+Every request admitted to the router gets an answer — worker, fallback,
+or shed-to-heuristic — which is what the chaos matrix's availability
+== 1.0 gate measures.
+
+Rolling model swaps (:meth:`ShardRouter.rolling_swap`) are driven by
+the :mod:`repro.lifecycle` promotion machinery: the candidate must pass
+the :class:`~repro.lifecycle.gate.PromotionGate`, shards are swapped
+one at a time (drain → ``replace_primary`` → refork, so each shard's
+estimate cache rolls to a new generation), and a candidate that fails
+its post-swap probe is rolled back shard-by-shard to the incumbent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Query
+from ..lifecycle.gate import GateReport, PromotionGate
+from ..lifecycle.retrain import RetryPolicy
+from ..obs import (
+    SHARD_REQUESTS,
+    SHARD_SWAPS,
+    EventLog,
+    MetricsRegistry,
+    get_events,
+    get_registry,
+)
+from ..rules.enforce import clamp_to_bounds, is_sane
+from ..serve.heuristic import HeuristicConstantEstimator
+from ..serve.service import EstimatorService, ServedEstimate
+from .admission import AdmissionConfig, AdmissionController, ShardRequest
+from .hashing import HashRing
+from .supervisor import WorkerSupervisor
+
+
+def routing_key(request: ShardRequest) -> str:
+    """Stable routing key: tenant plus query identity.
+
+    ``Query`` is a frozen dataclass, so its ``repr`` is deterministic
+    across processes — unlike ``hash()``, which is salted.  Keeping the
+    tenant in the key gives per-tenant affinity; keeping the query in
+    it keeps shard-local caches hot for repeated queries.
+    """
+    return f"{request.tenant}|{request.query!r}"
+
+
+@dataclass(frozen=True)
+class RollingSwapReport:
+    """Outcome of one rolling model swap across the shard fleet."""
+
+    promoted: bool
+    rolled_back: bool
+    #: shards that were swapped (and stayed swapped, when promoted)
+    swapped: tuple[str, ...] = ()
+    gate_report: GateReport | None = None
+    reason: str = ""
+
+
+@dataclass
+class ShardStats:
+    """Per-shard serving counters (summed by ``ShardRouter.stats``)."""
+
+    requests: int = 0
+    worker_served: int = 0
+    fallback_served: int = 0
+    shed: int = 0
+    redispatches: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+
+
+class Shard:
+    """One shard: supervised worker pool + admission + fallback chain."""
+
+    def __init__(
+        self,
+        name: str,
+        estimator: CardinalityEstimator,
+        fallback_tiers: Sequence[CardinalityEstimator],
+        *,
+        worker_estimator: CardinalityEstimator | None = None,
+        num_workers: int = 1,
+        admission: AdmissionConfig | None = None,
+        policy: RetryPolicy | None = None,
+        mode: str = "auto",
+        request_timeout_seconds: float = 5.0,
+        heartbeat_timeout_seconds: float = 1.0,
+        seed: int = 0,
+        cache_capacity: int | None = None,
+        events: EventLog | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.name = name
+        self.estimator = estimator
+        self.table = estimator.table  # raises if unfitted, by design
+        self._fallback_tiers = list(fallback_tiers)
+        self._events = events
+        self._registry = registry
+        self._num_workers = num_workers
+        self._mode = mode
+        self._policy = policy
+        self._timeouts = (request_timeout_seconds, heartbeat_timeout_seconds)
+        self._seed = seed
+        self._cache_capacity = cache_capacity
+        #: the estimator forked into workers; may be a fault wrapper
+        #: around ``estimator`` so chaos lives only in worker processes
+        self.worker_estimator = worker_estimator or estimator
+        # In-process fallback chain: the *clean* parent model first,
+        # then the caller's degradation tiers.  Per-shard instance so
+        # breakers, cache generations and stats stay shard-local.
+        self.fallback_service = EstimatorService(
+            [estimator, *self._fallback_tiers],
+            deadline_ms=None,
+            cache=cache_capacity,
+            events=events,
+            registry=registry,
+        )
+        # Shed answers come straight from the magic-constant tier: it
+        # cannot fail and costs microseconds, which is the whole point
+        # of shedding.
+        self._shed_estimator = HeuristicConstantEstimator()
+        self._shed_estimator.fit(self.table)
+        self.admission = AdmissionController(
+            admission, shard=name, events=events, registry=registry
+        )
+        self.supervisor = self._make_supervisor(self.worker_estimator)
+        self.fallback_mode = False
+        self.stats = ShardStats()
+
+    def _make_supervisor(
+        self, estimator: CardinalityEstimator
+    ) -> WorkerSupervisor:
+        request_timeout, heartbeat_timeout = self._timeouts
+        return WorkerSupervisor(
+            self.name,
+            estimator,
+            self._num_workers,
+            policy=self._policy,
+            request_timeout_seconds=request_timeout,
+            heartbeat_timeout_seconds=heartbeat_timeout,
+            mode=self._mode,
+            seed=self._seed,
+            events=self._events,
+            registry=self._registry,
+        )
+
+    def start(self) -> None:
+        self.supervisor.start()
+
+    def drain(self) -> None:
+        self.supervisor.drain()
+
+    # ------------------------------------------------------------------
+    def serve_batch(self, requests: list[ShardRequest]) -> list[ServedEstimate]:
+        """Answer every request: worker path, fallback chain, or shed."""
+        results: list[ServedEstimate | None] = [None] * len(requests)
+        decision = self.admission.admit(requests)
+
+        if decision.shed:
+            shed_queries = [requests[i].query for i, _ in decision.shed]
+            values = self._shed_estimator.estimate_many(shed_queries)
+            for (index, reason), value in zip(decision.shed, values):
+                results[index] = ServedEstimate(
+                    estimate=float(value),
+                    tier="shed:heuristic",
+                    tier_index=-1,
+                    degraded=True,
+                    latency_seconds=0.0,
+                    attempts=(("admission", f"shed-{reason}"),),
+                )
+            self.stats.shed += len(decision.shed)
+            for reason, count in decision.shed_reasons.items():
+                self.stats.shed_reasons[reason] = (
+                    self.stats.shed_reasons.get(reason, 0) + count
+                )
+
+        admitted = list(decision.admitted)
+        if admitted:
+            queries = [requests[i].query for i in admitted]
+            for index, served in zip(admitted, self._serve_admitted(queries)):
+                results[index] = served
+
+        self.stats.requests += len(requests)
+        self._obs_registry().counter(
+            SHARD_REQUESTS, "Requests served, by path"
+        ).inc(len(requests), shard=self.name, path="total")
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _serve_admitted(self, queries: list[Query]) -> list[ServedEstimate]:
+        """Worker dispatch with validation; fallback chain on any miss."""
+        if not self.fallback_mode:
+            dispatch = self.supervisor.dispatch(queries)
+            if dispatch.attempts > 1:
+                self.stats.redispatches += dispatch.attempts - 1
+            if dispatch.values is not None:
+                self.admission.observe_service(len(queries), dispatch.seconds)
+                return self._validate_worker_values(
+                    queries, dispatch.values, dispatch.seconds
+                )
+            if self.supervisor.exhausted:
+                # Restart budget spent everywhere: stop paying the
+                # dispatch tax and serve in-process from here on.
+                self.fallback_mode = True
+                self._obs_events().emit(
+                    "shard.fallback_mode", shard=self.name
+                )
+        served = self.fallback_service.serve_batch(queries)
+        self.stats.fallback_served += len(served)
+        return served
+
+    def _validate_worker_values(
+        self, queries: list[Query], values: np.ndarray, seconds: float
+    ) -> list[ServedEstimate]:
+        """Accept sane worker answers; re-serve the rest in-process.
+
+        Finite but out-of-bounds values are clamped exactly like the
+        serving chain's "sanitized" outcome (raw model estimates may
+        legitimately overshoot the row count by a little).  NaN/inf —
+        the signature of a corrupted worker model — sends those queries
+        to the parent's clean fallback chain instead of surfacing
+        garbage to the optimizer.
+        """
+        num_rows = self.table.num_rows
+        latency = seconds / max(len(queries), 1)
+        results: list[ServedEstimate | None] = [None] * len(queries)
+        bad: list[int] = []
+        for i, raw in enumerate(values):
+            value = float(raw)
+            if math.isfinite(value):
+                outcome = "served"
+                if not is_sane(value, num_rows):
+                    value = clamp_to_bounds(value, num_rows)
+                    outcome = "sanitized"
+                results[i] = ServedEstimate(
+                    estimate=value,
+                    tier="worker",
+                    tier_index=0,
+                    degraded=False,
+                    latency_seconds=latency,
+                    attempts=(("worker", outcome),),
+                )
+            else:
+                bad.append(i)
+        if bad:
+            self._obs_events().emit(
+                "shard.worker_invalid",
+                shard=self.name,
+                batch=len(queries),
+                invalid=len(bad),
+            )
+            reserved = self.fallback_service.serve_batch(
+                [queries[i] for i in bad]
+            )
+            for i, served in zip(bad, reserved):
+                results[i] = served
+            self.stats.fallback_served += len(bad)
+        self.stats.worker_served += len(queries) - len(bad)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def swap_model(self, candidate: CardinalityEstimator) -> None:
+        """Hot-swap this shard to ``candidate``: drain → swap → refork.
+
+        ``replace_primary`` bumps the shard's cache generation, so no
+        stale estimate from the old model can ever be served under the
+        new one.
+        """
+        self.supervisor.drain()
+        self.fallback_service.replace_primary(candidate)
+        self.estimator = candidate
+        self.supervisor = self._make_supervisor(candidate)
+        self.supervisor.start()
+        self.fallback_mode = False
+
+    def probe(self, queries: Sequence[Query]) -> bool:
+        """Post-swap smoke check: do the new workers answer sanely?"""
+        dispatch = self.supervisor.dispatch(list(queries))
+        if dispatch.values is None:
+            return False
+        num_rows = self.table.num_rows
+        return bool(
+            np.all(np.isfinite(dispatch.values))
+            and np.all(dispatch.values >= 0.0)
+            and np.all(dispatch.values <= num_rows)
+        )
+
+    def _obs_events(self) -> EventLog:
+        return self._events if self._events is not None else get_events()
+
+    def _obs_registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+
+class ShardRouter:
+    """Route requests to shards by consistent hash; swap models safely."""
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        fallback_tiers: Sequence[CardinalityEstimator],
+        *,
+        num_shards: int = 4,
+        workers_per_shard: int = 1,
+        worker_estimator: CardinalityEstimator | None = None,
+        admission: AdmissionConfig | None = None,
+        policy: RetryPolicy | None = None,
+        mode: str = "auto",
+        request_timeout_seconds: float = 5.0,
+        heartbeat_timeout_seconds: float = 1.0,
+        ring_replicas: int = 64,
+        seed: int = 0,
+        cache_capacity: int | None = None,
+        events: EventLog | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.estimator = estimator
+        self._events = events
+        self._registry = registry
+        self.shards: dict[str, Shard] = {}
+        for i in range(num_shards):
+            name = f"shard-{i}"
+            self.shards[name] = Shard(
+                name,
+                estimator,
+                fallback_tiers,
+                worker_estimator=worker_estimator,
+                num_workers=workers_per_shard,
+                admission=admission,
+                policy=policy,
+                mode=mode,
+                request_timeout_seconds=request_timeout_seconds,
+                heartbeat_timeout_seconds=heartbeat_timeout_seconds,
+                seed=seed + i,
+                cache_capacity=cache_capacity,
+                events=events,
+                registry=registry,
+            )
+        self.ring = HashRing(self.shards, replicas=ring_replicas)
+        self.started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for shard in self.shards.values():
+            shard.start()
+        self.started = True
+
+    def drain(self) -> None:
+        for shard in self.shards.values():
+            shard.drain()
+        self.started = False
+
+    def __enter__(self) -> "ShardRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    def check_health(self) -> None:
+        for shard in self.shards.values():
+            shard.supervisor.check_health()
+
+    # ------------------------------------------------------------------
+    def route(self, request: ShardRequest) -> str:
+        """Name of the shard owning ``request`` (stable across runs)."""
+        return self.ring.node_for(routing_key(request))
+
+    def serve_batch(self, requests: Sequence[ShardRequest]) -> list[ServedEstimate]:
+        """Answer a request batch, preserving input order."""
+        requests = list(requests)
+        by_shard: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            by_shard.setdefault(self.route(request), []).append(index)
+        results: list[ServedEstimate | None] = [None] * len(requests)
+        for name, indices in by_shard.items():
+            shard_results = self.shards[name].serve_batch(
+                [requests[i] for i in indices]
+            )
+            for index, served in zip(indices, shard_results):
+                results[index] = served
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def serve_queries(self, queries: Sequence[Query]) -> list[ServedEstimate]:
+        """Convenience: serve plain queries with default metadata."""
+        return self.serve_batch([ShardRequest(query=q) for q in queries])
+
+    # ------------------------------------------------------------------
+    def rolling_swap(
+        self,
+        candidate: CardinalityEstimator,
+        *,
+        gate: PromotionGate | None = None,
+        probe_queries: Sequence[Query] | None = None,
+    ) -> RollingSwapReport:
+        """Swap every shard to ``candidate``, one shard at a time.
+
+        The gate judges the candidate *before* any shard is touched (a
+        rejected candidate never serves a single query).  Each swapped
+        shard is probed; a probe failure rolls the already-swapped
+        shards back to the incumbent and reports the swap as failed.
+        """
+        incumbent = self.estimator
+        gate_report: GateReport | None = None
+        if gate is not None:
+            table = next(iter(self.shards.values())).table
+            gate_report = gate.evaluate(candidate, incumbent, table)
+            if not gate_report.passed:
+                self._obs_events().emit(
+                    "shard.swap_rejected",
+                    reasons=list(gate_report.reasons),
+                )
+                self._count_swap("rejected")
+                return RollingSwapReport(
+                    promoted=False,
+                    rolled_back=False,
+                    gate_report=gate_report,
+                    reason="gate rejected candidate",
+                )
+        if probe_queries is None and gate is not None:
+            probe_queries = gate.validation_queries[:8]
+
+        swapped: list[str] = []
+        for name, shard in self.shards.items():
+            shard.swap_model(candidate)
+            if probe_queries is not None and not shard.probe(probe_queries):
+                # Roll back this shard and every previously swapped one.
+                for back in [*swapped, name]:
+                    self.shards[back].swap_model(incumbent)
+                self._obs_events().emit(
+                    "shard.swap_rollback", failed_shard=name, swapped=swapped
+                )
+                self._count_swap("rolled_back")
+                return RollingSwapReport(
+                    promoted=False,
+                    rolled_back=True,
+                    swapped=tuple(swapped),
+                    gate_report=gate_report,
+                    reason=f"post-swap probe failed on {name}",
+                )
+            swapped.append(name)
+            self._obs_events().emit("shard.swap_shard", shard=name)
+        self.estimator = candidate
+        self._obs_events().emit("shard.swap_promoted", shards=len(swapped))
+        self._count_swap("promoted")
+        return RollingSwapReport(
+            promoted=True,
+            rolled_back=False,
+            swapped=tuple(swapped),
+            gate_report=gate_report,
+            reason="promoted",
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, ShardStats]:
+        return {name: shard.stats for name, shard in self.shards.items()}
+
+    def totals(self) -> ShardStats:
+        total = ShardStats()
+        for stats in self.stats().values():
+            total.requests += stats.requests
+            total.worker_served += stats.worker_served
+            total.fallback_served += stats.fallback_served
+            total.shed += stats.shed
+            total.redispatches += stats.redispatches
+            for reason, count in stats.shed_reasons.items():
+                total.shed_reasons[reason] = (
+                    total.shed_reasons.get(reason, 0) + count
+                )
+        return total
+
+    def _count_swap(self, outcome: str) -> None:
+        self._obs_registry().counter(
+            SHARD_SWAPS, "Rolling model swaps, by outcome"
+        ).inc(outcome=outcome)
+
+    def _obs_events(self) -> EventLog:
+        return self._events if self._events is not None else get_events()
+
+    def _obs_registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+

@@ -1,0 +1,465 @@
+"""Supervised fork-based worker pools: heartbeats, restarts, re-dispatch.
+
+Each shard of :class:`~repro.shard.router.ShardRouter` owns a
+:class:`WorkerSupervisor` over ``num_workers`` **forked** worker
+processes.  Workers inherit the fitted model through fork memory —
+zero per-worker load cost, the same trick :mod:`repro.parallel` uses —
+and answer query batches over a duplex pipe.  The supervisor is the
+robustness boundary:
+
+* **Crash containment.**  A worker that dies mid-batch (OOM kill,
+  segfault, :class:`~repro.faults.WorkerCrashFault`) is observed as a
+  dead pipe; the in-flight batch is *re-dispatched to a sibling worker*
+  and the dead worker is scheduled for restart.  No query is dropped.
+* **Hang containment.**  A worker that stops answering within
+  ``request_timeout_seconds`` (or misses a heartbeat probe) is killed
+  and treated exactly like a crash — a hang is just a crash that wastes
+  your deadline first.
+* **Bounded restarts.**  Restarts cost forks, and a worker that dies on
+  every request would otherwise crash-loop forever.  Each worker has a
+  restart budget (:class:`~repro.lifecycle.retrain.RetryPolicy` — the
+  same bounded-attempts/exponential-backoff/seeded-jitter policy the
+  retraining supervisor uses) and waits out its backoff before the next
+  fork.  A worker whose budget is spent is **exhausted**; when every
+  worker is exhausted the shard falls back to in-process serving and
+  availability still never drops.
+* **Graceful drain.**  Shutdown sends every live worker a stop message,
+  waits briefly for acknowledgement, then joins — so a rolling model
+  swap never kills a worker mid-answer.
+
+``mode="inline"`` runs the pool in-process (no forks) with identical
+dispatch semantics — the determinism reference for the bit-identity
+check, and the automatic degradation on platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimator import CardinalityEstimator
+from ..core.query import Query
+from ..lifecycle.retrain import RetryPolicy
+from ..obs import (
+    SHARD_WORKER_RESTARTS,
+    SHARD_WORKERS,
+    EventLog,
+    MetricsRegistry,
+    get_events,
+    get_registry,
+)
+
+#: Worker lifecycle states (the gauge's ``state`` label).
+LIVE = "live"
+RESTARTING = "restarting"
+EXHAUSTED = "exhausted"
+STOPPED = "stopped"
+
+
+def _worker_main(estimator: CardinalityEstimator, conn) -> None:
+    """Worker body: answer serve/ping messages until told to stop.
+
+    Estimator exceptions are shipped back as data (the worker survives
+    them); a crash fault calls ``os._exit`` underneath us and the parent
+    observes the dead pipe.
+    """
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "serve":
+                _, request_id, queries = message
+                try:
+                    values = np.asarray(
+                        estimator.estimate_many(queries), dtype=np.float64
+                    )
+                    if values.shape != (len(queries),):
+                        raise ValueError(
+                            f"worker returned shape {values.shape} "
+                            f"for {len(queries)} queries"
+                        )
+                    conn.send(("result", request_id, values))
+                except Exception as exc:  # lint-ok: error shipped to parent
+                    conn.send(
+                        ("error", request_id, f"{type(exc).__name__}: {exc}")
+                    )
+            elif op == "ping":
+                conn.send(("pong", message[1]))
+            elif op == "stop":
+                conn.send(("stopped",))
+                return
+    except (EOFError, OSError, KeyboardInterrupt):
+        return  # parent went away or is shutting down; nothing to clean
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one worker slot."""
+
+    name: str
+    index: int
+    state: str = RESTARTING
+    process: multiprocessing.process.BaseProcess | None = None
+    conn: object = None
+    #: restarts consumed from the budget (the initial fork is free)
+    restarts: int = 0
+    #: clock() timestamp of the last successful response
+    last_heartbeat: float = 0.0
+    #: clock() time before which the next restart must not happen
+    restart_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of dispatching one batch to the pool."""
+
+    #: answers, or None when no worker could serve the batch
+    values: np.ndarray | None
+    #: name of the worker that answered; None for a failed dispatch
+    worker: str | None
+    #: workers tried (>1 means the batch was re-dispatched to a sibling)
+    attempts: int
+    seconds: float
+
+
+class WorkerSupervisor:
+    """Own, monitor, restart and drain one shard's worker processes."""
+
+    def __init__(
+        self,
+        shard: str,
+        estimator: CardinalityEstimator,
+        num_workers: int = 1,
+        *,
+        policy: RetryPolicy | None = None,
+        request_timeout_seconds: float = 5.0,
+        heartbeat_timeout_seconds: float = 1.0,
+        mode: str = "auto",
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        events: EventLog | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if mode not in ("auto", "fork", "inline"):
+            raise ValueError(f"unknown mode {mode!r}; use auto, fork, or inline")
+        if request_timeout_seconds <= 0.0 or heartbeat_timeout_seconds <= 0.0:
+            raise ValueError("timeouts must be positive")
+        fork_available = "fork" in multiprocessing.get_all_start_methods()
+        if mode == "fork" and not fork_available:
+            raise RuntimeError("fork start method unavailable on this platform")
+        if mode == "auto":
+            mode = "fork" if fork_available else "inline"
+        self.shard = shard
+        self.estimator = estimator
+        self.mode = mode
+        self.policy = policy or RetryPolicy(
+            max_attempts=3, backoff_base_seconds=0.05, backoff_cap_seconds=2.0
+        )
+        self.request_timeout_seconds = request_timeout_seconds
+        self.heartbeat_timeout_seconds = heartbeat_timeout_seconds
+        self._rng = np.random.default_rng(seed)
+        self._clock = clock
+        self._events = events
+        self._registry = registry
+        self._workers = [
+            _Worker(name=f"{shard}/w{i}", index=i) for i in range(num_workers)
+        ]
+        self._next = 0  # round-robin pointer
+        self._request_id = 0
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Fork the initial pool (call after the model is fitted)."""
+        for worker in self._workers:
+            self._fork(worker)
+        self.started = True
+        self._update_gauge()
+
+    def _fork(self, worker: _Worker) -> None:
+        now = self._clock()
+        if self.mode == "inline":
+            worker.state = LIVE
+            worker.last_heartbeat = now
+            return
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(self.estimator, child_conn),
+            name=worker.name,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end: child death == EOF
+        worker.process = process
+        worker.conn = parent_conn
+        worker.state = LIVE
+        worker.last_heartbeat = now
+        self._obs_events().emit(
+            "shard.worker_start",
+            shard=self.shard,
+            worker=worker.name,
+            restarts=worker.restarts,
+        )
+
+    def drain(self, timeout_seconds: float = 1.0) -> None:
+        """Graceful shutdown: stop, wait for acknowledgement, join."""
+        for worker in self._workers:
+            if worker.state != LIVE or self.mode == "inline":
+                if worker.state == LIVE:
+                    worker.state = STOPPED
+                continue
+            try:
+                worker.conn.send(("stop",))
+                deadline = time.monotonic() + timeout_seconds
+                while time.monotonic() < deadline:
+                    if not worker.conn.poll(deadline - time.monotonic()):
+                        break
+                    if worker.conn.recv()[0] == "stopped":
+                        break
+            except (BrokenPipeError, EOFError, OSError):
+                pass  # already dead; join below reaps it
+            worker.process.join(timeout_seconds)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.conn.close()
+            worker.state = STOPPED
+        self.started = False
+        self._obs_events().emit("shard.drain", shard=self.shard)
+        self._update_gauge()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, queries: Sequence[Query]) -> DispatchResult:
+        """Send one batch to a live worker; re-dispatch on crash/hang.
+
+        Tries each currently-live worker at most once (round-robin from
+        the last dispatch point).  Returns ``values=None`` when no
+        worker could answer — the caller degrades to in-process serving,
+        so a dispatch failure is never an unanswered query.
+        """
+        start = time.perf_counter()
+        self.restart_due()
+        queries = list(queries)
+        attempts = 0
+        tried: set[int] = set()
+        while True:
+            worker = self._pick(tried)
+            if worker is None:
+                return DispatchResult(
+                    values=None,
+                    worker=None,
+                    attempts=attempts,
+                    seconds=time.perf_counter() - start,
+                )
+            tried.add(worker.index)
+            attempts += 1
+            values = self._call(worker, queries)
+            if values is not None:
+                if attempts > 1:
+                    self._obs_events().emit(
+                        "shard.redispatch",
+                        shard=self.shard,
+                        worker=worker.name,
+                        batch=len(queries),
+                        attempts=attempts,
+                    )
+                return DispatchResult(
+                    values=values,
+                    worker=worker.name,
+                    attempts=attempts,
+                    seconds=time.perf_counter() - start,
+                )
+
+    def _pick(self, tried: set[int]) -> _Worker | None:
+        n = len(self._workers)
+        for offset in range(n):
+            worker = self._workers[(self._next + offset) % n]
+            if worker.state == LIVE and worker.index not in tried:
+                self._next = (worker.index + 1) % n
+                return worker
+        return None
+
+    def _call(self, worker: _Worker, queries: list[Query]) -> np.ndarray | None:
+        if self.mode == "inline":
+            try:
+                values = np.asarray(
+                    self.estimator.estimate_many(queries), dtype=np.float64
+                )
+                if values.shape != (len(queries),):
+                    raise ValueError(f"bad result shape {values.shape}")
+            except Exception as exc:
+                self._fail(worker, "error", detail=f"{type(exc).__name__}: {exc}")
+                return None
+            worker.last_heartbeat = self._clock()
+            return values
+
+        self._request_id += 1
+        request_id = self._request_id
+        try:
+            worker.conn.send(("serve", request_id, queries))
+        except (BrokenPipeError, EOFError, OSError):
+            self._fail(worker, "crash", detail="pipe closed on send")
+            return None
+        deadline = time.monotonic() + self.request_timeout_seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                self._fail(worker, "hang", detail="request timeout")
+                return None
+            try:
+                if not worker.conn.poll(remaining):
+                    continue  # loop re-checks the deadline
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                self._fail(worker, "crash", detail="pipe closed mid-request")
+                return None
+            kind = message[0]
+            if kind == "result" and message[1] == request_id:
+                worker.last_heartbeat = self._clock()
+                return message[2]
+            if kind == "error" and message[1] == request_id:
+                # The worker survived; its estimator raised.  The worker
+                # stays live (the model is broken, not the process) and
+                # the caller degrades this batch.
+                worker.last_heartbeat = self._clock()
+                self._obs_events().emit(
+                    "shard.worker_error",
+                    shard=self.shard,
+                    worker=worker.name,
+                    error=message[2],
+                )
+                return None
+            # Stale response from a request we already abandoned: skip.
+
+    # ------------------------------------------------------------------
+    # Supervision: heartbeats, restarts, budget
+    # ------------------------------------------------------------------
+    def check_health(self) -> None:
+        """Heartbeat probe: ping idle workers, reap the unresponsive."""
+        if self.mode == "inline":
+            return
+        for worker in list(self._workers):
+            if worker.state != LIVE:
+                continue
+            if worker.process is not None and not worker.process.is_alive():
+                self._fail(worker, "crash", detail="found dead by heartbeat")
+                continue
+            self._request_id += 1
+            ping_id = self._request_id
+            try:
+                worker.conn.send(("ping", ping_id))
+                deadline = time.monotonic() + self.heartbeat_timeout_seconds
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        self._fail(worker, "hang", detail="missed heartbeat")
+                        break
+                    if not worker.conn.poll(remaining):
+                        continue
+                    message = worker.conn.recv()
+                    if message[0] == "pong" and message[1] == ping_id:
+                        worker.last_heartbeat = self._clock()
+                        break
+                    # Stale message from an abandoned request: keep reading.
+            except (BrokenPipeError, EOFError, OSError):
+                self._fail(worker, "crash", detail="pipe closed on heartbeat")
+        self.restart_due()
+
+    def restart_due(self) -> int:
+        """Refork every worker whose backoff window has passed."""
+        restarted = 0
+        now = self._clock()
+        for worker in self._workers:
+            if worker.state == RESTARTING and self.started and now >= worker.restart_at:
+                self._fork(worker)
+                restarted += 1
+                self._obs_events().emit(
+                    "shard.worker_restart",
+                    shard=self.shard,
+                    worker=worker.name,
+                    restarts=worker.restarts,
+                )
+        if restarted:
+            self._update_gauge()
+        return restarted
+
+    def _fail(self, worker: _Worker, reason: str, detail: str = "") -> None:
+        """Kill/reap a misbehaving worker and schedule (or deny) a restart."""
+        if self.mode != "inline" and worker.process is not None:
+            worker.process.kill()
+            worker.process.join()
+            worker.conn.close()
+            worker.process = None
+            worker.conn = None
+        self._obs_events().emit(
+            f"shard.worker_{reason}",
+            shard=self.shard,
+            worker=worker.name,
+            detail=detail,
+        )
+        self._obs_registry().counter(
+            SHARD_WORKER_RESTARTS, "Worker deaths by cause"
+        ).inc(shard=self.shard, reason=reason)
+        if worker.restarts >= self.policy.max_attempts:
+            worker.state = EXHAUSTED
+            self._obs_events().emit(
+                "shard.worker_exhausted",
+                shard=self.shard,
+                worker=worker.name,
+                restarts=worker.restarts,
+            )
+        else:
+            backoff = self.policy.backoff_seconds(worker.restarts, self._rng)
+            worker.restarts += 1
+            worker.state = RESTARTING
+            worker.restart_at = self._clock() + backoff
+        self._update_gauge()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        return sum(1 for w in self._workers if w.state == LIVE)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every worker has spent its restart budget."""
+        return all(w.state == EXHAUSTED for w in self._workers)
+
+    @property
+    def total_restarts(self) -> int:
+        """Restarts consumed across all workers (budget spent so far)."""
+        return sum(w.restarts for w in self._workers)
+
+    def worker_states(self) -> dict[str, str]:
+        return {w.name: w.state for w in self._workers}
+
+    def _update_gauge(self) -> None:
+        gauge = self._obs_registry().gauge(
+            SHARD_WORKERS, "Worker slots by lifecycle state"
+        )
+        for state in (LIVE, RESTARTING, EXHAUSTED, STOPPED):
+            gauge.set(
+                sum(1 for w in self._workers if w.state == state),
+                shard=self.shard,
+                state=state,
+            )
+
+    def _obs_events(self) -> EventLog:
+        return self._events if self._events is not None else get_events()
+
+    def _obs_registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()

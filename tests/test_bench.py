@@ -253,3 +253,104 @@ class TestParallelJobs:
                 serial["census"][method].as_tuple()
                 == parallel["census"][method].as_tuple()
             ), method
+
+
+class TestInterrupt:
+    """Graceful shutdown: Ctrl-C / SIGTERM flush partial artifacts."""
+
+    @staticmethod
+    def _install(monkeypatch, name, fn):
+        from repro.bench.__main__ import EXPERIMENTS
+
+        monkeypatch.setitem(EXPERIMENTS, name, fn)
+
+    def test_keyboard_interrupt_exits_130_and_reports_progress(
+        self, capsys, monkeypatch
+    ):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        self._install(monkeypatch, "quick", lambda ctx: "quick done")
+
+        def boom(ctx):
+            raise KeyboardInterrupt
+
+        self._install(monkeypatch, "boom", boom)
+        assert main(["quick", "boom"]) == 130
+        captured = capsys.readouterr()
+        assert "quick done" in captured.out
+        assert "interrupted during boom" in captured.err
+        assert "completed: quick" in captured.err
+
+    def test_interrupt_still_flushes_trace(self, capsys, tmp_path, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+
+        def boom(ctx):
+            raise KeyboardInterrupt
+
+        self._install(monkeypatch, "boom", boom)
+        assert main(["boom", "--trace-out", str(tmp_path)]) == 130
+        assert "trace written" in capsys.readouterr().out
+        assert (tmp_path / "boom_spans.jsonl").exists()
+        assert (tmp_path / "boom_events.jsonl").exists()
+
+    def test_sigterm_takes_the_interrupt_path(self, capsys, monkeypatch):
+        import os
+        import signal
+
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+
+        def self_terminate(ctx):
+            os.kill(os.getpid(), signal.SIGTERM)
+            return "unreachable"
+
+        self._install(monkeypatch, "terminating", self_terminate)
+        assert main(["terminating"]) == 130
+        assert "interrupted during terminating" in capsys.readouterr().err
+        # The handler was restored on the way out.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_sigterm_handler_restored_after_clean_run(self, capsys, monkeypatch):
+        import signal
+
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        self._install(monkeypatch, "quick", lambda ctx: "quick done")
+        assert main(["quick"]) == 0
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_scale_experiment_flushes_partial_results(self, ctx, tmp_path):
+        import json
+
+        from repro.bench.scale_exp import ChaosScenario, scale_experiment
+
+        def interrupting_wrap(est, seed):
+            raise KeyboardInterrupt
+
+        scenarios = [
+            ChaosScenario("no-fault"),
+            ChaosScenario("interrupted", worker_wrap=interrupting_wrap),
+        ]
+        json_path = tmp_path / "BENCH_serve.json"
+        text_path = tmp_path / "scale_serving.txt"
+        with pytest.raises(KeyboardInterrupt):
+            scale_experiment(
+                ctx,
+                replay=64,
+                num_shards=1,
+                workers_per_shard=1,
+                mode="inline",
+                scenarios=scenarios,
+                json_path=json_path,
+                text_path=text_path,
+            )
+        payload = json.loads(json_path.read_text())
+        assert payload["partial"] is True
+        assert list(payload["scenarios"]) == ["no-fault"]
+        assert payload["scenarios"]["no-fault"]["availability"] == 1.0
+        assert text_path.exists()

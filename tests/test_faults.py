@@ -14,7 +14,12 @@ from repro.faults import (
     ExceptionFault,
     LatencyFault,
     NaNFault,
+    SimulatedCrash,
+    SlowWorkerFault,
     StaleModelFault,
+    WorkerCrashFault,
+    WorkerHangFault,
+    queue_flood,
 )
 
 
@@ -160,3 +165,101 @@ class TestIndividualFaults:
         assert stale.inner.table.num_rows == small_census.num_rows
         assert stale.estimate(query) == pytest.approx(before)
         assert fresh.table.num_rows == new_table.num_rows
+
+
+class TestWorkerFaults:
+    """The worker-level wrappers driving the sharded-serving chaos matrix."""
+
+    def test_worker_crash_calls_exit_with_code(self, tiny_table, query):
+        exits: list[int] = []
+        wrapper = WorkerCrashFault(
+            SamplingEstimator().fit(tiny_table),
+            probability=1.0,
+            exit_code=7,
+            _exit=exits.append,
+        )
+        wrapper.estimate(query)
+        assert exits == [7]
+        assert wrapper.faults_fired == 1
+
+    def test_worker_crash_simulated_crash_double(self, tiny_table, query):
+        def die(code: int) -> None:
+            raise SimulatedCrash(f"exit {code}")
+
+        wrapper = WorkerCrashFault(
+            SamplingEstimator().fit(tiny_table), probability=1.0, _exit=die
+        )
+        with pytest.raises(SimulatedCrash, match="exit 3"):
+            wrapper.estimate(query)
+
+    def test_worker_crash_after_spares_early_calls(self, tiny_table, query):
+        exits: list[int] = []
+        inner = SamplingEstimator().fit(tiny_table)
+        expected = inner.estimate(query)
+        wrapper = WorkerCrashFault(
+            inner, probability=1.0, after=2, _exit=exits.append
+        )
+        assert wrapper.estimate(query) == expected
+        assert wrapper.estimate(query) == expected
+        assert exits == []
+        wrapper.estimate(query)
+        assert exits == [3]
+
+    def test_worker_hang_sleeps_past_deadline(self, tiny_table, query):
+        naps: list[float] = []
+        inner = SamplingEstimator().fit(tiny_table)
+        wrapper = WorkerHangFault(
+            inner, hang_seconds=30.0, probability=1.0, sleep=naps.append
+        )
+        assert wrapper.estimate(query) == inner.estimate(query)
+        assert naps == [30.0]
+
+    def test_slow_worker_delays_once_per_batch(self, tiny_table, query):
+        naps: list[float] = []
+        inner = SamplingEstimator().fit(tiny_table)
+        wrapper = SlowWorkerFault(
+            inner, delay_seconds=0.5, probability=1.0, sleep=naps.append
+        )
+        batch = [query] * 16
+        values = wrapper.estimate_many(batch)
+        # One delay for the whole batch — a CPU-starved worker, not a
+        # per-query latency tax.
+        assert naps == [0.5]
+        np.testing.assert_array_equal(values, inner.estimate_many(batch))
+
+    def test_slow_worker_schedule_is_seeded(self, tiny_table, query):
+        patterns = []
+        for _ in range(2):
+            naps: list[float] = []
+            wrapper = SlowWorkerFault(
+                SamplingEstimator().fit(tiny_table),
+                delay_seconds=0.1,
+                probability=0.5,
+                seed=9,
+                sleep=naps.append,
+            )
+            fired = []
+            for _ in range(40):
+                before = len(naps)
+                wrapper.estimate_many([query])
+                fired.append(len(naps) > before)
+            patterns.append(fired)
+        assert patterns[0] == patterns[1]
+        assert any(patterns[0]) and not all(patterns[0])
+
+    def test_queue_flood_preserves_multiset(self, small_census, rng):
+        from repro.core import generate_workload
+
+        queries = generate_workload(small_census, 20, rng).queries
+        flood = queue_flood(queries, multiplier=5, seed=3)
+        assert len(flood) == 100
+        from collections import Counter
+
+        assert Counter(flood) == Counter({q: 5 for q in queries})
+        # Deterministic under seed, shuffled relative to plain tiling.
+        assert flood == queue_flood(queries, multiplier=5, seed=3)
+        assert flood != [q for q in queries for _ in range(5)]
+
+    def test_queue_flood_rejects_bad_multiplier(self, tiny_table):
+        with pytest.raises(ValueError, match="multiplier"):
+            queue_flood([], multiplier=0)

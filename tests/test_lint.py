@@ -1,0 +1,216 @@
+"""Static analysis over ``src/repro``: robustness anti-patterns.
+
+Three rules, enforced by walking every module's AST:
+
+1. **No bare ``except:``** — it catches ``SystemExit`` and
+   ``KeyboardInterrupt``, which breaks graceful shutdown (the bench CLI
+   relies on ``KeyboardInterrupt`` propagating to flush partial
+   artifacts).  Catch a concrete type, or ``Exception`` at worst.
+2. **No ``time.time()``** — wall-clock time jumps (NTP, DST); every
+   duration or deadline in the codebase must come from a monotonic
+   source (``time.monotonic`` / ``time.perf_counter``).
+3. **``except Exception`` must not swallow silently** — a handler that
+   catches everything must either re-raise, return an error value, or
+   emit observability (an event, a metric, or a ``*record*/*count*/
+   *fail*`` helper that does so).  A silent ``pass`` hides the exact
+   faults the serving layer exists to surface.
+
+A handler that is *deliberately* silent (e.g. a child process whose
+parent observes the dead pipe) opts out with a ``# lint-ok: <reason>``
+comment on the ``except`` line — greppable, justified, and local.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).parent.parent / "src" / "repro"
+
+#: method names whose invocation inside a handler counts as "observed":
+#: exact telemetry verbs, plus helper-prefix conventions used across the
+#: codebase (``_record_failure``, ``_count_attempt``, ``_fail`` ...).
+TELEMETRY_ATTRS = {"emit", "inc", "observe", "set", "warning", "error"}
+TELEMETRY_SUBSTRINGS = ("record", "count", "fail", "emit", "metric", "event")
+
+PRAGMA = "# lint-ok:"
+
+
+def _python_sources() -> list[Path]:
+    files = sorted(SRC_ROOT.rglob("*.py"))
+    assert len(files) > 50, "src/repro should be a sizeable package"
+    return files
+
+
+def _is_exception_handler(handler: ast.ExceptHandler) -> bool:
+    """True for ``except Exception`` / ``except (..., Exception, ...)``."""
+
+    def names(node: ast.expr | None) -> list[str]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Tuple):
+            return [n for elt in node.elts for n in names(elt)]
+        if isinstance(node, ast.Name):
+            return [node.id]
+        if isinstance(node, ast.Attribute):
+            return [node.attr]
+        return []
+
+    return "Exception" in names(handler.type)
+
+
+def _observes(handler: ast.ExceptHandler) -> bool:
+    """Does the handler re-raise, return, or emit telemetry?
+
+    A bare ``continue``/``pass`` deliberately does not count: skipping
+    to the next item without a trace is exactly the silent swallow the
+    rule exists to catch.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Return)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name is not None:
+                lowered = name.lower()
+                if name in TELEMETRY_ATTRS or any(
+                    s in lowered for s in TELEMETRY_SUBSTRINGS
+                ):
+                    return True
+    return False
+
+
+def _has_pragma(lines: list[str], handler: ast.ExceptHandler) -> bool:
+    """``# lint-ok:`` on the except line (or its first body line)."""
+    candidates = [handler.lineno]
+    if handler.body:
+        candidates.append(handler.body[0].lineno)
+    return any(
+        PRAGMA in lines[lineno - 1] for lineno in candidates if lineno <= len(lines)
+    )
+
+
+def _violations_in(path: Path) -> list[str]:
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    found: list[str] = []
+    rel = path.relative_to(SRC_ROOT.parent.parent)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None and not _has_pragma(lines, node):
+                found.append(f"{rel}:{node.lineno}: bare `except:`")
+            elif (
+                _is_exception_handler(node)
+                and not _observes(node)
+                and not _has_pragma(lines, node)
+            ):
+                found.append(
+                    f"{rel}:{node.lineno}: `except Exception` swallows "
+                    "silently (re-raise, return, or emit an obs "
+                    "event/metric; `# lint-ok: <reason>` to opt out)"
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                found.append(
+                    f"{rel}:{node.lineno}: time.time() (wall clock) — use "
+                    "time.monotonic()/time.perf_counter()"
+                )
+    return found
+
+
+def test_no_robustness_antipatterns():
+    violations = [v for path in _python_sources() for v in _violations_in(path)]
+    assert not violations, "\n".join(violations)
+
+
+class TestLintRules:
+    """The lint rules themselves, on synthetic snippets."""
+
+    @staticmethod
+    def check(snippet: str) -> list[str]:
+        lines = snippet.splitlines()
+        found = []
+        for node in ast.walk(ast.parse(snippet)):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None and not _has_pragma(lines, node):
+                    found.append("bare")
+                elif (
+                    _is_exception_handler(node)
+                    and not _observes(node)
+                    and not _has_pragma(lines, node)
+                ):
+                    found.append("silent")
+        return found
+
+    def test_flags_bare_except(self):
+        assert self.check("try:\n    x = 1\nexcept:\n    pass\n") == ["bare"]
+
+    def test_flags_silent_swallow(self):
+        assert self.check("try:\n    x = 1\nexcept Exception:\n    x = 2\n") == [
+            "silent"
+        ]
+
+    def test_flags_exception_in_tuple(self):
+        snippet = "try:\n    x = 1\nexcept (ValueError, Exception):\n    x = 2\n"
+        assert self.check(snippet) == ["silent"]
+
+    def test_accepts_reraise(self):
+        snippet = (
+            "try:\n    x = 1\nexcept Exception as e:\n    raise ValueError from e\n"
+        )
+        assert self.check(snippet) == []
+
+    def test_accepts_return(self):
+        snippet = (
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert self.check(snippet) == []
+
+    def test_accepts_telemetry_call(self):
+        snippet = (
+            "try:\n"
+            "    x = 1\n"
+            "except Exception:\n"
+            "    events.emit('boom')\n"
+            "    x = 2\n"
+        )
+        assert self.check(snippet) == []
+
+    def test_accepts_pragma(self):
+        snippet = (
+            "try:\n"
+            "    x = 1\n"
+            "except Exception:  # lint-ok: tested elsewhere\n"
+            "    pass\n"
+        )
+        assert self.check(snippet) == []
+
+    def test_silent_continue_is_still_silent(self):
+        snippet = (
+            "for i in range(3):\n"
+            "    try:\n"
+            "        x = 1\n"
+            "    except Exception:\n"
+            "        continue\n"
+        )
+        assert self.check(snippet) == ["silent"]
+
+    def test_concrete_exception_types_are_out_of_scope(self):
+        snippet = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert self.check(snippet) == []

@@ -660,3 +660,92 @@ class TestServiceCache:
         # retry walks the chain again instead of hitting the cache.
         assert second.tier == "last-resort"
         assert len(svc.cache) == 0
+
+
+class TestHotSwapCacheInvalidation:
+    """Generation-namespaced cache correctness under interleaved
+    ``replace_primary`` hot-swaps — the rolling-swap path of
+    :mod:`repro.shard` depends on a swap never serving a stale entry."""
+
+    def service(self, value: float, table, **kwargs):
+        svc = EstimatorService([StubEstimator(value, name="gen0")], **kwargs)
+        svc.fit(table)
+        return svc
+
+    def fitted_stub(self, value: float, name: str, table) -> StubEstimator:
+        return StubEstimator(value, name=name).fit(table)
+
+    def test_swap_invalidates_scalar_path(self, tiny_table):
+        svc = self.service(4.0, tiny_table, cache=64)
+        queries = distinct_queries(5)
+        cold = svc.serve_many(queries)
+        assert [s.estimate for s in cold] == [4.0] * 5
+        assert all(q in svc.cache for q in queries)
+
+        svc.replace_primary(self.fitted_stub(9.0, "gen1", tiny_table))
+        swapped = svc.serve_many(queries)
+        # Stale 4.0 entries are unreachable: every answer comes from the
+        # new model, none from the cache.
+        assert [s.estimate for s in swapped] == [9.0] * 5
+        assert all(s.tier != "cache" for s in swapped)
+        warm = svc.serve_many(queries)
+        assert all(s.tier == "cache" and s.estimate == 9.0 for s in warm)
+
+    def test_swap_invalidates_serve_batch_path(self, tiny_table):
+        svc = self.service(4.0, tiny_table, cache=64)
+        queries = distinct_queries(6)
+        svc.serve_batch(queries)
+        svc.replace_primary(self.fitted_stub(7.0, "gen1", tiny_table))
+        swapped = svc.serve_batch(queries)
+        assert [s.estimate for s in swapped] == [7.0] * 6
+        assert all(s.tier != "cache" for s in swapped)
+        warm = svc.serve_batch(queries)
+        assert all(s.tier == "cache" and s.estimate == 7.0 for s in warm)
+
+    def test_interleaved_swaps_and_serves_stay_consistent(self, tiny_table):
+        """Swap/serve/swap/serve with overlapping query sets: each serve
+        must reflect exactly the model installed at that moment."""
+        svc = self.service(1.0, tiny_table, cache=64)
+        queries = distinct_queries(8)
+        left, right = queries[:5], queries[3:]  # overlap on 3..4
+
+        assert [s.estimate for s in svc.serve_many(left)] == [1.0] * 5
+        svc.replace_primary(self.fitted_stub(2.0, "gen1", tiny_table))
+        # The overlapping queries were cached under generation 0; they
+        # must re-resolve under generation 1.
+        assert [s.estimate for s in svc.serve_batch(right)] == [2.0] * 5
+        svc.replace_primary(self.fitted_stub(3.0, "gen2", tiny_table))
+        final = svc.serve_many(queries)
+        assert [s.estimate for s in final] == [3.0] * 8
+        assert all(s.tier != "cache" for s in final)
+        # Mixed scalar/batch warm reads hit only generation-2 entries.
+        warm_scalar = svc.serve_many(queries[:4])
+        warm_batch = svc.serve_batch(queries[4:])
+        for served in [*warm_scalar, *warm_batch]:
+            assert served.tier == "cache"
+            assert served.estimate == 3.0
+
+    def test_generation_counter_tracks_every_swap(self, tiny_table):
+        svc = self.service(1.0, tiny_table, cache=16)
+        queries = distinct_queries(3)
+        for expected_generation in range(1, 6):
+            svc.serve_batch(queries)
+            svc.replace_primary(
+                self.fitted_stub(
+                    float(expected_generation),
+                    f"gen{expected_generation}",
+                    tiny_table,
+                )
+            )
+            assert svc.model_generation == expected_generation
+            assert svc.cache.generation == expected_generation
+            assert all(q not in svc.cache for q in queries)
+        # Hits accumulated only within a generation, never across.
+        assert svc.cache.hits == 0
+
+    def test_swap_without_cache_is_safe(self, tiny_table):
+        svc = self.service(1.0, tiny_table)  # cache disabled (None)
+        queries = distinct_queries(3)
+        svc.serve_many(queries)
+        svc.replace_primary(self.fitted_stub(2.0, "gen1", tiny_table))
+        assert [s.estimate for s in svc.serve_many(queries)] == [2.0] * 3
