@@ -29,7 +29,7 @@ from repro.bench.scale_exp import (
 REPO_ROOT = Path(__file__).parent.parent
 BASELINE = REPO_ROOT / "BENCH_serve.json"
 
-#: the no-fault baseline plus the seven chaos scenarios
+#: the no-fault baseline plus the eight chaos scenarios
 EXPECTED_SCENARIOS = {
     "no-fault",
     "worker-crash",
@@ -39,6 +39,7 @@ EXPECTED_SCENARIOS = {
     "model-corruption",
     "rolling-swap-failure",
     "budget-exhaustion",
+    "slo-breach",
 }
 
 
@@ -97,6 +98,34 @@ def test_rolling_swap_covers_all_outcomes(results):
     assert outcomes == ("rejected", "rolled_back", "promoted")
 
 
+def test_telemetry_counter_sum_matches_every_scenario(results):
+    """Merged worker-side ``repro_worker_queries_total`` across all label
+    sets must equal the parent's accepted-dispatch count — under crash,
+    hang, re-dispatch, swap and inline fallback alike."""
+    for r in results.values():
+        assert r.telemetry_consistent is True, r.scenario
+
+
+def test_worker_spans_reparent_under_dispatch(results):
+    """Wherever workers answered, at least one worker span must link
+    back to a parent-side ``serve.batch`` span via the propagated trace
+    context (None means no worker served — e.g. budget exhaustion)."""
+    r = results["no-fault"]
+    assert r.worker_spans > 0
+    assert r.worker_spans_reparented is True
+    for r in results.values():
+        assert r.worker_spans_reparented in (True, None), r.scenario
+
+
+def test_slo_breach_scenario_pages_then_recovers(results):
+    """The forced-breach scenario must cross the burn-rate threshold
+    under slowed workers and recover after the mid-replay clean swap."""
+    transitions = results["slo-breach"].slo_transitions
+    assert transitions, "no SLO transitions recorded"
+    assert transitions[0] == "breach"
+    assert "recovered" in transitions
+
+
 class TestCommittedBaseline:
     @pytest.fixture(scope="class")
     def payload(self):
@@ -136,6 +165,19 @@ class TestCommittedBaseline:
             assert scenario["availability"] == 1.0, name
             assert scenario["throughput_qps"] > 0, name
             assert scenario["p99_ms"] >= scenario["p50_ms"] >= 0.0, name
+
+    def test_telemetry_invariants_recorded(self, payload):
+        for name, scenario in payload["scenarios"].items():
+            assert scenario["telemetry_consistent"] is True, name
+            assert scenario["worker_spans_reparented"] in (True, None), name
+        no_fault = payload["scenarios"]["no-fault"]
+        assert no_fault["worker_spans"] > 0
+        assert no_fault["worker_spans_reparented"] is True
+
+    def test_slo_breach_recorded(self, payload):
+        transitions = payload["scenarios"]["slo-breach"]["slo_transitions"]
+        assert transitions and transitions[0] == "breach"
+        assert "recovered" in transitions
 
     def test_bit_identity_recorded(self, payload):
         assert payload["bit_identical"] is True

@@ -27,11 +27,11 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
-import time
 from collections.abc import Callable
 from pathlib import Path
 
 from .. import obs
+from ..obs.clock import perf_counter
 from ..parallel import ParallelExecutor, worker_seconds
 from ..scale import Scale
 from . import figure2, robustness, rules_exp  # noqa: F401  (rules_exp via table6)
@@ -40,6 +40,7 @@ from .context import BenchContext
 from .train_exp import format_train, train_experiment
 from .lifecycle_exp import format_lifecycle, lifecycle_experiment
 from .obs_exp import format_obs, obs_experiment
+from .obs_report import format_obs_report, obs_report_experiment
 from .scale_exp import format_scale, scale_experiment
 from .serving_exp import format_serving, serving_experiment
 from .dynamic_exp import (
@@ -91,6 +92,7 @@ EXPERIMENTS: dict[str, Callable[[BenchContext], str]] = {
     "serving": lambda ctx: format_serving(serving_experiment(ctx)),
     "lifecycle": lambda ctx: format_lifecycle(lifecycle_experiment(ctx)),
     "obs": lambda ctx: format_obs(obs_experiment(ctx)),
+    "obs-report": lambda ctx: format_obs_report(obs_report_experiment(ctx)),
     "batch": lambda ctx: batch_experiment(ctx),
     "train": lambda ctx: format_train(train_experiment(ctx)),
     "scale": lambda ctx: format_scale(scale_experiment(ctx)),
@@ -105,9 +107,9 @@ def _experiment_task(item: tuple, _rng) -> tuple[str, str, float]:
     timing cross the pipe."""
     name, scale, seed = item
     ctx = BenchContext(scale, seed=seed)
-    start = time.perf_counter()
+    start = perf_counter()
     report = EXPERIMENTS[name](ctx)
-    return name, report, time.perf_counter() - start
+    return name, report, perf_counter() - start
 
 
 def experiment_names() -> list[str]:
@@ -192,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     # trace dump below still runs, and the exit code is non-zero.
     previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
 
-    wall_start = time.perf_counter()
+    wall_start = perf_counter()
     completed: list[str] = []
     interrupted = False
     try:
@@ -210,15 +212,15 @@ def main(argv: list[str] | None = None) -> int:
                 completed.append(name)
         else:
             for name in names:
-                start = time.perf_counter()
+                start = perf_counter()
                 print(EXPERIMENTS[name](ctx))
                 print(
-                    f"[{name} took {time.perf_counter() - start:.1f}s at scale={scale.name}]"
+                    f"[{name} took {perf_counter() - start:.1f}s at scale={scale.name}]"
                 )
                 print()
                 completed.append(name)
         if args.jobs > 1:
-            wall = time.perf_counter() - wall_start
+            wall = perf_counter() - wall_start
             busy = worker_seconds()
             print(
                 f"[parallel: {args.jobs} jobs, {busy:.1f}s of worker time in "

@@ -20,13 +20,13 @@ deterministic up to wall-clock noise.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..core.workload import generate_workload
+from ..obs.clock import perf_counter
 from ..registry import estimator_names
 from .context import BenchContext
 from .reporting import render_table
@@ -83,15 +83,15 @@ def batch_throughput(
             est.inference_seed = ctx.seed + 78
         deterministic = pinned or not hasattr(est, "_inference_rng")
         try:
-            start = time.perf_counter()
+            start = perf_counter()
             scalar_values = np.array(
                 [est.estimate(q) for q in queries[:n_scalar]]
             )
-            scalar_measured = time.perf_counter() - start
+            scalar_measured = perf_counter() - start
 
-            start = time.perf_counter()
+            start = perf_counter()
             batch_values = est.estimate_many(queries)
-            batch_seconds = time.perf_counter() - start
+            batch_seconds = perf_counter() - start
         finally:
             if pinned:
                 est.inference_seed = saved_seed

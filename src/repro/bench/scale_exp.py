@@ -13,6 +13,17 @@ The no-fault scenario doubles as the determinism check: the sharded
 fork-parallel answers must be bit-identical to a single-shard in-process
 replay of the same stream.
 
+Every scenario also runs with cross-process telemetry on and is held to
+two observability invariants: the merged per-worker serve counters
+(``repro_worker_queries_total``, shipped over the reply pipes and folded
+with ``{shard, worker_pid}`` labels) must sum exactly to the parent's
+count of accepted worker answers — crashes, hangs and re-dispatches
+included — and at least one merged worker span must re-parent under a
+dispatching ``serve.batch`` span.  The ``slo-breach`` scenario forces a
+per-tenant latency SLO through a full breach → recovery cycle: slowed
+workers burn the error budget until the mid-replay swap to a clean
+model lets every tenant recover.
+
 Results land in ``BENCH_serve.json`` at the repo root (machine-readable
 baseline validated by ``benchmarks/test_scale_serving.py``) and
 ``benchmarks/results/scale_serving.txt`` (the human-readable table).
@@ -26,7 +37,6 @@ from __future__ import annotations
 
 import json
 import math
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,7 +55,20 @@ from ..faults import (
 )
 from ..lifecycle.gate import PromotionGate
 from ..lifecycle.retrain import RetryPolicy
-from ..obs import percentile_ms
+from ..obs import (
+    LATENCY,
+    WORKER_QUERIES,
+    EventLog,
+    MetricsRegistry,
+    SloObjective,
+    SloRegistry,
+    SpanCollector,
+    get_collector,
+    install_collector,
+    percentile_ms,
+    uninstall_collector,
+)
+from ..obs.clock import perf_counter
 from ..parallel import detect_worker_count
 from ..rules.enforce import is_sane
 from ..serve import HeuristicConstantEstimator
@@ -58,6 +81,24 @@ REPLAY_TARGETS = {"ci": 4_000, "default": 100_000, "paper": 250_000}
 
 #: dispatch batch size: one admission window / worker round-trip
 DEFAULT_CHUNK = 2048
+
+#: the slo-breach scenario's per-tenant objective: any per-request
+#: latency above 0.3ms burns error budget.  Slowed workers sit ~2x above
+#: the threshold (0.15s per 256-query half-chunk ≈ 0.6ms/request) and a
+#: healthy pool sits well under it, so the breach and the recovery are
+#: both decisive.  ``breach_burn_rate=20`` (≥20% bad in *both* windows)
+#: keeps a single noisy chunk from paging; recovery needs a clean fast
+#: window.
+SLO_BREACH_OBJECTIVE = SloObjective(
+    LATENCY,
+    threshold=0.3,
+    target=0.99,
+    fast_window=64,
+    slow_window=256,
+    breach_burn_rate=20.0,
+    recover_burn_rate=1.0,
+    min_samples=64,
+)
 
 
 @dataclass(frozen=True)
@@ -79,10 +120,13 @@ class ChaosScenario:
     swap: bool = False
     #: dispatch batch size override (None = DEFAULT_CHUNK)
     chunk: int | None = None
+    #: arm the per-tenant latency SLO and swap to a clean model
+    #: mid-replay, forcing a breach -> recovery cycle
+    slo: bool = False
 
 
 def default_chaos_matrix(seed: int) -> list[ChaosScenario]:
-    """The no-fault baseline plus the seven chaos scenarios."""
+    """The no-fault baseline plus the eight chaos scenarios."""
     generous = RetryPolicy(
         max_attempts=64, backoff_base_seconds=0.01, backoff_cap_seconds=0.1
     )
@@ -120,6 +164,14 @@ def default_chaos_matrix(seed: int) -> list[ChaosScenario]:
             worker_wrap=lambda est, s: NaNFault(est, probability=0.02, seed=s),
         ),
         ChaosScenario("rolling-swap-failure", swap=True),
+        ChaosScenario(
+            "slo-breach",
+            worker_wrap=lambda est, s: SlowWorkerFault(
+                est, delay_seconds=0.15, probability=1.0, seed=s
+            ),
+            chunk=512,
+            slo=True,
+        ),
         ChaosScenario(
             "budget-exhaustion",
             worker_wrap=lambda est, s: WorkerCrashFault(
@@ -160,6 +212,16 @@ class ScaleScenarioResult:
     bit_identical: bool | None
     #: single-shard in-process replay throughput (no-fault only)
     serial_qps: float | None
+    #: merged per-worker serve counters sum exactly to the parent's
+    #: accepted worker answers (crashes and re-dispatches included)
+    telemetry_consistent: bool = True
+    #: merged spans carrying a ``worker_pid`` attribute (fork mode)
+    worker_spans: int = 0
+    #: >=1 worker span re-parented under a ``serve.batch`` span; None
+    #: when no worker spans were merged (inline mode / total crash)
+    worker_spans_reparented: bool | None = None
+    #: slo.breach / slo.recovered transitions in emission order
+    slo_transitions: tuple[str, ...] = ()
 
 
 def _replay_stream(ctx: BenchContext, target: int, multiplier: int) -> list[Query]:
@@ -237,6 +299,21 @@ def run_chaos_scenario(
     chunk = scenario.chunk or DEFAULT_CHUNK
     gate = PromotionGate(queries[:64], regression_tolerance=3.0, seed=ctx.seed)
 
+    # Scenario-local telemetry: a fresh registry/event log per scenario
+    # makes the counter-sum invariant exact, and the span collector is
+    # reused when the CLI already installed one (--trace-out) so merged
+    # worker spans land in the exported trace.
+    registry = MetricsRegistry()
+    events = EventLog()
+    slos: SloRegistry | None = None
+    if scenario.slo:
+        slos = SloRegistry(registry=registry, events=events)
+        slos.set_objective(SLO_BREACH_OBJECTIVE)
+    collector = get_collector()
+    owns_collector = collector is None
+    if owns_collector:
+        collector = install_collector(SpanCollector(capacity=65_536))
+
     router = ShardRouter(
         primary,
         [heuristic],
@@ -248,55 +325,101 @@ def run_chaos_scenario(
         mode=mode,
         request_timeout_seconds=scenario.request_timeout_seconds,
         seed=ctx.seed,
+        events=events,
+        registry=registry,
+        slos=slos,
     )
     swap_outcomes: list[str] = []
     estimates = np.empty(len(requests), dtype=np.float64)
     latencies: list[float] = []
     swap_at = (len(requests) // (2 * chunk)) * chunk  # mid-replay boundary
-    with router:
-        start = time.perf_counter()
-        for lo in range(0, len(requests), chunk):
-            if scenario.swap and lo == swap_at:
-                swap_outcomes = _attempt_swaps(
-                    router, primary, queries[:8], gate
-                )
-            batch = requests[lo : lo + chunk]
-            batch_start = time.perf_counter()
-            served = router.serve_batch(batch)
-            per_request = (time.perf_counter() - batch_start) / len(batch)
-            latencies.extend([per_request] * len(batch))
-            for offset, answer in enumerate(served):
-                estimates[lo + offset] = answer.estimate
-            if (lo // chunk) % 8 == 7:
-                router.check_health()
-        elapsed = time.perf_counter() - start
-        totals = router.totals()
-        exhausted = sum(
-            1 for s in router.shards.values() if s.supervisor.exhausted
+    try:
+        with router:
+            start = perf_counter()
+            for lo in range(0, len(requests), chunk):
+                if scenario.swap and lo == swap_at:
+                    swap_outcomes = _attempt_swaps(
+                        router, primary, queries[:8], gate
+                    )
+                if scenario.slo and lo == swap_at:
+                    # Recovery: swap every shard to the clean model, so
+                    # the breached tenants' fast windows drain back
+                    # under the burn-rate floor.
+                    for shard in router.shards.values():
+                        shard.swap_model(primary)
+                batch = requests[lo : lo + chunk]
+                batch_start = perf_counter()
+                served = router.serve_batch(batch)
+                per_request = (perf_counter() - batch_start) / len(batch)
+                latencies.extend([per_request] * len(batch))
+                for offset, answer in enumerate(served):
+                    estimates[lo + offset] = answer.estimate
+                if (lo // chunk) % 8 == 7:
+                    router.check_health()
+            elapsed = perf_counter() - start
+            totals = router.totals()
+            exhausted = sum(
+                1 for s in router.shards.values() if s.supervisor.exhausted
+            )
+            fallback_mode = sum(
+                1 for s in router.shards.values() if s.fallback_mode
+            )
+            restarts = sum(
+                s.supervisor.total_restarts for s in router.shards.values()
+            )
+
+        # Telemetry invariant: the per-worker serve counters that crossed
+        # the pipe (plus the inline-mode direct writes) must sum exactly
+        # to the queries the parent accepted from workers — under
+        # crashes, hangs, re-dispatches and swaps alike.
+        merged_worker_queries = sum(
+            series["value"]
+            for series in registry.counter(WORKER_QUERIES).snapshot()["series"]
         )
-        fallback_mode = sum(
-            1 for s in router.shards.values() if s.fallback_mode
+        telemetry_consistent = (
+            int(merged_worker_queries) == totals.worker_answered
         )
-        restarts = sum(
-            s.supervisor.total_restarts for s in router.shards.values()
+        spans = collector.spans()
+        worker_spans = [s for s in spans if "worker_pid" in s.attrs]
+        batch_span_ids = {
+            s.span_id for s in spans if s.name == "serve.batch"
+        }
+        worker_spans_reparented = (
+            any(s.parent_id in batch_span_ids for s in worker_spans)
+            if worker_spans
+            else None
+        )
+        slo_transitions = tuple(
+            e.kind.removeprefix("slo.")
+            for e in events.events()
+            if e.kind in ("slo.breach", "slo.recovered")
         )
 
-    bit_identical: bool | None = None
-    serial_qps: float | None = None
-    if scenario.name == "no-fault":
-        # Determinism reference: one in-process shard, same stream.
-        reference = ShardRouter(primary, [heuristic], num_shards=1, mode="inline")
-        with reference:
-            serial_start = time.perf_counter()
-            ref_estimates = np.array(
-                [
-                    s.estimate
-                    for lo in range(0, len(requests), chunk)
-                    for s in reference.serve_batch(requests[lo : lo + chunk])
-                ]
+        bit_identical: bool | None = None
+        serial_qps: float | None = None
+        if scenario.name == "no-fault":
+            # Determinism reference: one in-process shard, same stream.
+            reference = ShardRouter(
+                primary,
+                [heuristic],
+                num_shards=1,
+                mode="inline",
+                registry=MetricsRegistry(),
             )
-            serial_qps = len(requests) / (time.perf_counter() - serial_start)
-        bit_identical = bool(np.array_equal(estimates, ref_estimates))
+            with reference:
+                serial_start = perf_counter()
+                ref_estimates = np.array(
+                    [
+                        s.estimate
+                        for lo in range(0, len(requests), chunk)
+                        for s in reference.serve_batch(requests[lo : lo + chunk])
+                    ]
+                )
+                serial_qps = len(requests) / (perf_counter() - serial_start)
+            bit_identical = bool(np.array_equal(estimates, ref_estimates))
+    finally:
+        if owns_collector:
+            uninstall_collector()
 
     availability = float(
         np.mean([is_sane(v, table.num_rows) for v in estimates])
@@ -319,6 +442,10 @@ def run_chaos_scenario(
         swap_outcomes=tuple(swap_outcomes),
         bit_identical=bit_identical,
         serial_qps=serial_qps,
+        telemetry_consistent=telemetry_consistent,
+        worker_spans=len(worker_spans),
+        worker_spans_reparented=worker_spans_reparented,
+        slo_transitions=slo_transitions,
     )
 
 
@@ -368,6 +495,10 @@ def write_serve_artifacts(
                 "exhausted_shards": r.exhausted_shards,
                 "fallback_mode_shards": r.fallback_mode_shards,
                 "swap_outcomes": list(r.swap_outcomes),
+                "telemetry_consistent": r.telemetry_consistent,
+                "worker_spans": r.worker_spans,
+                "worker_spans_reparented": r.worker_spans_reparented,
+                "slo_transitions": list(r.slo_transitions),
             }
             for r in results
         },
@@ -442,6 +573,16 @@ def format_scale(results: list[ScaleScenarioResult]) -> str:
             extras.append(f"bit-identical={'yes' if r.bit_identical else 'NO'}")
         if r.exhausted_shards:
             extras.append(f"exhausted={r.exhausted_shards}")
+        if not r.telemetry_consistent:
+            extras.append("telemetry=MISMATCH")
+        if r.worker_spans_reparented is not None:
+            extras.append(
+                "spans=" + ("linked" if r.worker_spans_reparented else "ORPHANED")
+            )
+        if r.slo_transitions:
+            breaches = sum(1 for t in r.slo_transitions if t == "breach")
+            recoveries = sum(1 for t in r.slo_transitions if t == "recovered")
+            extras.append(f"slo=breach:{breaches},recovered:{recoveries}")
         rows.append(
             [
                 r.scenario,

@@ -25,13 +25,13 @@ rather than extrapolated.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..core.metrics import qerrors
+from ..obs.clock import perf_counter
 from ..estimators.learned import LwNnEstimator, NaruEstimator
 from ..nn import Adam
 from ..nn.layers import Parameter
@@ -176,10 +176,10 @@ def adam_microbench(steps: int = 150, shape: tuple[int, int] = (256, 256)) -> Ad
         opt = Adam(params, learning_rate=1e-3, fused=fused)
         for p, g in zip(params, grads):
             p.grad[...] = g
-        start = time.perf_counter()
+        start = perf_counter()
         for _ in range(steps):
             opt.step()
-        timings[fused] = time.perf_counter() - start
+        timings[fused] = perf_counter() - start
         finals[fused] = [p.value for p in params]
 
     bit_identical = all(
@@ -238,14 +238,14 @@ def fanout_result(
     ctx.train_workload(dataset)
     ctx.test_workload(dataset)
 
-    start = time.perf_counter()
+    start = perf_counter()
     serial = _fanout_search(ctx, dataset, parallelism=1)
-    serial_seconds = time.perf_counter() - start
+    serial_seconds = perf_counter() - start
 
     busy_before = worker_seconds(mode="fork")
-    start = time.perf_counter()
+    start = perf_counter()
     parallel = _fanout_search(ctx, dataset, parallelism=workers)
-    parallel_seconds = time.perf_counter() - start
+    parallel_seconds = perf_counter() - start
     busy = worker_seconds(mode="fork") - busy_before
 
     results_equal = (

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.estimator import CardinalityEstimator
+from ..obs.clock import perf_counter
 from ..core.metrics import qerrors
 from ..core.table import Table
 from ..core.workload import Workload, WorkloadGenerator
@@ -90,13 +91,13 @@ def label_update_workload(
     """
     if not estimator.requires_workload:
         return None, 0.0
-    start = time.perf_counter()
+    start = perf_counter()
     generator = WorkloadGenerator(new_table)
     queries = tuple(generator.generate_query(rng) for _ in range(num_queries))
     sample = new_table.sample(label_sample_fraction, rng)
     scale = new_table.num_rows / sample.num_rows
     cards = sample.cardinalities(list(queries)) * scale
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter() - start
     return Workload(queries, cards), elapsed
 
 

@@ -7,7 +7,6 @@ mean of q-error with more weights on larger errors" (paper Section 2.3).
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -18,6 +17,7 @@ from ...core.table import Table
 from ...core.workload import Workload
 from ...nn import Adam, Linear, ReLU, Sequential, global_grad_norm, mse_loss
 from ...obs import get_monitor
+from ...obs.clock import perf_counter
 from .featurize import LwFeaturizer, log_cardinality_labels
 
 
@@ -110,7 +110,7 @@ class LwNnEstimator(CardinalityEstimator):
         n = len(labels)
         monitor = get_monitor()
         for _ in range(epochs):
-            epoch_start = time.perf_counter() if monitor is not None else 0.0
+            epoch_start = perf_counter() if monitor is not None else 0.0
             order = self._train_rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -129,7 +129,7 @@ class LwNnEstimator(CardinalityEstimator):
                     epoch=len(self.loss_history) - 1,
                     loss=self.loss_history[-1],
                     grad_norm=global_grad_norm(self._model.parameters()),
-                    seconds=time.perf_counter() - epoch_start,
+                    seconds=perf_counter() - epoch_start,
                 )
 
     @property

@@ -9,7 +9,6 @@ materialized-sample bitmap module.  The model minimises the mean q-error
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -20,6 +19,7 @@ from ...core.table import Table
 from ...core.workload import Workload
 from ...nn import Adam, Linear, ReLU, Sequential, global_grad_norm, qerror_loss
 from ...obs import get_monitor
+from ...obs.clock import perf_counter
 from .featurize import MscnFeaturizer, log_cardinality_labels
 
 
@@ -189,7 +189,7 @@ class MscnEstimator(CardinalityEstimator):
         n = len(labels)
         monitor = get_monitor()
         for _ in range(epochs):
-            epoch_start = time.perf_counter() if monitor is not None else 0.0
+            epoch_start = perf_counter() if monitor is not None else 0.0
             order = rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -209,7 +209,7 @@ class MscnEstimator(CardinalityEstimator):
                     epoch=len(self.loss_history) - 1,
                     loss=self.loss_history[-1],
                     grad_norm=global_grad_norm(self._network.parameters()),
-                    seconds=time.perf_counter() - epoch_start,
+                    seconds=perf_counter() - epoch_start,
                 )
 
     def _update(

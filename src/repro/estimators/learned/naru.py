@@ -15,7 +15,6 @@ differ (the Stability-rule violation of paper Section 6.3).  Pass
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -27,6 +26,7 @@ from ...core.workload import Workload
 from ...nn import Adam, ResMade, global_grad_norm
 from ...nn.transformer import TransformerAR
 from ...obs import get_monitor
+from ...obs.clock import perf_counter
 from ..discretize import Discretizer
 
 
@@ -127,7 +127,7 @@ class NaruEstimator(CardinalityEstimator):
         n_cols = binned.shape[1]
         monitor = get_monitor()
         for _ in range(epochs):
-            epoch_start = time.perf_counter() if monitor is not None else 0.0
+            epoch_start = perf_counter() if monitor is not None else 0.0
             order = rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -150,7 +150,7 @@ class NaruEstimator(CardinalityEstimator):
                     epoch=len(self.loss_history) - 1,
                     loss=self.loss_history[-1],
                     grad_norm=global_grad_norm(self._model.parameters()),
-                    seconds=time.perf_counter() - epoch_start,
+                    seconds=perf_counter() - epoch_start,
                 )
 
     def _update(

@@ -15,11 +15,11 @@ the loop pays nothing.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
 from ..obs import get_monitor
+from ..obs.clock import perf_counter
 from .tree import FeatureBinner, RegressionTree
 
 
@@ -79,7 +79,7 @@ class GradientBoostedTrees:
         """Fit ``rounds`` trees against ``residual`` (mutated in place)."""
         monitor = get_monitor()
         for _ in range(rounds):
-            round_start = time.perf_counter() if monitor is not None else 0.0
+            round_start = perf_counter() if monitor is not None else 0.0
             tree = RegressionTree(self.max_depth, self.min_samples_leaf)
             tree.fit(binned, residual)
             residual -= self.learning_rate * tree.predict(binned)
@@ -89,7 +89,7 @@ class GradientBoostedTrees:
                     self.monitor_label,
                     epoch=len(self._trees) - 1,
                     loss=float(np.mean(residual * residual)),
-                    seconds=time.perf_counter() - round_start,
+                    seconds=perf_counter() - round_start,
                 )
 
     # ------------------------------------------------------------------

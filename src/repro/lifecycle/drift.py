@@ -12,7 +12,13 @@ watches two cheap signals and decides when a retrain is warranted:
   table — the paper's update procedure appends 20%, far past the
   default 10% trigger.
 
-Either signal past its threshold trips the detector.  The decision is a
+A third, *live* signal can be wired in: pass an
+:class:`~repro.obs.slo.SloRegistry` and any currently-breached
+per-tenant **accuracy SLO** (fed by the serving tier's
+``record_actual()`` feedback) also trips the detector — production
+traffic complaining is drift evidence the offline probe can't see.
+
+Any signal past its threshold trips the detector.  The decision is a
 :class:`DriftDecision` value object so callers (and tests) can see *why*
 a retrain fired.
 """
@@ -27,6 +33,7 @@ from ..core.estimator import CardinalityEstimator
 from ..core.metrics import qerrors
 from ..core.table import Table
 from ..core.workload import Workload
+from ..obs.slo import QERROR, SloRegistry
 
 
 @dataclass(frozen=True)
@@ -34,11 +41,14 @@ class DriftDecision:
     """Outcome of one drift check."""
 
     drifted: bool
-    #: which signals fired, e.g. ("qerror", "rows")
+    #: which signals fired, e.g. ("qerror", "rows", "slo")
     reasons: tuple[str, ...]
     qerror_p95: float
     baseline_p95: float
     row_growth: float
+    #: tenants whose accuracy SLO was breached when the "slo" signal
+    #: fired (empty otherwise)
+    slo_tenants: tuple[str, ...] = ()
 
     @property
     def degradation(self) -> float:
@@ -55,6 +65,7 @@ class DriftDetector:
         *,
         degradation_factor: float = 2.0,
         row_growth_threshold: float = 0.10,
+        slos: SloRegistry | None = None,
     ) -> None:
         if degradation_factor < 1.0:
             raise ValueError("degradation_factor must be >= 1")
@@ -63,6 +74,8 @@ class DriftDetector:
         self.probe = probe
         self.degradation_factor = degradation_factor
         self.row_growth_threshold = row_growth_threshold
+        #: optional live signal: breached accuracy SLOs count as drift
+        self.slos = slos
         self._baseline_p95: float | None = None
         self._baseline_rows: int | None = None
 
@@ -94,14 +107,19 @@ class DriftDetector:
         p95 = self.probe_p95(estimator, table)
         growth = (table.num_rows - self._baseline_rows) / max(self._baseline_rows, 1)
         reasons = []
+        slo_tenants: tuple[str, ...] = ()
         if p95 > self._baseline_p95 * self.degradation_factor:
             reasons.append("qerror")
         if growth >= self.row_growth_threshold:
             reasons.append("rows")
+        if self.slos is not None and self.slos.any_breached(QERROR):
+            reasons.append("slo")
+            slo_tenants = tuple(self.slos.breached_tenants(QERROR))
         return DriftDecision(
             drifted=bool(reasons),
             reasons=tuple(reasons),
             qerror_p95=p95,
             baseline_p95=self._baseline_p95,
             row_growth=growth,
+            slo_tenants=slo_tenants,
         )

@@ -10,12 +10,24 @@ flow through:
   :class:`Counter` / :class:`Gauge` / :class:`Histogram` (log-spaced
   latency buckets), Prometheus text exposition and JSON snapshots;
 * :mod:`repro.obs.tracing` — nested :func:`span` context managers with
-  parent links, a ring-buffer :class:`SpanCollector` and JSONL export;
+  parent links, cross-process trace context, a ring-buffer
+  :class:`SpanCollector` and JSONL export;
 * :mod:`repro.obs.events` — a structured :class:`EventLog` for discrete
   occurrences (breaker transitions, fallbacks, sanitizations);
 * :mod:`repro.obs.monitor` — the opt-in :class:`TrainingMonitor` hook
   the learned estimators' training loops report per-epoch loss /
-  gradient-norm / timing through.
+  gradient-norm / timing through;
+* :mod:`repro.obs.transport` — :class:`TelemetrySnapshot` delta capture
+  in forked workers, piggybacked on reply pipes and merged by the
+  parent (:class:`TelemetryMerger`) with ``{shard, worker_pid}``
+  labels;
+* :mod:`repro.obs.slo` — per-tenant latency/q-error objectives with
+  multi-window error-budget burn-rate breach detection;
+* :mod:`repro.obs.exemplars` — top-K worst-q-error / slowest estimate
+  exemplars linking queries to their trace ids;
+* :mod:`repro.obs.clock` — the designated monotonic clock aliases (the
+  lint in ``tests/test_lint.py`` bans raw ``time.monotonic()`` /
+  ``time.perf_counter()`` calls everywhere else).
 
 Metrics and events are always on (both are cheap); span collection and
 training monitoring are opt-in via :func:`install_collector` /
@@ -24,6 +36,7 @@ Tests isolate themselves with :func:`reset_for_tests`.
 """
 
 from .events import Event, EventLog, emit, get_events
+from .exemplars import Exemplar, ExemplarStore, get_exemplars
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     BREAKER_TRANSITIONS,
@@ -33,6 +46,7 @@ from .metrics import (
     LIFECYCLE_PROMOTIONS,
     LIFECYCLE_RETRAIN_ATTEMPTS,
     LIFECYCLE_TRANSITIONS,
+    OBS_DROPPED,
     PARALLEL_TASKS,
     PARALLEL_WORKERS,
     PARALLEL_WORKER_SECONDS,
@@ -45,9 +59,13 @@ from .metrics import (
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
     SERVE_TIER_SECONDS,
+    SLO_BREACHED,
+    SLO_BURN_RATE,
+    SLO_TRANSITIONS,
     TRAIN_EPOCH_SECONDS,
     TRAIN_EPOCHS,
     TRAIN_LOSS,
+    WORKER_QUERIES,
     Counter,
     Gauge,
     Histogram,
@@ -69,25 +87,51 @@ from .monitor import (
     monitored_training,
     uninstall_monitor,
 )
+from .slo import (
+    LATENCY,
+    QERROR,
+    SloObjective,
+    SloRegistry,
+    SloStatus,
+    get_slos,
+)
 from .tracing import (
     Span,
     SpanCollector,
     SpanTimer,
+    clear_trace_context,
+    current_trace_context,
     get_collector,
     install_collector,
+    reseed_span_ids,
+    set_trace_context,
     span,
     timed_span,
     uninstall_collector,
+)
+from .transport import (
+    TelemetryCapture,
+    TelemetryMerger,
+    TelemetrySnapshot,
+    get_capture,
+    install_worker_capture,
+    uninstall_capture,
 )
 
 
 def reset_for_tests() -> None:
     """Restore pristine default telemetry: zeroed registry, cleared
-    event log, no span collector, no training monitor."""
+    event log, no span collector, no training monitor, no trace
+    context, no worker capture, empty SLO registry and exemplar
+    store."""
     get_registry().reset()
     get_events().clear()
     uninstall_collector()
     uninstall_monitor()
+    clear_trace_context()
+    uninstall_capture()
+    get_slos().reset()
+    get_exemplars().clear()
 
 
 __all__ = [
@@ -98,8 +142,11 @@ __all__ = [
     "EpochRecord",
     "Event",
     "EventLog",
+    "Exemplar",
+    "ExemplarStore",
     "Gauge",
     "Histogram",
+    "LATENCY",
     "LIFECYCLE_CHECKPOINTS",
     "LIFECYCLE_MODEL_GENERATION",
     "LIFECYCLE_PROMOTIONS",
@@ -107,9 +154,11 @@ __all__ = [
     "LIFECYCLE_TRANSITIONS",
     "LatencyWindow",
     "MetricsRegistry",
+    "OBS_DROPPED",
     "PARALLEL_TASKS",
     "PARALLEL_WORKERS",
     "PARALLEL_WORKER_SECONDS",
+    "QERROR",
     "SERVE_CACHE",
     "SERVE_REQUESTS",
     "SERVE_TIER_ATTEMPTS",
@@ -119,30 +168,49 @@ __all__ = [
     "SHARD_SWAPS",
     "SHARD_WORKERS",
     "SHARD_WORKER_RESTARTS",
+    "SLO_BREACHED",
+    "SLO_BURN_RATE",
+    "SLO_TRANSITIONS",
     "Sample",
+    "SloObjective",
+    "SloRegistry",
+    "SloStatus",
     "Span",
     "SpanCollector",
     "SpanTimer",
     "TRAIN_EPOCHS",
     "TRAIN_EPOCH_SECONDS",
     "TRAIN_LOSS",
+    "TelemetryCapture",
+    "TelemetryMerger",
+    "TelemetrySnapshot",
     "TrainingMonitor",
+    "WORKER_QUERIES",
+    "clear_trace_context",
+    "current_trace_context",
     "emit",
     "format_quantiles_ms",
+    "get_capture",
     "get_collector",
     "get_events",
+    "get_exemplars",
     "get_monitor",
     "get_registry",
+    "get_slos",
     "install_collector",
     "install_monitor",
+    "install_worker_capture",
     "log_spaced_buckets",
     "monitored_training",
     "observe_phase",
     "parse_exposition",
     "percentile_ms",
+    "reseed_span_ids",
     "reset_for_tests",
+    "set_trace_context",
     "span",
     "timed_span",
+    "uninstall_capture",
     "uninstall_collector",
     "uninstall_monitor",
 ]

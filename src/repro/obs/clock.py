@@ -1,0 +1,36 @@
+"""Designated monotonic clock helpers — the one approved time source.
+
+Every duration, deadline and timestamp in the codebase must come from a
+monotonic clock (wall clock jumps under NTP/DST; ``tests/test_lint.py``
+bans ``time.time()`` outright).  This module narrows the discipline one
+step further: direct ``time.monotonic()`` / ``time.perf_counter()``
+*calls* are also banned outside this file, so every call site either
+
+* takes an **injectable clock** (``clock: Callable[[], float]`` — the
+  pattern :class:`~repro.shard.supervisor.WorkerSupervisor` and
+  :class:`~repro.serve.service.EstimatorService` follow, which is what
+  makes their timeout/deadline logic unit-testable without sleeping), or
+* imports the aliases below.
+
+The aliases *are* the stdlib functions (no wrapper-call overhead,
+bit-identical timing); the module exists so the lint has a single
+designated place where the raw clock may be named.  Holding a
+*reference* (``clock=time.monotonic`` as a default argument) is always
+allowed — only direct calls are flagged.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: CLOCK_MONOTONIC-backed; use for deadlines and timeouts.
+monotonic = time.monotonic
+
+#: Highest-resolution monotonic clock; use for durations and spans.
+#: On Linux both are CLOCK_MONOTONIC, so ``perf_counter`` readings are
+#: comparable *across forked processes* — the property the telemetry
+#: transport relies on when it merges worker span timestamps into the
+#: parent's trace.
+perf_counter = time.perf_counter
+
+__all__ = ["monotonic", "perf_counter"]

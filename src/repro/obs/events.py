@@ -14,11 +14,12 @@ dataclass construction and a deque append, cheap enough to leave on.
 from __future__ import annotations
 
 import json
-import time
 from collections import Counter as _Counter
 from collections import deque
 from dataclasses import dataclass, field
 from types import MappingProxyType
+
+from .clock import perf_counter
 
 
 @dataclass(frozen=True)
@@ -47,14 +48,19 @@ class EventLog:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._events: deque[Event] = deque(maxlen=capacity)
+        #: events ever emitted — ``emitted_total - len(self)`` (since the
+        #: last drain) is how many the ring evicted; the telemetry
+        #: transport surfaces that as an explicit drop count
+        self.emitted_total = 0
 
     def emit(self, kind: str, **fields) -> Event:
         event = Event(
             kind=kind,
-            seconds=time.perf_counter(),
+            seconds=perf_counter(),
             fields=MappingProxyType(dict(fields)),
         )
         self._events.append(event)
+        self.emitted_total += 1
         return event
 
     def events(self, kind: str | None = None, **match) -> list[Event]:

@@ -1,0 +1,182 @@
+"""Exemplar store: the concrete worst cases behind the aggregates.
+
+Percentiles say *how bad*; exemplars say *which query*.  The store keeps
+two small top-K reservoirs per tenant — the **slowest** estimates and
+the **worst-q-error** estimates — each exemplar linking the query text,
+the estimate, the true cardinality (when fed back via
+``record_actual()``), the latency, and the ``trace_id`` of the serving
+span, so a bad tail sample is one lookup away from its full span tree.
+
+Recording is hot-path-safe: a candidate is compared against the
+reservoir's current floor *before* the :class:`Exemplar` (and the query
+repr) is built, so the steady state — a sample that doesn't make the
+board — costs one float comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One concrete estimate worth looking at."""
+
+    tenant: str
+    estimator: str
+    query: str
+    estimate: float
+    latency_seconds: float
+    actual: float | None = None
+    qerror: float | None = None
+    trace_id: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "estimator": self.estimator,
+            "query": self.query,
+            "estimate": self.estimate,
+            "latency_seconds": self.latency_seconds,
+            "actual": self.actual,
+            "qerror": self.qerror,
+            "trace_id": self.trace_id,
+        }
+
+
+class _TopK:
+    """Bounded keep-the-largest reservoir (min-heap of (key, seq, item))."""
+
+    __slots__ = ("k", "_heap", "_seq")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._heap: list[tuple[float, int, Exemplar]] = []
+        self._seq = 0  # tie-break so the heap never compares Exemplars
+
+    def floor(self) -> float | None:
+        """Smallest key on the board, or None while the board has room."""
+        if len(self._heap) < self.k:
+            return None
+        return self._heap[0][0]
+
+    def offer(self, key: float, item: Exemplar) -> bool:
+        self._seq += 1
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (key, self._seq, item))
+            return True
+        if key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (key, self._seq, item))
+            return True
+        return False
+
+    def descending(self) -> list[Exemplar]:
+        return [
+            item
+            for _, _, item in sorted(self._heap, key=lambda t: (-t[0], t[1]))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ExemplarStore:
+    """Per-tenant top-K reservoirs of slowest / worst-q-error estimates."""
+
+    def __init__(self, per_tenant: int = 8) -> None:
+        if per_tenant < 1:
+            raise ValueError("per_tenant must be at least 1")
+        self.per_tenant = per_tenant
+        self._slowest: dict[str, _TopK] = {}
+        self._worst_qerror: dict[str, _TopK] = {}
+
+    def _board(self, boards: dict[str, _TopK], tenant: str) -> _TopK:
+        board = boards.get(tenant)
+        if board is None:
+            board = boards[tenant] = _TopK(self.per_tenant)
+        return board
+
+    def would_record_latency(self, tenant: str, latency_seconds: float) -> bool:
+        """Cheap pre-check: would this latency make the board?
+
+        Lets callers skip building the query repr for the steady state.
+        """
+        board = self._slowest.get(tenant)
+        if board is None:
+            return True
+        floor = board.floor()
+        return floor is None or latency_seconds > floor
+
+    def would_record_qerror(self, tenant: str, qerror: float) -> bool:
+        board = self._worst_qerror.get(tenant)
+        if board is None:
+            return True
+        floor = board.floor()
+        return floor is None or qerror > floor
+
+    def record_latency(self, exemplar: Exemplar) -> bool:
+        return self._board(self._slowest, exemplar.tenant).offer(
+            exemplar.latency_seconds, exemplar
+        )
+
+    def record_qerror(self, exemplar: Exemplar) -> bool:
+        if exemplar.qerror is None:
+            raise ValueError("q-error exemplar needs a qerror value")
+        return self._board(self._worst_qerror, exemplar.tenant).offer(
+            exemplar.qerror, exemplar
+        )
+
+    def slowest(self, tenant: str | None = None) -> list[Exemplar]:
+        """Slowest-first exemplars for one tenant (or all tenants merged)."""
+        return self._collect(self._slowest, tenant, key=lambda e: -e.latency_seconds)
+
+    def worst_qerror(self, tenant: str | None = None) -> list[Exemplar]:
+        return self._collect(
+            self._worst_qerror, tenant, key=lambda e: -(e.qerror or 0.0)
+        )
+
+    def _collect(self, boards, tenant, key) -> list[Exemplar]:
+        if tenant is not None:
+            board = boards.get(tenant)
+            return board.descending() if board is not None else []
+        merged: list[Exemplar] = []
+        for board in boards.values():
+            merged.extend(board.descending())
+        merged.sort(key=key)
+        return merged
+
+    def tenants(self) -> list[str]:
+        return sorted(set(self._slowest) | set(self._worst_qerror))
+
+    def to_jsonl(self, path) -> int:
+        """One JSON object per exemplar, tagged with its board."""
+        written = 0
+        with open(path, "w") as fh:
+            for board_name, exemplars in (
+                ("slowest", self.slowest()),
+                ("worst_qerror", self.worst_qerror()),
+            ):
+                for exemplar in exemplars:
+                    record = {"board": board_name, **exemplar.to_dict()}
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                    written += 1
+        return written
+
+    def clear(self) -> None:
+        self._slowest.clear()
+        self._worst_qerror.clear()
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._slowest.values()) + sum(
+            len(b) for b in self._worst_qerror.values()
+        )
+
+
+_default_store = ExemplarStore()
+
+
+def get_exemplars() -> ExemplarStore:
+    """The process-wide default exemplar store."""
+    return _default_store

@@ -191,6 +191,9 @@ class Histogram(_Metric):
 
     ``bounds`` are the inclusive upper bounds of the finite buckets; an
     implicit ``+Inf`` bucket catches everything above the last bound.
+    Fixed buckets make series **mergeable**: a worker process can ship
+    its per-bucket counts across a pipe and the parent adds them in via
+    :meth:`merge_series` without losing any exposition fidelity.
     """
 
     kind = "histogram"
@@ -228,6 +231,30 @@ class Histogram(_Metric):
         series.counts[index] += 1
         series.total += value
         series.count += 1
+
+    def merge_series(
+        self,
+        counts: Sequence[int],
+        total: float,
+        count: int,
+        **labels: object,
+    ) -> None:
+        """Add another histogram's per-bucket counts into one series.
+
+        The telemetry transport's merge path: ``counts`` must come from
+        a histogram with identical bounds (one entry per finite bucket
+        plus the ``+Inf`` bucket).
+        """
+        if len(counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"cannot merge {len(counts)} buckets into {self.name} "
+                f"({len(self.bounds) + 1} buckets)"
+            )
+        series = self._get(self._check_labels(labels))
+        for i, bucket_count in enumerate(counts):
+            series.counts[i] += int(bucket_count)
+        series.total += float(total)
+        series.count += int(count)
 
     def count(self, **labels: object) -> int:
         series = self._series.get(_label_key(labels))
@@ -344,6 +371,54 @@ class MetricsRegistry:
         """JSON-safe dict: ``{metric_name: {kind, help, series}}``."""
         return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
 
+    def merge_snapshot(
+        self, snapshot: dict, extra_labels: dict[str, object] | None = None
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The dual of :meth:`snapshot`, and the metrics half of the
+        cross-process telemetry transport: a worker captures its registry
+        as a snapshot (then resets, so each capture is a *delta*), ships
+        it over the reply pipe, and the parent merges it here.
+        ``extra_labels`` (e.g. ``worker_pid``/``shard``) are appended to
+        every merged series so worker-originated samples stay
+        distinguishable from the parent's own.
+
+        Counters add, gauges last-write-win, histograms merge per-bucket
+        (bounds must match — both sides build them from the same code).
+        """
+        extra = extra_labels or {}
+        for name, data in snapshot.items():
+            kind = data.get("kind", "untyped")
+            if kind == "counter":
+                counter = self.counter(name, data.get("help", ""))
+                for series in data["series"]:
+                    if series["value"] > 0.0:
+                        counter.inc(series["value"], **series["labels"], **extra)
+            elif kind == "gauge":
+                gauge = self.gauge(name, data.get("help", ""))
+                for series in data["series"]:
+                    gauge.set(series["value"], **series["labels"], **extra)
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, data.get("help", ""), buckets=data["buckets"]
+                )
+                if list(histogram.bounds) != list(data["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ; "
+                        "cannot merge"
+                    )
+                for series in data["series"]:
+                    histogram.merge_series(
+                        series["counts"],
+                        series["sum"],
+                        series["count"],
+                        **series["labels"],
+                        **extra,
+                    )
+            else:
+                raise ValueError(f"cannot merge metric kind {kind!r} ({name})")
+
     def to_json(self, path) -> None:
         with open(path, "w") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
@@ -368,12 +443,24 @@ class Sample:
     value: float
 
 
+#: one quoted label pair; the value admits any escaped character, so
+#: ``"``, ``\`` and ``}``/``=`` inside values cannot confuse the parser
+_LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^{}]*)\})?"
+    rf"(?:\{{(?P<labels>(?:{_LABEL_PAIR})(?:,(?:{_LABEL_PAIR}))*,?)?\}})?"
     r" (?P<value>[^ ]+)$"
 )
 _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_ESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape_label_value(value: str) -> str:
+    """Exact inverse of the escaping applied by :func:`_format_labels`."""
+    return _ESCAPE_RE.sub(
+        lambda m: _UNESCAPES.get(m.group(1), m.group(1)), value
+    )
 
 
 def parse_exposition(text: str) -> list[Sample]:
@@ -381,7 +468,10 @@ def parse_exposition(text: str) -> list[Sample]:
 
     Raises :class:`ValueError` on the first malformed line; returns the
     parsed samples otherwise, so tests can cross-check exposition
-    contents against in-process counters.
+    contents against in-process counters.  Label values are unescaped
+    (``\\\\`` / ``\\"`` / ``\\n``), so a registry → :meth:`render_text`
+    → ``parse_exposition`` round-trip reproduces the original label
+    values exactly, whatever characters they contain.
     """
     samples: list[Sample] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -403,11 +493,9 @@ def parse_exposition(text: str) -> list[Sample]:
         labels: dict[str, str] = {}
         raw = match.group("labels")
         if raw:
-            consumed = 0
             for pair in _LABEL_PAIR_RE.finditer(raw):
-                labels[pair.group(1)] = pair.group(2)
-                consumed += 1
-            if consumed != raw.count("=") or consumed == 0:
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+            if not labels:
                 raise ValueError(f"line {lineno}: malformed labels {raw!r}")
         value_text = match.group("value")
         try:
@@ -508,6 +596,19 @@ SHARD_SHED = "repro_shard_shed_total"
 SHARD_WORKER_RESTARTS = "repro_shard_worker_restarts_total"
 SHARD_WORKERS = "repro_shard_workers"
 SHARD_SWAPS = "repro_shard_swaps_total"
+#: queries answered by worker processes, labelled {shard, worker,
+#: worker_pid} after the transport merge — the per-worker serve counter
+#: whose sum must equal the parent's accepted worker-path query count
+WORKER_QUERIES = "repro_worker_queries_total"
+#: telemetry items lost to bounded snapshot buffers (drop-oldest) or to
+#: duplicate-snapshot dedupe, labelled {kind}
+OBS_DROPPED = "repro_obs_dropped_total"
+#: error-budget burn rate per {tenant, objective, window}
+SLO_BURN_RATE = "repro_slo_burn_rate"
+#: 1 while the {tenant, objective} SLO is breached, else 0
+SLO_BREACHED = "repro_slo_breached"
+#: breach/recovered transitions per {tenant, objective, transition}
+SLO_TRANSITIONS = "repro_slo_transitions_total"
 
 
 def observe_phase(

@@ -1,0 +1,362 @@
+"""Per-tenant SLOs with multi-window error-budget burn-rate evaluation.
+
+The paper's central finding is that learned estimators degrade in ways
+that only continuous monitoring catches (drift, tail q-errors, slow
+updates); ByteCard's production argument is the same — a CE system must
+watch its own accuracy and latency to know when to fall back or
+retrain.  This module turns the raw telemetry streams into *judgements*:
+
+* an **objective** says what fraction of samples (``target``, e.g. 0.99)
+  must be *good* — latency under a per-request budget, or q-error under
+  an accuracy ceiling (fed by the ``record_actual()`` feedback path once
+  true cardinalities arrive);
+* each sample is classified good/bad against the threshold and pushed
+  into **two sliding windows** (fast + slow).  The *burn rate* of a
+  window is ``bad_fraction / (1 - target)`` — the rate at which the
+  error budget is being spent (1.0 = exactly on budget);
+* **breach** requires *both* windows to burn at ``breach_burn_rate`` or
+  faster (the Google SRE multi-window rule: the slow window keeps a
+  momentary blip from paging, the fast window keeps detection prompt);
+  **recovery** requires the fast window back at or under
+  ``recover_burn_rate``.
+
+Transitions emit ``slo.breach`` / ``slo.recovered`` events and maintain
+``repro_slo_breached`` / ``repro_slo_burn_rate`` gauges plus a
+transition counter, so the lifecycle :class:`DriftDetector` (and any
+dashboard) can consume SLO state as a retrain trigger without touching
+the sample stream.
+
+The registry is a fast no-op until an objective is set: routers call
+``record_latency`` unconditionally, and tenants without objectives cost
+one dict probe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .events import EventLog, get_events
+from .metrics import (
+    SLO_BREACHED,
+    SLO_BURN_RATE,
+    SLO_TRANSITIONS,
+    MetricsRegistry,
+    get_registry,
+)
+
+#: objective kinds and the unit their thresholds are expressed in
+LATENCY = "latency"  # threshold in milliseconds per request
+QERROR = "qerror"  # threshold as a q-error ratio (>= 1.0)
+
+#: update the burn-rate gauges every Nth sample even without a
+#: transition, so dashboards track between state changes without paying
+#: label-key formatting on every record
+_GAUGE_EVERY = 32
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """Declarative objective: ``target`` fraction of samples must be good.
+
+    ``threshold`` is the per-sample good/bad cut — milliseconds for
+    :data:`LATENCY`, a ratio for :data:`QERROR`.  Window sizes are in
+    samples, not seconds: the serving tier is replay-driven and
+    sample-indexed windows keep evaluation deterministic under test
+    clocks.
+    """
+
+    objective: str
+    threshold: float
+    target: float = 0.99
+    fast_window: int = 64
+    slow_window: int = 512
+    breach_burn_rate: float = 2.0
+    recover_burn_rate: float = 1.0
+    #: samples required in a window before it can vote for a breach
+    min_samples: int = 32
+
+    def __post_init__(self) -> None:
+        if self.objective not in (LATENCY, QERROR):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.fast_window < 1 or self.slow_window < self.fast_window:
+            raise ValueError("need 1 <= fast_window <= slow_window")
+        if self.breach_burn_rate < self.recover_burn_rate:
+            raise ValueError("breach_burn_rate must be >= recover_burn_rate")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+class _Window:
+    """Sliding good/bad window with O(1) burn-rate reads."""
+
+    __slots__ = ("_flags", "_bad")
+
+    def __init__(self, size: int) -> None:
+        self._flags: deque[bool] = deque(maxlen=size)
+        self._bad = 0
+
+    def push(self, bad: bool) -> None:
+        if len(self._flags) == self._flags.maxlen and self._flags[0]:
+            self._bad -= 1
+        self._flags.append(bad)
+        if bad:
+            self._bad += 1
+
+    def __len__(self) -> int:
+        return len(self._flags)
+
+    def bad_fraction(self) -> float:
+        if not self._flags:
+            return 0.0
+        return self._bad / len(self._flags)
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """Point-in-time view of one (tenant, objective) tracker."""
+
+    tenant: str
+    objective: str
+    threshold: float
+    target: float
+    breached: bool
+    fast_burn_rate: float
+    slow_burn_rate: float
+    samples: int
+    bad_samples: int
+    breaches: int
+    recoveries: int
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "objective": self.objective,
+            "threshold": self.threshold,
+            "target": self.target,
+            "breached": self.breached,
+            "fast_burn_rate": self.fast_burn_rate,
+            "slow_burn_rate": self.slow_burn_rate,
+            "samples": self.samples,
+            "bad_samples": self.bad_samples,
+            "breaches": self.breaches,
+            "recoveries": self.recoveries,
+        }
+
+
+class SloTracker:
+    """One tenant × one objective: classify samples, detect transitions."""
+
+    def __init__(
+        self,
+        tenant: str,
+        spec: SloObjective,
+        registry: MetricsRegistry,
+        events: EventLog,
+    ) -> None:
+        self.tenant = tenant
+        self.spec = spec
+        self._registry = registry
+        self._events = events
+        self._fast = _Window(spec.fast_window)
+        self._slow = _Window(spec.slow_window)
+        self.breached = False
+        self.samples = 0
+        self.bad_samples = 0
+        self.breaches = 0
+        self.recoveries = 0
+
+    def _burn(self, window: _Window) -> float:
+        return window.bad_fraction() / self.spec.error_budget
+
+    def record(self, value: float) -> bool:
+        """Classify one sample; returns True if the SLO state flipped."""
+        bad = value > self.spec.threshold
+        self.samples += 1
+        if bad:
+            self.bad_samples += 1
+        self._fast.push(bad)
+        self._slow.push(bad)
+
+        fast_burn = self._burn(self._fast)
+        slow_burn = self._burn(self._slow)
+        transitioned = False
+        if not self.breached:
+            if (
+                len(self._fast) >= min(self.spec.min_samples, self.spec.fast_window)
+                and len(self._slow) >= self.spec.min_samples
+                and fast_burn >= self.spec.breach_burn_rate
+                and slow_burn >= self.spec.breach_burn_rate
+            ):
+                self.breached = True
+                self.breaches += 1
+                transitioned = True
+                self._transition("slo.breach", fast_burn, slow_burn)
+        else:
+            if fast_burn <= self.spec.recover_burn_rate:
+                self.breached = False
+                self.recoveries += 1
+                transitioned = True
+                self._transition("slo.recovered", fast_burn, slow_burn)
+        if transitioned or self.samples % _GAUGE_EVERY == 0:
+            self._publish_gauges(fast_burn, slow_burn)
+        return transitioned
+
+    def _transition(self, kind: str, fast_burn: float, slow_burn: float) -> None:
+        self._events.emit(
+            kind,
+            tenant=self.tenant,
+            objective=self.spec.objective,
+            threshold=self.spec.threshold,
+            fast_burn_rate=round(fast_burn, 4),
+            slow_burn_rate=round(slow_burn, 4),
+        )
+        self._registry.counter(
+            SLO_TRANSITIONS, "SLO breach/recovered transitions"
+        ).inc(
+            tenant=self.tenant,
+            objective=self.spec.objective,
+            transition="breach" if kind == "slo.breach" else "recovered",
+        )
+
+    def _publish_gauges(self, fast_burn: float, slow_burn: float) -> None:
+        burn = self._registry.gauge(
+            SLO_BURN_RATE, "Error-budget burn rate per window"
+        )
+        burn.set(fast_burn, tenant=self.tenant, objective=self.spec.objective, window="fast")
+        burn.set(slow_burn, tenant=self.tenant, objective=self.spec.objective, window="slow")
+        self._registry.gauge(
+            SLO_BREACHED, "1 while the SLO is breached, else 0"
+        ).set(1.0 if self.breached else 0.0, tenant=self.tenant, objective=self.spec.objective)
+
+    def status(self) -> SloStatus:
+        return SloStatus(
+            tenant=self.tenant,
+            objective=self.spec.objective,
+            threshold=self.spec.threshold,
+            target=self.spec.target,
+            breached=self.breached,
+            fast_burn_rate=self._burn(self._fast),
+            slow_burn_rate=self._burn(self._slow),
+            samples=self.samples,
+            bad_samples=self.bad_samples,
+            breaches=self.breaches,
+            recoveries=self.recoveries,
+        )
+
+
+class SloRegistry:
+    """All (tenant, objective) trackers plus default objectives.
+
+    ``set_objective(spec)`` with no tenant sets a *default* applied
+    lazily to any tenant whose samples arrive — per-tenant overrides via
+    ``set_objective(spec, tenant=...)`` win.  With no objectives set,
+    every ``record_*`` call is a cheap no-op, so the serving tier can
+    call in unconditionally.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self._registry = registry
+        self._events = events
+        self._defaults: dict[str, SloObjective] = {}
+        self._overrides: dict[tuple[str, str], SloObjective] = {}
+        self._trackers: dict[tuple[str, str], SloTracker] = {}
+
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def _event_log(self) -> EventLog:
+        return self._events if self._events is not None else get_events()
+
+    def set_objective(self, spec: SloObjective, tenant: str | None = None) -> None:
+        if tenant is None:
+            self._defaults[spec.objective] = spec
+        else:
+            self._overrides[(tenant, spec.objective)] = spec
+            # replace any tracker built from a previous spec
+            self._trackers.pop((tenant, spec.objective), None)
+
+    def clear_objectives(self) -> None:
+        self._defaults.clear()
+        self._overrides.clear()
+        self._trackers.clear()
+
+    def has_objectives(self) -> bool:
+        return bool(self._defaults or self._overrides)
+
+    def _tracker(self, tenant: str, objective: str) -> SloTracker | None:
+        key = (tenant, objective)
+        tracker = self._trackers.get(key)
+        if tracker is not None:
+            return tracker
+        spec = self._overrides.get(key) or self._defaults.get(objective)
+        if spec is None:
+            return None
+        tracker = SloTracker(tenant, spec, self._metrics(), self._event_log())
+        self._trackers[key] = tracker
+        return tracker
+
+    def record_latency(self, tenant: str, seconds: float) -> bool:
+        """Feed one request latency; returns True on a state transition."""
+        if not self._defaults and not self._overrides:
+            return False
+        tracker = self._tracker(tenant, LATENCY)
+        if tracker is None:
+            return False
+        return tracker.record(seconds * 1000.0)
+
+    def record_qerror(self, tenant: str, qerror: float) -> bool:
+        """Feed one q-error sample (from the record_actual feedback path)."""
+        if not self._defaults and not self._overrides:
+            return False
+        tracker = self._tracker(tenant, QERROR)
+        if tracker is None:
+            return False
+        return tracker.record(qerror)
+
+    def any_breached(self, objective: str | None = None) -> bool:
+        return any(
+            t.breached
+            for t in self._trackers.values()
+            if objective is None or t.spec.objective == objective
+        )
+
+    def breached_tenants(self, objective: str | None = None) -> list[str]:
+        return sorted(
+            {
+                t.tenant
+                for t in self._trackers.values()
+                if t.breached
+                and (objective is None or t.spec.objective == objective)
+            }
+        )
+
+    def statuses(self) -> list[SloStatus]:
+        return [
+            t.status()
+            for _, t in sorted(self._trackers.items())
+        ]
+
+    def reset(self) -> None:
+        """Drop every objective and tracker (test isolation)."""
+        self.clear_objectives()
+
+
+_default_slos = SloRegistry()
+
+
+def get_slos() -> SloRegistry:
+    """The process-wide default SLO registry."""
+    return _default_slos

@@ -11,18 +11,30 @@ Collection is opt-in: until :func:`install_collector` is called,
 :func:`timed_span` degrades to a bare pair of ``perf_counter`` reads.
 That guarded fast path is what lets the estimator hot path stay
 instrumented permanently.
+
+**Trace context.**  Every root span starts a trace (``trace_id`` is its
+own ``span_id``); children inherit the trace id through the span stack.
+For work that crosses a process boundary — a shard dispatching a batch
+to a forked worker — the parent ships ``(trace_id, parent_span_id)`` in
+the request envelope and the worker installs it with
+:func:`set_trace_context`: spans the worker opens at the top of *its*
+stack are then parented under the dispatching span, so the merged trace
+reads as one tree.  Worker processes call :func:`reseed_span_ids` with a
+pid-salted offset so their span ids can never collide with the
+parent's (fork copies the id counter).
 """
 
 from __future__ import annotations
 
 import itertools
 import json
-import time
 from collections import Counter as _Counter
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from .clock import perf_counter
 
 _span_ids = itertools.count(1)
 
@@ -31,6 +43,10 @@ _span_ids = itertools.count(1)
 _stack: list["Span"] = []
 
 _active_collector: "SpanCollector | None" = None
+
+#: (trace_id, parent_span_id) adopted by root spans — the receiving half
+#: of cross-process trace propagation; None means "start a fresh trace"
+_trace_context: tuple[int, int | None] | None = None
 
 
 @dataclass
@@ -44,6 +60,9 @@ class Span:
     end: float = 0.0
     attrs: dict = field(default_factory=dict)
     status: str = "ok"
+    #: id of the trace this span belongs to (the root span's span_id,
+    #: possibly propagated from another process)
+    trace_id: int | None = None
 
     @property
     def duration_seconds(self) -> float:
@@ -54,6 +73,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "start": self.start,
             "end": self.end,
             "duration_seconds": self.duration_seconds,
@@ -75,9 +95,14 @@ class SpanCollector:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._spans: deque[Span] = deque(maxlen=capacity)
+        #: spans ever added — ``added_total - len(self)`` (since the last
+        #: drain) is how many the ring evicted, which the telemetry
+        #: transport reports as drops instead of losing silently
+        self.added_total = 0
 
     def add(self, span: Span) -> None:
         self._spans.append(span)
+        self.added_total += 1
 
     def spans(self, name: str | None = None) -> list[Span]:
         if name is None:
@@ -124,6 +149,37 @@ def get_collector() -> SpanCollector | None:
     return _active_collector
 
 
+# ----------------------------------------------------------------------
+# Cross-process trace context
+# ----------------------------------------------------------------------
+def set_trace_context(trace_id: int, parent_span_id: int | None) -> None:
+    """Adopt a propagated trace: root spans opened after this call are
+    parented under ``parent_span_id`` and tagged with ``trace_id``."""
+    global _trace_context
+    _trace_context = (trace_id, parent_span_id)
+
+
+def clear_trace_context() -> None:
+    global _trace_context
+    _trace_context = None
+
+
+def current_trace_context() -> tuple[int, int | None] | None:
+    return _trace_context
+
+
+def reseed_span_ids(start: int) -> None:
+    """Restart the span-id counter at ``start``.
+
+    Called by forked workers with a pid-salted offset (the fork copied
+    the parent's counter, so continuing from it would mint ids that
+    collide with the parent's once merged)."""
+    global _span_ids
+    if start < 1:
+        raise ValueError("span ids must be positive")
+    _span_ids = itertools.count(start)
+
+
 @contextmanager
 def span(
     name: str, collector: SpanCollector | None = None, **attrs
@@ -137,11 +193,20 @@ def span(
     if col is None:
         yield None
         return
+    span_id = next(_span_ids)
+    if _stack:
+        parent_id = _stack[-1].span_id
+        trace_id = _stack[-1].trace_id
+    elif _trace_context is not None:
+        trace_id, parent_id = _trace_context
+    else:
+        parent_id, trace_id = None, span_id
     record = Span(
         name=name,
-        span_id=next(_span_ids),
-        parent_id=_stack[-1].span_id if _stack else None,
-        start=time.perf_counter(),
+        span_id=span_id,
+        parent_id=parent_id,
+        trace_id=trace_id,
+        start=perf_counter(),
         attrs=dict(attrs),
     )
     _stack.append(record)
@@ -154,7 +219,7 @@ def span(
         if _stack and _stack[-1] is record:
             _stack.pop()
         if record.end == 0.0:  # timed_span may have closed it already
-            record.end = time.perf_counter()
+            record.end = perf_counter()
         col.add(record)
 
 
@@ -182,11 +247,11 @@ def timed_span(
     timer = SpanTimer()
     col = collector if collector is not None else _active_collector
     if col is None:
-        start = time.perf_counter()
+        start = perf_counter()
         try:
             yield timer
         finally:
-            timer.elapsed = time.perf_counter() - start
+            timer.elapsed = perf_counter() - start
         return
     with span(name, collector=col, **attrs) as record:
         timer.span = record
@@ -194,5 +259,5 @@ def timed_span(
             yield timer
         finally:
             assert record is not None
-            record.end = time.perf_counter()
+            record.end = perf_counter()
             timer.elapsed = record.duration_seconds

@@ -48,7 +48,6 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
-import time
 import traceback
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -56,6 +55,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.clock import monotonic, perf_counter
 from ..obs import emit, get_registry
 from ..obs.metrics import PARALLEL_TASKS, PARALLEL_WORKER_SECONDS, PARALLEL_WORKERS
 
@@ -117,14 +117,14 @@ class ParallelError(RuntimeError):
 
 def _child_main(fn: Task, item: object, seed: np.random.SeedSequence, conn) -> None:
     """Worker body: run one task, ship (status, payload, seconds) back."""
-    start = time.perf_counter()
+    start = perf_counter()
     try:
         result = fn(item, np.random.default_rng(seed))
-        conn.send(("ok", result, time.perf_counter() - start))
+        conn.send(("ok", result, perf_counter() - start))
     except BaseException as exc:  # noqa: BLE001 — everything becomes data
         payload = (type(exc).__name__, str(exc), traceback.format_exc())
         try:
-            conn.send(("error", payload, time.perf_counter() - start))
+            conn.send(("error", payload, perf_counter() - start))
         except Exception:  # lint-ok: parent observes the dead pipe
             pass  # parent will observe the dead pipe as a worker death
     finally:
@@ -258,13 +258,13 @@ class ParallelExecutor:
             index = first_index + offset
             outcome: object = None
             for attempt in range(1, self.retries + 2):
-                start = time.perf_counter()
+                start = perf_counter()
                 try:
                     outcome = fn(item, derive_rng(self.base_seed, index))
-                    self._record(True, time.perf_counter() - start)
+                    self._record(True, perf_counter() - start)
                     break
                 except Exception as exc:  # in-process: only raises are catchable
-                    self._record(False, time.perf_counter() - start)
+                    self._record(False, perf_counter() - start)
                     outcome = TaskFailure(
                         index=index,
                         error_type=type(exc).__name__,
@@ -290,7 +290,7 @@ class ParallelExecutor:
         process.start()
         child_conn.close()  # parent keeps only the read end
         deadline = (
-            time.monotonic() + self.task_timeout if self.task_timeout is not None else None
+            monotonic() + self.task_timeout if self.task_timeout is not None else None
         )
         return parent_conn, _Running(index, attempt, process, deadline)
 
@@ -324,7 +324,7 @@ class ParallelExecutor:
                     running[conn] = state
                 if not running:
                     break
-                now = time.monotonic()
+                now = monotonic()
                 deadlines = [s.deadline for s in running.values() if s.deadline is not None]
                 wait_for = min((d - now for d in deadlines), default=None)
                 ready = multiprocessing.connection.wait(
@@ -367,7 +367,7 @@ class ParallelExecutor:
                             )
                     finally:
                         conn.close()
-                now = time.monotonic()
+                now = monotonic()
                 for conn in [
                     c for c, s in running.items()
                     if s.deadline is not None and now >= s.deadline

@@ -45,12 +45,13 @@ from __future__ import annotations
 import math
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.estimator import CardinalityEstimator
+from ..core.metrics import qerror as _qerror
 from ..core.query import Query
 from ..core.table import Table
 from ..core.workload import Workload
@@ -60,12 +61,17 @@ from ..obs import (
     SERVE_TIER_ATTEMPTS,
     SERVE_TIER_SECONDS,
     EventLog,
+    Exemplar,
+    ExemplarStore,
     LatencyWindow,
     MetricsRegistry,
+    SloRegistry,
     SpanCollector,
     format_quantiles_ms,
     get_events,
+    get_exemplars,
     get_registry,
+    get_slos,
     span,
 )
 from ..rules.enforce import clamp_to_bounds, trivial_answer
@@ -96,6 +102,9 @@ class ServedEstimate:
     latency_seconds: float
     #: (tier, outcome) per chain step, e.g. ("naru", "nan")
     attempts: tuple[tuple[str, str], ...]
+    #: trace id of the serving span (None when no collector is active);
+    #: links accuracy feedback and exemplars back to the full span tree
+    trace_id: int | None = None
 
 
 @dataclass(frozen=True)
@@ -222,6 +231,8 @@ class EstimatorService(CardinalityEstimator):
         collector: SpanCollector | None = None,
         events: EventLog | None = None,
         cache: EstimateCache | int | None = None,
+        slos: SloRegistry | None = None,
+        exemplars: ExemplarStore | None = None,
     ) -> None:
         super().__init__()
         if not tiers:
@@ -239,6 +250,8 @@ class EstimatorService(CardinalityEstimator):
         self._registry = registry
         self._collector = collector
         self._events = events
+        self._slos = slos
+        self._exemplars = exemplars
         self._tiers: list[_Tier] = []
         seen: Counter = Counter()
         for est in tiers:
@@ -316,6 +329,7 @@ class EstimatorService(CardinalityEstimator):
             if root is not None:
                 root.attrs["tier"] = served.tier
                 root.attrs["degraded"] = served.degraded
+                served = replace(served, trace_id=root.trace_id)
             return served
 
     def _cached_answer(self, query: Query) -> ServedEstimate | None:
@@ -465,6 +479,46 @@ class EstimatorService(CardinalityEstimator):
         """Serve a batch, one by one (the harness replay path)."""
         return [self.serve(q) for q in queries]
 
+    # ------------------------------------------------------------------
+    # Accuracy feedback
+    # ------------------------------------------------------------------
+    def record_actual(
+        self,
+        query: Query,
+        served: ServedEstimate,
+        actual: float,
+        tenant: str = "default",
+    ) -> float:
+        """Feed back the true cardinality for an earlier estimate.
+
+        The execution engine learns the real row count long after the
+        estimate was served; calling this closes the loop: the q-error
+        sample feeds the per-tenant accuracy SLO (breach detection) and,
+        when bad enough, the worst-q-error exemplar board — carrying the
+        serving span's ``trace_id`` so the bad estimate links straight
+        to its trace.  Returns the q-error.
+        """
+        q = _qerror(served.estimate, actual)
+        slos = self._slos if self._slos is not None else get_slos()
+        slos.record_qerror(tenant, q)
+        exemplars = (
+            self._exemplars if self._exemplars is not None else get_exemplars()
+        )
+        if exemplars.would_record_qerror(tenant, q):
+            exemplars.record_qerror(
+                Exemplar(
+                    tenant=tenant,
+                    estimator=served.tier,
+                    query=repr(query),
+                    estimate=served.estimate,
+                    latency_seconds=served.latency_seconds,
+                    actual=actual,
+                    qerror=q,
+                    trace_id=served.trace_id,
+                )
+            )
+        return q
+
     def serve_batch(self, queries: Sequence[Query]) -> list[ServedEstimate]:
         """Serve a batch through each tier's batched hot path.
 
@@ -485,8 +539,11 @@ class EstimatorService(CardinalityEstimator):
             collector=self._collector,
             service=self.name,
             batch=len(queries),
-        ):
-            return self._serve_batch_inner(queries)
+        ) as root:
+            results = self._serve_batch_inner(queries)
+            if root is not None:
+                results = [replace(s, trace_id=root.trace_id) for s in results]
+            return results
 
     def _serve_batch_inner(self, queries: list[Query]) -> list[ServedEstimate]:
         table = self.table

@@ -41,9 +41,15 @@ from ..obs import (
     SHARD_REQUESTS,
     SHARD_SWAPS,
     EventLog,
+    Exemplar,
+    ExemplarStore,
     MetricsRegistry,
+    SloRegistry,
     get_events,
+    get_exemplars,
     get_registry,
+    get_slos,
+    span,
 )
 from ..rules.enforce import clamp_to_bounds, is_sane
 from ..serve.heuristic import HeuristicConstantEstimator
@@ -82,6 +88,11 @@ class ShardStats:
 
     requests: int = 0
     worker_served: int = 0
+    #: queries in worker replies the parent *accepted* (pre-validation);
+    #: the parent-side quantity the merged per-worker serve counters sum
+    #: to — unlike ``worker_served`` it still counts NaN-corrupted
+    #: answers that the fallback chain re-served
+    worker_answered: int = 0
     fallback_served: int = 0
     shed: int = 0
     redispatches: int = 0
@@ -108,6 +119,9 @@ class Shard:
         cache_capacity: int | None = None,
         events: EventLog | None = None,
         registry: MetricsRegistry | None = None,
+        telemetry: bool = True,
+        slos: SloRegistry | None = None,
+        exemplars: ExemplarStore | None = None,
     ) -> None:
         self.name = name
         self.estimator = estimator
@@ -115,6 +129,9 @@ class Shard:
         self._fallback_tiers = list(fallback_tiers)
         self._events = events
         self._registry = registry
+        self.telemetry = telemetry
+        self._slos = slos
+        self._exemplars = exemplars
         self._num_workers = num_workers
         self._mode = mode
         self._policy = policy
@@ -133,6 +150,8 @@ class Shard:
             cache=cache_capacity,
             events=events,
             registry=registry,
+            slos=slos,
+            exemplars=exemplars,
         )
         # Shed answers come straight from the magic-constant tier: it
         # cannot fail and costs microseconds, which is the whole point
@@ -161,6 +180,7 @@ class Shard:
             seed=self._seed,
             events=self._events,
             registry=self._registry,
+            telemetry=self.telemetry,
         )
 
     def start(self) -> None:
@@ -171,51 +191,102 @@ class Shard:
 
     # ------------------------------------------------------------------
     def serve_batch(self, requests: list[ShardRequest]) -> list[ServedEstimate]:
-        """Answer every request: worker path, fallback chain, or shed."""
-        results: list[ServedEstimate | None] = [None] * len(requests)
-        decision = self.admission.admit(requests)
+        """Answer every request: worker path, fallback chain, or shed.
 
-        if decision.shed:
-            shed_queries = [requests[i].query for i, _ in decision.shed]
-            values = self._shed_estimator.estimate_many(shed_queries)
-            for (index, reason), value in zip(decision.shed, values):
-                results[index] = ServedEstimate(
-                    estimate=float(value),
-                    tier="shed:heuristic",
-                    tier_index=-1,
-                    degraded=True,
-                    latency_seconds=0.0,
-                    attempts=(("admission", f"shed-{reason}"),),
+        The whole batch is served under a ``serve.batch`` root span
+        whose ``(trace_id, span_id)`` ride the worker request envelope,
+        so worker-originated spans re-parent under it in the merged
+        trace.  Per-request latencies feed the per-tenant SLO engine and
+        the slowest-estimate exemplar board.
+        """
+        with span(
+            "serve.batch", shard=self.name, batch=len(requests)
+        ) as root:
+            trace_ctx = (
+                (root.trace_id, root.span_id) if root is not None else None
+            )
+            trace_id = root.trace_id if root is not None else None
+            results: list[ServedEstimate | None] = [None] * len(requests)
+            decision = self.admission.admit(requests)
+
+            if decision.shed:
+                shed_queries = [requests[i].query for i, _ in decision.shed]
+                values = self._shed_estimator.estimate_many(shed_queries)
+                for (index, reason), value in zip(decision.shed, values):
+                    results[index] = ServedEstimate(
+                        estimate=float(value),
+                        tier="shed:heuristic",
+                        tier_index=-1,
+                        degraded=True,
+                        latency_seconds=0.0,
+                        attempts=(("admission", f"shed-{reason}"),),
+                        trace_id=trace_id,
+                    )
+                self.stats.shed += len(decision.shed)
+                for reason, count in decision.shed_reasons.items():
+                    self.stats.shed_reasons[reason] = (
+                        self.stats.shed_reasons.get(reason, 0) + count
+                    )
+
+            admitted = list(decision.admitted)
+            if admitted:
+                queries = [requests[i].query for i in admitted]
+                served_admitted = self._serve_admitted(
+                    queries, trace_ctx, trace_id
                 )
-            self.stats.shed += len(decision.shed)
-            for reason, count in decision.shed_reasons.items():
-                self.stats.shed_reasons[reason] = (
-                    self.stats.shed_reasons.get(reason, 0) + count
+                for index, served in zip(admitted, served_admitted):
+                    results[index] = served
+
+            self.stats.requests += len(requests)
+            self._obs_registry().counter(
+                SHARD_REQUESTS, "Requests served, by path"
+            ).inc(len(requests), shard=self.name, path="total")
+            assert all(r is not None for r in results)
+            self._observe_slo(requests, results)
+            return results  # type: ignore[return-value]
+
+    def _observe_slo(
+        self,
+        requests: list[ShardRequest],
+        results: list[ServedEstimate | None],
+    ) -> None:
+        """Feed per-tenant latency SLOs and the slowest-exemplar board."""
+        slos = self._slos if self._slos is not None else get_slos()
+        exemplars = (
+            self._exemplars if self._exemplars is not None else get_exemplars()
+        )
+        for request, served in zip(requests, results):
+            slos.record_latency(request.tenant, served.latency_seconds)
+            if exemplars.would_record_latency(
+                request.tenant, served.latency_seconds
+            ):
+                exemplars.record_latency(
+                    Exemplar(
+                        tenant=request.tenant,
+                        estimator=served.tier,
+                        query=repr(request.query),
+                        estimate=served.estimate,
+                        latency_seconds=served.latency_seconds,
+                        trace_id=served.trace_id,
+                    )
                 )
 
-        admitted = list(decision.admitted)
-        if admitted:
-            queries = [requests[i].query for i in admitted]
-            for index, served in zip(admitted, self._serve_admitted(queries)):
-                results[index] = served
-
-        self.stats.requests += len(requests)
-        self._obs_registry().counter(
-            SHARD_REQUESTS, "Requests served, by path"
-        ).inc(len(requests), shard=self.name, path="total")
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
-
-    def _serve_admitted(self, queries: list[Query]) -> list[ServedEstimate]:
+    def _serve_admitted(
+        self,
+        queries: list[Query],
+        trace_ctx: tuple[int, int] | None = None,
+        trace_id: int | None = None,
+    ) -> list[ServedEstimate]:
         """Worker dispatch with validation; fallback chain on any miss."""
         if not self.fallback_mode:
-            dispatch = self.supervisor.dispatch(queries)
+            dispatch = self.supervisor.dispatch(queries, trace_ctx)
             if dispatch.attempts > 1:
                 self.stats.redispatches += dispatch.attempts - 1
             if dispatch.values is not None:
+                self.stats.worker_answered += len(queries)
                 self.admission.observe_service(len(queries), dispatch.seconds)
                 return self._validate_worker_values(
-                    queries, dispatch.values, dispatch.seconds
+                    queries, dispatch.values, dispatch.seconds, trace_id
                 )
             if self.supervisor.exhausted:
                 # Restart budget spent everywhere: stop paying the
@@ -229,7 +300,11 @@ class Shard:
         return served
 
     def _validate_worker_values(
-        self, queries: list[Query], values: np.ndarray, seconds: float
+        self,
+        queries: list[Query],
+        values: np.ndarray,
+        seconds: float,
+        trace_id: int | None = None,
     ) -> list[ServedEstimate]:
         """Accept sane worker answers; re-serve the rest in-process.
 
@@ -258,6 +333,7 @@ class Shard:
                     degraded=False,
                     latency_seconds=latency,
                     attempts=(("worker", outcome),),
+                    trace_id=trace_id,
                 )
             else:
                 bad.append(i)
@@ -298,6 +374,9 @@ class Shard:
         dispatch = self.supervisor.dispatch(list(queries))
         if dispatch.values is None:
             return False
+        # probes are accepted worker replies too: count them so the
+        # merged per-worker serve counters still sum to worker_answered
+        self.stats.worker_answered += len(queries)
         num_rows = self.table.num_rows
         return bool(
             np.all(np.isfinite(dispatch.values))
@@ -333,12 +412,18 @@ class ShardRouter:
         cache_capacity: int | None = None,
         events: EventLog | None = None,
         registry: MetricsRegistry | None = None,
+        telemetry: bool = True,
+        slos: SloRegistry | None = None,
+        exemplars: ExemplarStore | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         self.estimator = estimator
         self._events = events
         self._registry = registry
+        self.telemetry = telemetry
+        self._slos = slos
+        self._exemplars = exemplars
         self.shards: dict[str, Shard] = {}
         for i in range(num_shards):
             name = f"shard-{i}"
@@ -357,6 +442,9 @@ class ShardRouter:
                 cache_capacity=cache_capacity,
                 events=events,
                 registry=registry,
+                telemetry=telemetry,
+                slos=slos,
+                exemplars=exemplars,
             )
         self.ring = HashRing(self.shards, replicas=ring_replicas)
         self.started = False
@@ -407,6 +495,23 @@ class ShardRouter:
     def serve_queries(self, queries: Sequence[Query]) -> list[ServedEstimate]:
         """Convenience: serve plain queries with default metadata."""
         return self.serve_batch([ShardRequest(query=q) for q in queries])
+
+    def record_actual(
+        self,
+        request: ShardRequest,
+        served: ServedEstimate,
+        actual: float,
+    ) -> float:
+        """Feed back the true cardinality for an earlier served estimate.
+
+        Routes the q-error sample to the owning shard's fallback
+        service, which updates the tenant's accuracy SLO and the
+        worst-q-error exemplar board.  Returns the q-error.
+        """
+        shard = self.shards[self.route(request)]
+        return shard.fallback_service.record_actual(
+            request.query, served, actual, tenant=request.tenant
+        )
 
     # ------------------------------------------------------------------
     def rolling_swap(
@@ -483,6 +588,7 @@ class ShardRouter:
         for stats in self.stats().values():
             total.requests += stats.requests
             total.worker_served += stats.worker_served
+            total.worker_answered += stats.worker_answered
             total.fallback_served += stats.fallback_served
             total.shed += stats.shed
             total.redispatches += stats.redispatches

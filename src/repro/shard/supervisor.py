@@ -30,11 +30,22 @@ robustness boundary:
 ``mode="inline"`` runs the pool in-process (no forks) with identical
 dispatch semantics — the determinism reference for the bit-identity
 check, and the automatic degradation on platforms without ``fork``.
+
+**Telemetry** (on by default): each worker installs a
+:class:`~repro.obs.transport.TelemetryCapture` after the fork and
+piggybacks a :class:`~repro.obs.transport.TelemetrySnapshot` delta on
+every serve reply; the parent folds replies through a
+:class:`~repro.obs.transport.TelemetryMerger` (deduped on
+``(worker_pid, seq)``), so worker-side counters, spans and events
+survive the pipe boundary.  The request envelope carries the caller's
+``(trace_id, parent_span_id)`` so worker spans re-parent under the
+dispatching ``serve.batch`` span.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -47,11 +58,16 @@ from ..lifecycle.retrain import RetryPolicy
 from ..obs import (
     SHARD_WORKER_RESTARTS,
     SHARD_WORKERS,
+    WORKER_QUERIES,
     EventLog,
     MetricsRegistry,
+    TelemetryMerger,
     get_events,
     get_registry,
+    install_worker_capture,
+    set_trace_context,
 )
+from ..obs.clock import monotonic, perf_counter
 
 #: Worker lifecycle states (the gauge's ``state`` label).
 LIVE = "live"
@@ -60,19 +76,37 @@ EXHAUSTED = "exhausted"
 STOPPED = "stopped"
 
 
-def _worker_main(estimator: CardinalityEstimator, conn) -> None:
+def _worker_main(
+    estimator: CardinalityEstimator,
+    conn,
+    shard: str = "",
+    worker_name: str = "",
+    telemetry: bool = False,
+) -> None:
     """Worker body: answer serve/ping messages until told to stop.
 
     Estimator exceptions are shipped back as data (the worker survives
     them); a crash fault calls ``os._exit`` underneath us and the parent
     observes the dead pipe.
+
+    With ``telemetry`` on, the worker resets its fork-copied telemetry
+    singletons, installs a delta capture, and attaches a snapshot to
+    every serve reply (and to the stop acknowledgement).  Because the
+    capture resets on every take, a reply the parent never accepts loses
+    its delta — at-most-once, never double-counted.
     """
+    capture = None
+    registry = get_registry()
+    if telemetry:
+        capture = install_worker_capture(shard=shard, worker=worker_name)
     try:
         while True:
             message = conn.recv()
             op = message[0]
             if op == "serve":
-                _, request_id, queries = message
+                _, request_id, queries, trace_ctx = message
+                if trace_ctx is not None:
+                    set_trace_context(*trace_ctx)
                 try:
                     values = np.asarray(
                         estimator.estimate_many(queries), dtype=np.float64
@@ -82,15 +116,23 @@ def _worker_main(estimator: CardinalityEstimator, conn) -> None:
                             f"worker returned shape {values.shape} "
                             f"for {len(queries)} queries"
                         )
-                    conn.send(("result", request_id, values))
+                    if telemetry:
+                        registry.counter(
+                            WORKER_QUERIES,
+                            "Queries answered by worker processes",
+                        ).inc(len(queries), worker=worker_name)
+                    snap = capture.take() if capture is not None else None
+                    conn.send(("result", request_id, values, snap))
                 except Exception as exc:  # lint-ok: error shipped to parent
+                    snap = capture.take() if capture is not None else None
                     conn.send(
-                        ("error", request_id, f"{type(exc).__name__}: {exc}")
+                        ("error", request_id, f"{type(exc).__name__}: {exc}", snap)
                     )
             elif op == "ping":
                 conn.send(("pong", message[1]))
             elif op == "stop":
-                conn.send(("stopped",))
+                snap = capture.take() if capture is not None else None
+                conn.send(("stopped", snap))
                 return
     except (EOFError, OSError, KeyboardInterrupt):
         return  # parent went away or is shutting down; nothing to clean
@@ -143,6 +185,7 @@ class WorkerSupervisor:
         clock: Callable[[], float] = time.monotonic,
         events: EventLog | None = None,
         registry: MetricsRegistry | None = None,
+        telemetry: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -167,6 +210,10 @@ class WorkerSupervisor:
         self._clock = clock
         self._events = events
         self._registry = registry
+        self.telemetry = telemetry
+        #: parent-side fold of worker snapshots (exposed for tests; the
+        #: span destination resolves per-merge from the active collector)
+        self.merger = TelemetryMerger(registry=registry, events=events)
         self._workers = [
             _Worker(name=f"{shard}/w{i}", index=i) for i in range(num_workers)
         ]
@@ -194,7 +241,7 @@ class WorkerSupervisor:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         process = ctx.Process(
             target=_worker_main,
-            args=(self.estimator, child_conn),
+            args=(self.estimator, child_conn, self.shard, worker.name, self.telemetry),
             name=worker.name,
             daemon=True,
         )
@@ -220,11 +267,16 @@ class WorkerSupervisor:
                 continue
             try:
                 worker.conn.send(("stop",))
-                deadline = time.monotonic() + timeout_seconds
-                while time.monotonic() < deadline:
-                    if not worker.conn.poll(deadline - time.monotonic()):
+                deadline = monotonic() + timeout_seconds
+                while monotonic() < deadline:
+                    if not worker.conn.poll(deadline - monotonic()):
                         break
-                    if worker.conn.recv()[0] == "stopped":
+                    message = worker.conn.recv()
+                    if message[0] == "stopped":
+                        # the stop acknowledgement carries the worker's
+                        # final telemetry delta
+                        if len(message) > 1 and message[1] is not None:
+                            self.merger.merge(message[1])
                         break
             except (BrokenPipeError, EOFError, OSError):
                 pass  # already dead; join below reaps it
@@ -241,15 +293,23 @@ class WorkerSupervisor:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, queries: Sequence[Query]) -> DispatchResult:
+    def dispatch(
+        self,
+        queries: Sequence[Query],
+        trace_ctx: tuple[int, int] | None = None,
+    ) -> DispatchResult:
         """Send one batch to a live worker; re-dispatch on crash/hang.
 
         Tries each currently-live worker at most once (round-robin from
         the last dispatch point).  Returns ``values=None`` when no
         worker could answer — the caller degrades to in-process serving,
         so a dispatch failure is never an unanswered query.
+
+        ``trace_ctx`` is the dispatching span's ``(trace_id, span_id)``;
+        the worker adopts it so its spans re-parent under the caller's
+        ``serve.batch`` span in the merged trace.
         """
-        start = time.perf_counter()
+        start = perf_counter()
         self.restart_due()
         queries = list(queries)
         attempts = 0
@@ -261,11 +321,11 @@ class WorkerSupervisor:
                     values=None,
                     worker=None,
                     attempts=attempts,
-                    seconds=time.perf_counter() - start,
+                    seconds=perf_counter() - start,
                 )
             tried.add(worker.index)
             attempts += 1
-            values = self._call(worker, queries)
+            values = self._call(worker, queries, trace_ctx)
             if values is not None:
                 if attempts > 1:
                     self._obs_events().emit(
@@ -279,7 +339,7 @@ class WorkerSupervisor:
                     values=values,
                     worker=worker.name,
                     attempts=attempts,
-                    seconds=time.perf_counter() - start,
+                    seconds=perf_counter() - start,
                 )
 
     def _pick(self, tried: set[int]) -> _Worker | None:
@@ -291,7 +351,12 @@ class WorkerSupervisor:
                 return worker
         return None
 
-    def _call(self, worker: _Worker, queries: list[Query]) -> np.ndarray | None:
+    def _call(
+        self,
+        worker: _Worker,
+        queries: list[Query],
+        trace_ctx: tuple[int, int] | None = None,
+    ) -> np.ndarray | None:
         if self.mode == "inline":
             try:
                 values = np.asarray(
@@ -303,18 +368,30 @@ class WorkerSupervisor:
                 self._fail(worker, "error", detail=f"{type(exc).__name__}: {exc}")
                 return None
             worker.last_heartbeat = self._clock()
+            if self.telemetry:
+                # inline workers share the parent's registry; write the
+                # per-worker counter directly with the labels the merge
+                # path would have added
+                self._obs_registry().counter(
+                    WORKER_QUERIES, "Queries answered by worker processes"
+                ).inc(
+                    len(queries),
+                    worker=worker.name,
+                    shard=self.shard,
+                    worker_pid=os.getpid(),
+                )
             return values
 
         self._request_id += 1
         request_id = self._request_id
         try:
-            worker.conn.send(("serve", request_id, queries))
+            worker.conn.send(("serve", request_id, queries, trace_ctx))
         except (BrokenPipeError, EOFError, OSError):
             self._fail(worker, "crash", detail="pipe closed on send")
             return None
-        deadline = time.monotonic() + self.request_timeout_seconds
+        deadline = monotonic() + self.request_timeout_seconds
         while True:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - monotonic()
             if remaining <= 0.0:
                 self._fail(worker, "hang", detail="request timeout")
                 return None
@@ -328,12 +405,14 @@ class WorkerSupervisor:
             kind = message[0]
             if kind == "result" and message[1] == request_id:
                 worker.last_heartbeat = self._clock()
+                self._merge_snapshot(message)
                 return message[2]
             if kind == "error" and message[1] == request_id:
                 # The worker survived; its estimator raised.  The worker
                 # stays live (the model is broken, not the process) and
                 # the caller degrades this batch.
                 worker.last_heartbeat = self._clock()
+                self._merge_snapshot(message, index=3)
                 self._obs_events().emit(
                     "shard.worker_error",
                     shard=self.shard,
@@ -341,7 +420,14 @@ class WorkerSupervisor:
                     error=message[2],
                 )
                 return None
-            # Stale response from a request we already abandoned: skip.
+            # Stale response from a request we already abandoned: skip it
+            # *without* merging its snapshot — the request was already
+            # failed over, so accepting late telemetry would let a
+            # retried batch count twice.
+
+    def _merge_snapshot(self, message: tuple, index: int = 3) -> None:
+        if len(message) > index and message[index] is not None:
+            self.merger.merge(message[index])
 
     # ------------------------------------------------------------------
     # Supervision: heartbeats, restarts, budget
@@ -360,9 +446,9 @@ class WorkerSupervisor:
             ping_id = self._request_id
             try:
                 worker.conn.send(("ping", ping_id))
-                deadline = time.monotonic() + self.heartbeat_timeout_seconds
+                deadline = monotonic() + self.heartbeat_timeout_seconds
                 while True:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - monotonic()
                     if remaining <= 0.0:
                         self._fail(worker, "hang", detail="missed heartbeat")
                         break

@@ -5,6 +5,8 @@ numbers are meaningless at this size, but the plumbing — training,
 caching, mixing, formatting — must work.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -354,3 +356,95 @@ class TestInterrupt:
         assert list(payload["scenarios"]) == ["no-fault"]
         assert payload["scenarios"]["no-fault"]["availability"] == 1.0
         assert text_path.exists()
+
+
+class TestObsReport:
+    """The obs-report experiment: SLO dashboard, exemplars, overhead."""
+
+    pytestmark = pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="no fork on platform",
+    )
+
+    def test_obs_report_plumbing(self, ctx, tmp_path):
+        import json
+
+        from repro.bench.obs_report import (
+            format_obs_report,
+            obs_report_experiment,
+        )
+
+        result = obs_report_experiment(
+            ctx,
+            replay=256,
+            num_shards=1,
+            workers_per_shard=1,
+            mode="fork",
+            trials=1,
+            out_dir=tmp_path,
+        )
+        assert result.queries == 256
+        assert set(result.tenants) == {"t0", "t1", "t2", "t3"}
+        assert result.telemetry_consistent
+        assert result.worker_spans > 0
+        assert result.worker_spans_reparented is True
+        assert any(s.objective == "latency" for s in result.statuses)
+        # the q-error feedback stride must label every tenant
+        qerror_tenants = {
+            s.tenant for s in result.statuses if s.objective == "qerror"
+        }
+        assert qerror_tenants == {"t0", "t1", "t2", "t3"}
+
+        records = [
+            json.loads(line)
+            for line in open(result.jsonl_path)  # noqa: SIM115
+        ]
+        kinds = {r["record"] for r in records}
+        assert {"slo_status", "exemplar", "overhead"} <= kinds
+        overhead_text = (tmp_path / "obs_overhead.txt").read_text()
+        assert "< 5%" in overhead_text
+
+        report = format_obs_report(result)
+        assert "Telemetry invariant" in report
+        assert "CONSISTENT" in report
+
+    def test_trace_out_includes_merged_worker_spans(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--trace-out artifacts must carry the forked workers' spans,
+        re-parented under the dispatching serve.batch spans."""
+        import json
+
+        from repro.bench import __main__ as bench_main
+        from repro.bench.obs_report import obs_report_experiment
+
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        monkeypatch.setitem(
+            bench_main.EXPERIMENTS,
+            "obs-report",
+            lambda ctx: str(
+                obs_report_experiment(
+                    ctx,
+                    replay=128,
+                    num_shards=1,
+                    workers_per_shard=1,
+                    mode="fork",
+                    trials=1,
+                    out_dir=None,
+                ).worker_spans
+            ),
+        )
+        assert bench_main.main(["obs-report", "--trace-out", str(tmp_path)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        spans_path = tmp_path / "obs-report_spans.jsonl"
+        spans = [
+            json.loads(line) for line in spans_path.read_text().splitlines()
+        ]
+        worker_spans = [
+            s for s in spans if s.get("attrs", {}).get("worker_pid")
+        ]
+        assert worker_spans, "no merged worker span in the trace dump"
+        batch_ids = {
+            s["span_id"] for s in spans if s["name"] == "serve.batch"
+        }
+        assert any(s.get("parent_id") in batch_ids for s in worker_spans)

@@ -1,6 +1,6 @@
 """Static analysis over ``src/repro``: robustness anti-patterns.
 
-Three rules, enforced by walking every module's AST:
+Four rules, enforced by walking every module's AST:
 
 1. **No bare ``except:``** — it catches ``SystemExit`` and
    ``KeyboardInterrupt``, which breaks graceful shutdown (the bench CLI
@@ -14,6 +14,12 @@ Three rules, enforced by walking every module's AST:
    emit observability (an event, a metric, or a ``*record*/*count*/
    *fail*`` helper that does so).  A silent ``pass`` hides the exact
    faults the serving layer exists to surface.
+4. **No direct ``time.monotonic()`` / ``time.perf_counter()`` calls
+   outside ``obs/clock.py``** — every timestamp must flow through the
+   designated clock module so tests and the telemetry layer can reason
+   about (and, where needed, intercept) a single clock source.
+   Passing ``time.monotonic`` as a *reference* (e.g. an injectable
+   ``clock=`` default) stays legal; only direct calls are banned.
 
 A handler that is *deliberately* silent (e.g. a child process whose
 parent observes the dead pipe) opts out with a ``# lint-ok: <reason>``
@@ -34,6 +40,12 @@ TELEMETRY_ATTRS = {"emit", "inc", "observe", "set", "warning", "error"}
 TELEMETRY_SUBSTRINGS = ("record", "count", "fail", "emit", "metric", "event")
 
 PRAGMA = "# lint-ok:"
+
+#: the one module allowed to call the stdlib monotonic clocks directly
+CLOCK_MODULE = ("obs", "clock.py")
+
+#: monotonic-clock callables that must be reached via ``obs/clock.py``
+CLOCK_ATTRS = ("monotonic", "perf_counter")
 
 
 def _python_sources() -> list[Path]:
@@ -95,12 +107,17 @@ def _has_pragma(lines: list[str], handler: ast.ExceptHandler) -> bool:
     )
 
 
+def _line_has_pragma(lines: list[str], lineno: int) -> bool:
+    return lineno <= len(lines) and PRAGMA in lines[lineno - 1]
+
+
 def _violations_in(path: Path) -> list[str]:
     source = path.read_text()
     lines = source.splitlines()
     tree = ast.parse(source, filename=str(path))
     found: list[str] = []
     rel = path.relative_to(SRC_ROOT.parent.parent)
+    is_clock_module = tuple(path.parts[-2:]) == CLOCK_MODULE
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
             if node.type is None and not _has_pragma(lines, node):
@@ -117,15 +134,26 @@ def _violations_in(path: Path) -> list[str]:
                 )
         elif isinstance(node, ast.Call):
             func = node.func
-            if (
+            if not (
                 isinstance(func, ast.Attribute)
-                and func.attr == "time"
                 and isinstance(func.value, ast.Name)
                 and func.value.id == "time"
             ):
+                continue
+            if func.attr == "time":
                 found.append(
                     f"{rel}:{node.lineno}: time.time() (wall clock) — use "
-                    "time.monotonic()/time.perf_counter()"
+                    "repro.obs.clock monotonic()/perf_counter()"
+                )
+            elif (
+                func.attr in CLOCK_ATTRS
+                and not is_clock_module
+                and not _line_has_pragma(lines, node.lineno)
+            ):
+                found.append(
+                    f"{rel}:{node.lineno}: direct time.{func.attr}() — import "
+                    "it from repro.obs.clock (the designated clock module); "
+                    "`# lint-ok: <reason>` to opt out"
                 )
     return found
 
@@ -139,7 +167,7 @@ class TestLintRules:
     """The lint rules themselves, on synthetic snippets."""
 
     @staticmethod
-    def check(snippet: str) -> list[str]:
+    def check(snippet: str, *, is_clock_module: bool = False) -> list[str]:
         lines = snippet.splitlines()
         found = []
         for node in ast.walk(ast.parse(snippet)):
@@ -152,6 +180,17 @@ class TestLintRules:
                     and not _has_pragma(lines, node)
                 ):
                     found.append("silent")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                    and func.attr in CLOCK_ATTRS
+                    and not is_clock_module
+                    and not _line_has_pragma(lines, node.lineno)
+                ):
+                    found.append("clock")
         return found
 
     def test_flags_bare_except(self):
@@ -214,3 +253,31 @@ class TestLintRules:
     def test_concrete_exception_types_are_out_of_scope(self):
         snippet = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
         assert self.check(snippet) == []
+
+    def test_flags_direct_monotonic_call(self):
+        snippet = "import time\nstart = time.monotonic()\n"
+        assert self.check(snippet) == ["clock"]
+
+    def test_flags_direct_perf_counter_call(self):
+        snippet = "import time\nstart = time.perf_counter()\n"
+        assert self.check(snippet) == ["clock"]
+
+    def test_clock_reference_is_legal(self):
+        # Injectable-clock defaults pass the callable, not its result.
+        snippet = (
+            "import time\n"
+            "def f(clock=time.monotonic):\n"
+            "    return clock()\n"
+        )
+        assert self.check(snippet) == []
+
+    def test_clock_call_accepts_pragma(self):
+        snippet = (
+            "import time\n"
+            "start = time.perf_counter()  # lint-ok: measuring the shim\n"
+        )
+        assert self.check(snippet) == []
+
+    def test_clock_module_is_exempt(self):
+        snippet = "import time\nnow = time.monotonic()\n"
+        assert self.check(snippet, is_clock_module=True) == []

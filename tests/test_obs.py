@@ -146,6 +146,37 @@ class TestMetrics:
         with pytest.raises(ValueError, match="malformed value"):
             parse_exposition("x_total 1.2.3\n")
 
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'quo"te',
+            "back\\slash",
+            "new\nline",
+            'all\\three\n"at once"',
+            r"literal \n not a newline",
+            "",
+        ],
+    )
+    def test_label_escaping_round_trips(self, value):
+        """render_text → parse_exposition reproduces the original label
+        value exactly, whatever characters it contains."""
+        reg = MetricsRegistry()
+        reg.counter("rt_total").inc(3, tier=value)
+        (sample,) = parse_exposition(reg.render_text())
+        assert sample.name == "rt_total"
+        assert sample.labels == {"tier": value}
+        assert sample.value == 3.0
+
+    def test_escaped_values_cannot_confuse_the_parser(self):
+        """Braces, equals signs and commas inside label values must not
+        split or terminate the label block."""
+        reg = MetricsRegistry()
+        hostile = 'a="b",c}d 9'
+        reg.counter("rt_total").inc(tier=hostile, other="x")
+        (sample,) = parse_exposition(reg.render_text())
+        assert sample.labels == {"tier": hostile, "other": "x"}
+        assert sample.value == 1.0
+
 
 class TestLatencySummaries:
     def test_percentile_ms_matches_numpy(self):

@@ -603,3 +603,59 @@ class TestShardRouter:
             np.isfinite(s.estimate) and 0.0 <= s.estimate <= tiny_table.num_rows
             for s in served
         )
+
+
+@needs_fork
+class TestForkTelemetry:
+    """Cross-process telemetry through real forked workers."""
+
+    def test_counter_sum_matches_and_worker_spans_reparent(self, tiny_table):
+        from repro.obs import (
+            WORKER_QUERIES,
+            EventLog,
+            MetricsRegistry,
+            SpanCollector,
+            install_collector,
+            uninstall_collector,
+        )
+
+        registry, events = MetricsRegistry(), EventLog()
+        collector = install_collector(SpanCollector())
+        try:
+            estimator = ConstantEstimator(3.0).fit(tiny_table)
+            fallback = ConstantEstimator(1.0).fit(tiny_table)
+            router = ShardRouter(
+                estimator,
+                [fallback],
+                num_shards=2,
+                workers_per_shard=2,
+                mode="fork",
+                registry=registry,
+                events=events,
+            )
+            with router:
+                for _ in range(3):
+                    router.serve_batch(
+                        [ShardRequest(query=q) for q in distinct_queries(12)]
+                    )
+                totals = router.totals()
+
+            # every query a worker answered arrived with a counter delta
+            # riding the same reply: the merged per-worker sum is exact
+            merged = sum(
+                series["value"]
+                for series in registry.counter(WORKER_QUERIES).snapshot()[
+                    "series"
+                ]
+            )
+            assert totals.worker_answered > 0
+            assert int(merged) == totals.worker_answered
+
+            spans = collector.spans()
+            worker_spans = [s for s in spans if "worker_pid" in s.attrs]
+            assert worker_spans, "no worker spans survived the merge"
+            assert all(s.attrs.get("shard") for s in worker_spans)
+            batch_ids = {s.span_id for s in spans if s.name == "serve.batch"}
+            assert any(s.parent_id in batch_ids for s in worker_spans)
+        finally:
+            uninstall_collector()
