@@ -165,6 +165,14 @@ def write_batch_artifacts(
         "batch_size": results[0].batch_size if results else 0,
         "results": {r.method: asdict(r) for r in results},
     }
+    # The fastpath experiment merges its section into the same file;
+    # regenerating the batch baseline must not drop it.
+    try:
+        existing = json.loads(json_path.read_text())
+        if "fastpath" in existing:
+            payload["fastpath"] = existing["fastpath"]
+    except (OSError, ValueError):
+        pass
     json_path.parent.mkdir(parents=True, exist_ok=True)
     json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     text_path.parent.mkdir(parents=True, exist_ok=True)

@@ -48,10 +48,13 @@ class LwNnEstimator(CardinalityEstimator):
         use_ce_features: bool = True,
         seed: int = 0,
         dtype: str = "float64",
+        quantize: str | None = None,
     ) -> None:
         super().__init__()
         if dtype not in ("float64", "float32"):
             raise ValueError(f"dtype must be float64 or float32, got {dtype!r}")
+        if quantize not in (None, "int8"):
+            raise ValueError(f"quantize must be None or 'int8', got {quantize!r}")
         self.hidden_units = hidden_units
         self.epochs = epochs
         self.update_epochs = update_epochs
@@ -60,6 +63,8 @@ class LwNnEstimator(CardinalityEstimator):
         self.use_ce_features = use_ce_features
         self.seed = seed
         self.dtype = dtype
+        self.quantize = quantize
+        self._quantized = False
         self._np_dtype = np.dtype(dtype)
         self._featurizer: LwFeaturizer | None = None
         self._model: Sequential | None = None
@@ -83,12 +88,34 @@ class LwNnEstimator(CardinalityEstimator):
         assert workload is not None
         self.begin_training(table, workload)
         self.train_epochs(workload, self.epochs)
+        if self.quantize == "int8":
+            self.quantize_int8()
+
+    def quantize_int8(self) -> None:
+        """Pack the fitted MLP's weights to int8 (inference-only).
+
+        Dense layers are swapped in place for packed
+        :class:`~repro.fastpath.quantize.QuantizedLinear` twins.  The
+        resumable-training protocol is unavailable afterwards; a fresh
+        fit (or :meth:`begin_training`) rebuilds a trainable model.
+        """
+        # Deferred import: repro.fastpath builds on the estimator layers.
+        from ...fastpath.quantize import quantize_sequential
+
+        if self._model is None:
+            raise RuntimeError("fit the estimator before quantizing")
+        if self._quantized:
+            return
+        quantize_sequential(self._model)
+        self._optimizer = None
+        self._quantized = True
 
     # ------------------------------------------------------------------
     # Resumable-training protocol (driven by repro.lifecycle)
     # ------------------------------------------------------------------
     def begin_training(self, table: Table, workload: Workload) -> None:
         """Initialise a fresh training run (epoch counter at zero)."""
+        self._quantized = False
         self._table = table
         self._train_rng = np.random.default_rng(self.seed)
         self._featurizer = LwFeaturizer(table, self.use_ce_features)
@@ -99,6 +126,11 @@ class LwNnEstimator(CardinalityEstimator):
 
     def train_epochs(self, workload: Workload, epochs: int) -> None:
         """Advance the current training run by ``epochs`` epochs."""
+        if self._quantized:
+            raise RuntimeError(
+                "int8-quantized lw-nn is inference-only; begin_training "
+                "rebuilds a trainable model"
+            )
         assert self._featurizer is not None and self._model is not None
         assert self._optimizer is not None and self._train_rng is not None
         features = self._featurizer.features_many(list(workload.queries)).astype(
@@ -139,6 +171,10 @@ class LwNnEstimator(CardinalityEstimator):
 
     def training_state(self) -> dict:
         """Snapshot of all mutable training state, checkpoint-ready."""
+        if self._quantized:
+            raise RuntimeError(
+                "int8-quantized lw-nn has no trainable state to checkpoint"
+            )
         assert self._model is not None and self._optimizer is not None
         assert self._train_rng is not None
         return {
@@ -164,6 +200,7 @@ class LwNnEstimator(CardinalityEstimator):
             raise ValueError(
                 f"checkpoint belongs to {state.get('estimator')!r}, not {self.name!r}"
             )
+        self._quantized = False
         self._table = table
         self._featurizer = LwFeaturizer(table, self.use_ce_features)
         # Construction RNG is throwaway: every weight is overwritten.
@@ -230,4 +267,8 @@ class LwNnEstimator(CardinalityEstimator):
     def model_size_bytes(self) -> int:
         if self._model is None:
             return 0
+        if self._quantized:
+            from ...fastpath.quantize import module_size_bytes
+
+            return module_size_bytes(self._model)
         return sum(p.value.nbytes for p in self._model.parameters())

@@ -146,8 +146,11 @@ class MscnEstimator(CardinalityEstimator):
         learning_rate: float = 1e-3,
         use_sample: bool = True,
         seed: int = 0,
+        quantize: str | None = None,
     ) -> None:
         super().__init__()
+        if quantize not in (None, "int8"):
+            raise ValueError(f"quantize must be None or 'int8', got {quantize!r}")
         self.hidden_units = hidden_units
         self.sample_size = sample_size
         self.epochs = epochs
@@ -156,6 +159,8 @@ class MscnEstimator(CardinalityEstimator):
         self.learning_rate = learning_rate
         self.use_sample = use_sample
         self.seed = seed
+        self.quantize = quantize
+        self._quantized = False
         self._featurizer: MscnFeaturizer | None = None
         self._network: _MscnNetwork | None = None
         self._optimizer: Adam | None = None
@@ -173,9 +178,34 @@ class MscnEstimator(CardinalityEstimator):
             rng,
             self.use_sample,
         )
+        self._quantized = False
         self._optimizer = Adam(self._network.parameters(), self.learning_rate)
         self.loss_history = []
         self._train(workload, self.epochs, rng)
+        if self.quantize == "int8":
+            self.quantize_int8()
+
+    def quantize_int8(self) -> None:
+        """Pack the three fitted MLPs' weights to int8 (inference-only).
+
+        Every dense layer is swapped for its packed
+        :class:`~repro.fastpath.quantize.QuantizedLinear` twin in place;
+        the float weights are dropped.  Further training (``update``)
+        requires a fresh fit.
+        """
+        # Deferred import: repro.fastpath builds on the estimator layers.
+        from ...fastpath.quantize import quantize_sequential
+
+        if self._network is None:
+            raise RuntimeError("fit the estimator before quantizing")
+        if self._quantized:
+            return
+        quantize_sequential(self._network.predicate_mlp)
+        if self._network.sample_mlp is not None:
+            quantize_sequential(self._network.sample_mlp)
+        quantize_sequential(self._network.output_mlp)
+        self._optimizer = None
+        self._quantized = True
 
     def _train(
         self, workload: Workload, epochs: int, rng: np.random.Generator
@@ -218,6 +248,11 @@ class MscnEstimator(CardinalityEstimator):
         """Dynamic update (the paper adopts LW's procedure for MSCN):
         refresh the materialized sample and continue training on freshly
         labelled queries for a few epochs."""
+        if self._quantized:
+            raise RuntimeError(
+                "int8-quantized mscn is inference-only; fit a fresh "
+                "estimator to train further"
+            )
         if workload is None:
             raise ValueError("mscn update needs a fresh training workload")
         assert self._featurizer is not None
@@ -251,4 +286,11 @@ class MscnEstimator(CardinalityEstimator):
     def model_size_bytes(self) -> int:
         if self._network is None:
             return 0
+        if self._quantized:
+            from ...fastpath.quantize import module_size_bytes
+
+            parts = [self._network.predicate_mlp, self._network.output_mlp]
+            if self._network.sample_mlp is not None:
+                parts.append(self._network.sample_mlp)
+            return sum(module_size_bytes(m) for m in parts)
         return sum(p.value.nbytes for p in self._network.parameters())

@@ -56,6 +56,7 @@ class NaruEstimator(CardinalityEstimator):
         seed: int = 0,
         inference_seed: int | None = None,
         dtype: str = "float64",
+        quantize: str | None = None,
     ) -> None:
         super().__init__()
         if block not in ("made", "transformer"):
@@ -66,6 +67,10 @@ class NaruEstimator(CardinalityEstimator):
             raise ValueError(f"dtype must be float64 or float32, got {dtype!r}")
         if dtype != "float64" and block != "made":
             raise ValueError("the float32 path requires the MADE block")
+        if quantize not in (None, "int8"):
+            raise ValueError(f"quantize must be None or 'int8', got {quantize!r}")
+        if quantize is not None and block != "made":
+            raise ValueError("int8 quantization requires the MADE block")
         self.hidden_units = hidden_units
         self.hidden_layers = hidden_layers
         self.max_bins = max_bins
@@ -80,7 +85,11 @@ class NaruEstimator(CardinalityEstimator):
         self.seed = seed
         self.inference_seed = inference_seed
         self.dtype = dtype
+        self.quantize = quantize
+        self._quantized = False
         self._disc: Discretizer | None = None
+        #: ResMade/TransformerAR while trainable; after
+        #: :meth:`quantize_int8`, the packed QuantizedResMade twin.
         self._model: ResMade | TransformerAR | None = None
         self._optimizer: Adam | None = None
         self._inference_rng = np.random.default_rng(seed + 1)
@@ -110,15 +119,44 @@ class NaruEstimator(CardinalityEstimator):
     def _fit(self, table: Table, workload: Workload | None) -> None:
         rng = np.random.default_rng(self.seed)
         self._disc = Discretizer(table, self.max_bins)
+        self._quantized = False
         self._model = self._build_model(rng)
         self._optimizer = Adam(self._model.parameters(), self.learning_rate)
         self.loss_history = []
         self.train_epochs(table, self.epochs, rng)
+        if self.quantize == "int8":
+            self.quantize_int8()
+
+    def quantize_int8(self) -> None:
+        """Pack the fitted MADE weights to int8 (one-way; inference-only).
+
+        The float model is dropped in favour of its
+        :class:`~repro.fastpath.quantize.QuantizedResMade` twin, which
+        serves the same two progressive-sampling kernels from packed
+        weights.  Further training requires a fresh fit.
+        """
+        # Deferred import: repro.fastpath builds on the estimator layers.
+        from ...fastpath.quantize import QuantizedResMade
+
+        if self._model is None:
+            raise RuntimeError("fit the estimator before quantizing")
+        if self._quantized:
+            return
+        if self.block != "made":
+            raise ValueError("int8 quantization requires the MADE block")
+        self._model = QuantizedResMade.from_resmade(self._model)
+        self._optimizer = None
+        self._quantized = True
 
     def train_epochs(
         self, table: Table, epochs: int, rng: np.random.Generator | None = None
     ) -> None:
         """Run additional likelihood-training epochs on ``table``."""
+        if self._quantized:
+            raise RuntimeError(
+                "int8-quantized naru is inference-only; fit a fresh "
+                "estimator to train further"
+            )
         assert self._disc is not None and self._model is not None
         assert self._optimizer is not None
         rng = rng or np.random.default_rng(self.seed + 2)
@@ -375,4 +413,7 @@ class NaruEstimator(CardinalityEstimator):
     def model_size_bytes(self) -> int:
         if self._model is None:
             return 0
+        if self._quantized:
+            # Packed int8 codes + per-channel scales/zero-points + biases.
+            return int(self._model.size_bytes())
         return sum(p.value.nbytes for p in self._model.parameters())

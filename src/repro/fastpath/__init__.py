@@ -1,0 +1,55 @@
+"""Raw-speed inference tier: quantize, distill, and cache.
+
+The paper's production-readiness verdict (Figure 4 and Section 7) is
+that learned estimators buy accuracy with inference latency.  This
+package is the repo's answer, three independently usable pieces:
+
+* :mod:`.quantize` — post-training int8 quantization of the nn
+  estimators' dense weights (per-channel affine, dequantize-on-the-fly
+  matmul), opted into via ``quantize="int8"`` on naru/mscn/lw-nn;
+* :mod:`.distill` — an lw-xgb-style GBDT student fit on a teacher's
+  outputs, served behind a confidence gate with teacher fallback and
+  deployed only through the lifecycle :class:`PromotionGate`;
+* :mod:`.semantic` — a drop-in :class:`EstimateCache` upgrade that
+  answers subset queries by predicate subsumption against cached
+  superset rectangles, with monotonicity-bounded answers.
+
+Everything here computes in float32/int8 — `tests/test_lint.py` bans
+the double-precision dtype from this package.
+"""
+
+from .distill import DistilledStudent, DistillReport, distill_into_service
+from .quantize import (
+    QuantizedLinear,
+    QuantizedResMade,
+    QuantizedTensor,
+    is_quantized,
+    module_size_bytes,
+    qmatmul,
+    quantize_per_channel,
+    quantize_sequential,
+)
+from .semantic import (
+    DEFAULT_SCAN_LIMIT,
+    SemanticEstimateCache,
+    interpolated_bound,
+    subsumes,
+)
+
+__all__ = [
+    "DEFAULT_SCAN_LIMIT",
+    "DistillReport",
+    "DistilledStudent",
+    "QuantizedLinear",
+    "QuantizedResMade",
+    "QuantizedTensor",
+    "SemanticEstimateCache",
+    "distill_into_service",
+    "interpolated_bound",
+    "is_quantized",
+    "module_size_bytes",
+    "qmatmul",
+    "quantize_per_channel",
+    "quantize_sequential",
+    "subsumes",
+]

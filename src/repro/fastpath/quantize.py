@@ -1,0 +1,287 @@
+"""Post-training int8 quantization for the nn estimators.
+
+The paper's verdict on production readiness (Figure 4) is that learned
+estimators pay their accuracy with inference cost; "Is It Bigger than a
+Breadbox" and ByteCard (PAPERS.md) both argue the estimator must be
+cheap enough for the optimizer's critical path.  This module shrinks a
+*fitted* model's dense weights to int8 with **per-output-channel affine
+quantization** and serves them through a dequantize-on-the-fly matmul —
+the packed weights are the only copy kept, so the memory footprint (and
+the bytes streamed per matmul) drop ~4x against the float32 path and
+~8x against the reference precision.
+
+Scheme (per output channel ``j`` of a ``(in, out)`` weight matrix):
+
+* the representable range ``[lo_j, hi_j]`` is the channel's min/max
+  **widened to include 0.0** — so an exactly-zero weight (every masked
+  MADE connection) round-trips to exactly zero and the autoregressive
+  property survives quantization bit-for-bit;
+* ``scale_j = (hi_j - lo_j) / 255`` maps the range onto the 256 int8
+  codes, and ``zero_point_j = rint(-128 - lo_j / scale_j)`` is the
+  integer code of 0.0 (integral by construction, hence the exact zero);
+* ``q = clip(rint(w / scale + zero_point), -128, 127)`` and
+  ``dequant(q) = (q - zero_point) * scale``.
+
+Rounding to the nearest code bounds the per-element round-trip error by
+``scale_j / 2`` — the invariant `tests/test_fastpath_properties.py`
+asserts over seeded random matrices.
+
+The matmul never materialises a dequantized weight matrix: for affine
+codes, ``x @ dequant(Q) == (x @ Q - sum(x) * zero_point) * scale``
+(per-output-channel ``scale``/``zero_point`` broadcast over the output
+axis), so the kernel is one int8->float32 cast feeding the BLAS sgemm
+plus a rank-one correction.  Everything in this tier computes in
+float32; `tests/test_lint.py` bans the double-precision dtype from this
+package outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import Linear, MaskedLinear, Module, Sequential
+from ..nn.loss import softmax
+from ..nn.made import ResMade
+
+#: int8 code range (full range; the zero code is exact by construction).
+QMIN = -128
+QMAX = 127
+#: number of representable steps across a channel's [lo, hi] range
+QSTEPS = float(QMAX - QMIN)
+
+F32 = np.float32
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Packed int8 codes + per-output-channel affine parameters."""
+
+    q: np.ndarray  #: int8 codes, same shape as the source weight
+    scale: np.ndarray  #: float32, one per output channel (last axis)
+    zero_point: np.ndarray  #: int8 code of 0.0, one per output channel
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.q.nbytes + self.scale.nbytes + self.zero_point.nbytes)
+
+    def dequantize(self) -> np.ndarray:
+        """Materialise the float32 weights (tests / inspection only)."""
+        zp = self.zero_point.astype(F32)
+        return (self.q.astype(F32) - zp) * self.scale
+
+    def rows(self, idx: np.ndarray) -> np.ndarray:
+        """Dequantized gather of weight rows (the sparse MADE kernel)."""
+        zp = self.zero_point.astype(F32)
+        return (self.q[idx].astype(F32) - zp) * self.scale
+
+    def column_slice(self, lo: int, hi: int) -> np.ndarray:
+        """Dequantized slice of output channels ``lo:hi``."""
+        zp = self.zero_point[lo:hi].astype(F32)
+        return (self.q[:, lo:hi].astype(F32) - zp) * self.scale[lo:hi]
+
+
+def quantize_per_channel(weight: np.ndarray) -> QuantizedTensor:
+    """Quantize a ``(in, out)`` weight matrix channel-wise (last axis).
+
+    The channel range is widened to include 0.0 so exact zeros (masked
+    connections) stay exact; degenerate all-zero channels get unit scale.
+    """
+    w = np.asarray(weight, dtype=F32)
+    if w.ndim != 2:
+        raise ValueError(f"expected a 2-D weight matrix, got shape {w.shape}")
+    lo = np.minimum(w.min(axis=0), F32(0.0))
+    hi = np.maximum(w.max(axis=0), F32(0.0))
+    span = hi - lo
+    scale = np.where(span > 0.0, span / F32(QSTEPS), F32(1.0)).astype(F32)
+    zero_point = np.clip(np.rint(QMIN - lo / scale), QMIN, QMAX).astype(np.int8)
+    codes = np.rint(w / scale + zero_point.astype(F32))
+    q = np.clip(codes, QMIN, QMAX).astype(np.int8)
+    return QuantizedTensor(q=q, scale=scale, zero_point=zero_point)
+
+
+def qmatmul(x: np.ndarray, qt: QuantizedTensor) -> np.ndarray:
+    """``x @ dequant(qt)`` without materialising the dequantized matrix.
+
+    The affine offset factors out of the matmul:
+    ``x @ ((Q - zp) * s) == (x @ Q - sum(x) * zp) * s`` with ``s``/``zp``
+    broadcast over output channels.
+    """
+    x = np.asarray(x, dtype=F32)
+    acc = x @ qt.q.astype(F32)
+    correction = x.sum(axis=-1, keepdims=True) * qt.zero_point.astype(F32)
+    return (acc - correction) * qt.scale
+
+
+class QuantizedLinear(Module):
+    """Inference-only stand-in for a fitted :class:`Linear`.
+
+    Holds the packed weights and a float32 bias; ``backward`` raises —
+    a quantized model is a deployment artifact, not a training state.
+    """
+
+    def __init__(self, qt: QuantizedTensor, bias: np.ndarray) -> None:
+        self.qt = qt
+        self.bias = np.asarray(bias, dtype=F32)
+
+    @classmethod
+    def from_linear(cls, layer: Linear | MaskedLinear) -> "QuantizedLinear":
+        return cls(quantize_per_channel(layer.weight.value), layer.bias.value)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.qt.size_bytes + int(self.bias.nbytes)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return qmatmul(x, self.qt) + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise RuntimeError(
+            "QuantizedLinear is inference-only; refit a fresh estimator to train"
+        )
+
+
+def quantize_sequential(seq: Sequential) -> Sequential:
+    """Replace every dense layer of a fitted ``Sequential`` in place."""
+    for i, module in enumerate(seq.modules):
+        if isinstance(module, (Linear, MaskedLinear)):
+            seq.modules[i] = QuantizedLinear.from_linear(module)
+    return seq
+
+
+def module_size_bytes(module: Module) -> int:
+    """Model footprint honouring packed weights where present."""
+    if isinstance(module, QuantizedLinear):
+        return module.size_bytes
+    if isinstance(module, Sequential):
+        return sum(module_size_bytes(m) for m in module.modules)
+    return sum(p.value.nbytes for p in module.parameters())
+
+
+def is_quantized(module: Module) -> bool:
+    """True when any layer of ``module`` holds packed weights."""
+    if isinstance(module, QuantizedLinear):
+        return True
+    if isinstance(module, Sequential):
+        return any(is_quantized(m) for m in module.modules)
+    return False
+
+
+class QuantizedResMade:
+    """Packed-weight ResMADE exposing Naru's two inference kernels.
+
+    Naru's progressive sampler reads the network through exactly two
+    methods — :meth:`conditional_from_bins` (the scalar/dense path) and
+    :meth:`conditional_sparse` (the batched row-gather path, see
+    ``ResMade.conditional_sparse``) — so the quantized twin implements
+    just those against :class:`QuantizedTensor` kernels.  The masked
+    autoregressive structure survives because quantization preserves
+    exact zeros (see :func:`quantize_per_channel`), so a masked
+    connection stays severed in the packed codes.
+
+    Training methods are deliberately absent: quantization is a one-way
+    deployment step.
+    """
+
+    def __init__(
+        self,
+        cardinalities: list[int],
+        offsets: np.ndarray,
+        input_qt: QuantizedTensor,
+        input_bias: np.ndarray,
+        blocks: list[tuple[QuantizedTensor, np.ndarray]],
+        output_qt: QuantizedTensor,
+        output_bias: np.ndarray,
+    ) -> None:
+        self.cardinalities = list(cardinalities)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        self.input_qt = input_qt
+        self.input_bias = np.asarray(input_bias, dtype=F32)
+        self.blocks = [
+            (qt, np.asarray(bias, dtype=F32)) for qt, bias in blocks
+        ]
+        self.output_qt = output_qt
+        self.output_bias = np.asarray(output_bias, dtype=F32)
+
+    @classmethod
+    def from_resmade(cls, made: ResMade) -> "QuantizedResMade":
+        return cls(
+            cardinalities=made.cardinalities,
+            offsets=made._offsets,
+            input_qt=quantize_per_channel(made.input_layer.weight.value),
+            input_bias=made.input_layer.bias.value,
+            blocks=[
+                (
+                    quantize_per_channel(block.linear.weight.value),
+                    block.linear.bias.value,
+                )
+                for block in made.blocks
+            ],
+            output_qt=quantize_per_channel(made.output_layer.weight.value),
+            output_bias=made.output_layer.bias.value,
+        )
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        total = self.input_qt.size_bytes + self.input_bias.nbytes
+        for qt, bias in self.blocks:
+            total += qt.size_bytes + bias.nbytes
+        total += self.output_qt.size_bytes + self.output_bias.nbytes
+        return int(total)
+
+    def parameters(self) -> list:
+        """No trainable parameters: the packed codes are frozen."""
+        return []
+
+    # ------------------------------------------------------------------
+    def _hidden_from_dense(self, x: np.ndarray) -> np.ndarray:
+        h = qmatmul(x, self.input_qt) + self.input_bias
+        h = np.where(h > 0.0, h, F32(0.0))
+        return self._through_blocks(h)
+
+    def _through_blocks(self, h: np.ndarray) -> np.ndarray:
+        for qt, bias in self.blocks:
+            z = qmatmul(h, qt) + bias
+            h = h + np.where(z > 0.0, z, F32(0.0))
+        return h
+
+    def _column_distribution(self, h: np.ndarray, column: int) -> np.ndarray:
+        lo, hi = int(self._offsets[column]), int(self._offsets[column + 1])
+        w_out = self.output_qt.column_slice(lo, hi)
+        return softmax(h @ w_out + self.output_bias[lo:hi])
+
+    def conditional_from_bins(
+        self,
+        prefix_bins: np.ndarray,
+        column: int,
+        present: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``P(x_column | x_<column)`` via the dense one-hot path."""
+        prefix_bins = np.asarray(prefix_bins, dtype=np.int64)
+        batch = prefix_bins.shape[0]
+        x = np.zeros((batch, int(self._offsets[-1])), dtype=F32)
+        rows = np.arange(batch)
+        for i in range(column):
+            if present is None or present[i]:
+                x[rows, self._offsets[i] + prefix_bins[:, i]] = 1.0
+        return self._column_distribution(self._hidden_from_dense(x), column)
+
+    def conditional_sparse(
+        self,
+        prefix_bins: np.ndarray,
+        column: int,
+        present: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Row-gather variant: dequantize only the selected weight rows."""
+        prefix_bins = np.asarray(prefix_bins, dtype=np.int64)
+        batch = prefix_bins.shape[0]
+        h = np.broadcast_to(
+            self.input_bias, (batch, self.input_bias.shape[0])
+        ).astype(F32)
+        for i in range(column):
+            if present is None or present[i]:
+                h = h + self.input_qt.rows(self._offsets[i] + prefix_bins[:, i])
+        h = np.where(h > 0.0, h, F32(0.0))
+        h = self._through_blocks(h)
+        return self._column_distribution(h, column)

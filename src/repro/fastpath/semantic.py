@@ -1,0 +1,257 @@
+"""Semantic estimate cache: answer subset queries from cached supersets.
+
+The serving tier's :class:`~repro.serve.cache.EstimateCache` only ever
+answers an *exact* repeat of a cached query.  Real dashboards drill
+down: the follow-up query is the same conjunctive rectangle with one or
+more sides tightened.  Under the repo's predicate model (Section 2.1 —
+a query is a conjunction of per-column intervals, at most one per
+column), containment is decidable per column:
+
+    Q_sub ⊆ Q_sup  ⇐  every predicate of Q_sup contains Q_sub's
+                       predicate on that column (interval containment),
+                       and Q_sup constrains no column Q_sub leaves free.
+
+Interval containment implies row containment — any row satisfying the
+tighter interval satisfies the wider one — and a column Q_sup does not
+constrain admits every row, so the implication is *sound*: the subset
+query's true cardinality can never exceed the superset's.  (It is
+deliberately one-directional; the checker never needs to prove
+equality.)  ``tests/test_fastpath_properties.py`` brute-forces this
+against row-level evaluation over a thousand seeded predicate pairs.
+
+On an exact-key miss the cache scans its current-generation entries
+(most recent first, up to ``scan_limit``) for a cached superset and
+serves a **monotonicity-bounded** answer: the cached estimate scaled by
+the covered per-column fraction, clamped to ``[0, cached]``.  The bound
+is the soundness contract — a semantic answer never exceeds the
+estimate of the containing rectangle.  The fraction comes from a
+materialized row ``sample`` when one is supplied (empirical marginal
+coverage — an AVI product over *observed* column distributions, robust
+to skew) and falls back to interval-width ratios (uniformity) without
+one.
+Entries are generation-namespaced exactly like the exact-hit cache, so
+a lifecycle hot-swap (``bump_generation``) invalidates semantic answers
+and exact answers in the same O(1) step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.query import Predicate, Query
+from ..serve.cache import EstimateCache, query_signature
+
+#: default bound on how many cached entries one miss may scan
+DEFAULT_SCAN_LIMIT = 128
+
+
+def subsumes(superset: Query, subset: Query) -> bool:
+    """True when every row matching ``subset`` must match ``superset``.
+
+    Sound under the conjunctive-rectangle model: checked per column via
+    :meth:`Predicate.contains`.  Columns the superset leaves free are
+    unconstrained (vacuously containing); a column the superset
+    constrains but the subset leaves free defeats containment.
+    """
+    for sup_pred in superset.predicates:
+        sub_pred = subset.predicate_on(sup_pred.column)
+        if sub_pred is None or not sup_pred.contains(sub_pred):
+            return False
+    return True
+
+
+def _signature_subsumes(signature: tuple, subset: Query) -> bool:
+    """:func:`subsumes` on a cache key's primitive ``(column, lo, hi)``
+    form, without materializing Predicate objects per scanned entry."""
+    for column, lo, hi in signature:
+        sub = subset.predicate_on(column)
+        if sub is None:
+            return False
+        if lo is not None and (sub.lo is None or sub.lo < lo):
+            return False
+        if hi is not None and (sub.hi is None or sub.hi > hi):
+            return False
+    return True
+
+
+def _coverage_fraction(sup: Predicate, sub: Predicate) -> float:
+    """Fraction of ``sup``'s interval covered by ``sub`` (in [0, 1]).
+
+    Unbounded sides make the ratio undefined; those columns contribute
+    no shrink (fraction 1.0) — the bound stays sound, only looser.
+    """
+    if sup.lo is None or sup.hi is None or sub.lo is None or sub.hi is None:
+        return 1.0
+    span = sup.hi - sup.lo
+    if span <= 0.0:
+        return 1.0
+    width = max(0.0, sub.hi - sub.lo)
+    return min(1.0, width / span)
+
+
+def _sample_mask(sample: np.ndarray, pred: Predicate) -> np.ndarray:
+    """Boolean mask of sample rows whose column satisfies ``pred``."""
+    column = sample[:, pred.column]
+    mask = np.ones(len(column), dtype=bool)
+    if pred.lo is not None:
+        mask &= column >= pred.lo
+    if pred.hi is not None:
+        mask &= column <= pred.hi
+    return mask
+
+
+def _empirical_fraction(
+    sample: np.ndarray, sup: Predicate | None, sub: Predicate
+) -> float:
+    """Observed fraction of ``sup``-matching sample rows kept by ``sub``.
+
+    ``sup`` of None means the superset leaves the column free: the
+    denominator is the whole sample.  An empty denominator falls back
+    to the uniform width ratio (no evidence beats no evidence).
+    """
+    sub_mask = _sample_mask(sample, sub)
+    if sup is None:
+        return float(sub_mask.mean()) if len(sub_mask) else 1.0
+    sup_mask = _sample_mask(sample, sup)
+    denom = int(sup_mask.sum())
+    if denom == 0:
+        return _coverage_fraction(sup, sub)
+    return float((sup_mask & sub_mask).sum() / denom)
+
+
+def interpolated_bound(
+    superset: Query,
+    subset: Query,
+    cached: float,
+    sample: np.ndarray | None = None,
+) -> float:
+    """Semantic answer for ``subset`` given ``cached`` for ``superset``.
+
+    The cached estimate is scaled by the product of per-column coverage
+    fractions and clamped to ``[0, cached]`` so the monotonicity bound
+    holds by construction.  With a row ``sample`` the fractions are
+    empirical marginal coverages (AVI over observed distributions —
+    skew-aware); without one they fall back to interval-width ratios
+    (uniformity within the cached rectangle).  Columns only the subset
+    constrains contribute their sample selectivity (with a sample) or
+    nothing (without — sound either way, just looser).  An empty subset
+    predicate matches nothing: the answer is 0.
+    """
+    if any(p.is_empty for p in subset.predicates):
+        return 0.0
+    shrink = 1.0
+    covered = set()
+    for sup_pred in superset.predicates:
+        sub_pred = subset.predicate_on(sup_pred.column)
+        if sub_pred is None:
+            continue
+        covered.add(sup_pred.column)
+        if sample is not None:
+            shrink *= _empirical_fraction(sample, sup_pred, sub_pred)
+        else:
+            shrink *= _coverage_fraction(sup_pred, sub_pred)
+    if sample is not None:
+        for sub_pred in subset.predicates:
+            if sub_pred.column not in covered:
+                shrink *= _empirical_fraction(sample, None, sub_pred)
+    return min(max(0.0, cached * shrink), cached)
+
+
+class SemanticEstimateCache(EstimateCache):
+    """LRU estimate cache that also answers subset queries.
+
+    Exact hits behave identically to the base class (canonicalized
+    keys, LRU order, generation namespacing).  On an exact miss the
+    current generation's entries are scanned newest-first for a cached
+    superset; a match serves :func:`interpolated_bound` and counts as a
+    ``semantic_hit``.  ``last_hit_kind`` tells the serving layer which
+    metric outcome to record; ``last_semantic_match`` exposes the
+    matched superset and its cached value so tests can assert the
+    monotonicity bound on every served answer.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        scan_limit: int = DEFAULT_SCAN_LIMIT,
+        interpolate: bool = True,
+        sample: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(capacity)
+        if scan_limit < 0:
+            raise ValueError(f"scan_limit must be non-negative, got {scan_limit}")
+        self.scan_limit = scan_limit
+        self.interpolate = interpolate
+        #: optional materialized row sample for empirical interpolation
+        self.sample = (
+            None if sample is None else np.asarray(sample, dtype=np.float32)
+        )
+        self.semantic_hits = 0
+        self.last_hit_kind: str | None = None
+        #: ``(superset_query, cached_value)`` behind the last semantic hit
+        self.last_semantic_match: tuple[Query, float] | None = None
+
+    def get(self, query: Query) -> float | None:
+        # Exact-hit path inlined from the base class: at fast-path
+        # speeds the extra super().get frame is a measurable slice of
+        # the single-digit-microsecond budget.
+        key = (self.generation, query_signature(query))
+        entries = self._entries
+        exact = entries.get(key)
+        if exact is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            self.last_hit_kind = "hit"
+            self.last_semantic_match = None
+            return exact
+        self.misses += 1
+        # The miss is counted; re-classify below if the subsumption
+        # scan finds a containing rectangle.
+        scanned = 0
+        for key in reversed(self._entries):
+            generation, signature = key
+            if generation != self.generation:
+                continue
+            if scanned >= self.scan_limit:
+                break
+            scanned += 1
+            if not _signature_subsumes(signature, query):
+                continue
+            # Predicate objects are rebuilt from the primitive key only
+            # on an actual match (keys store ``(column, lo, hi)`` tuples
+            # so the exact-hit path hashes in C; see query_signature).
+            superset = Query(
+                tuple(Predicate(c, lo, hi) for c, lo, hi in signature)
+            )
+            cached = self._entries[key]
+            value = (
+                interpolated_bound(superset, query, cached, self.sample)
+                if self.interpolate
+                else cached
+            )
+            self.misses -= 1
+            self.semantic_hits += 1
+            self.last_hit_kind = "semantic_hit"
+            self.last_semantic_match = (superset, cached)
+            # Memoize under the subset's own key: a dashboard repeats
+            # the drill-down it just ran, and the repeat should be an
+            # exact hit (~1us) instead of paying this scan again.  The
+            # entry is generation-namespaced like any other, so a
+            # hot-swap invalidates it with the rest.
+            self.put(query, value)
+            return value
+        self.last_hit_kind = None
+        self.last_semantic_match = None
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.semantic_hits + self.misses
+        return (self.hits + self.semantic_hits) / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticEstimateCache(size={len(self)}/{self.capacity}, "
+            f"gen={self.generation}, hits={self.hits}, "
+            f"semantic={self.semantic_hits}, misses={self.misses})"
+        )

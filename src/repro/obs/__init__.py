@@ -41,6 +41,7 @@ from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     BREAKER_TRANSITIONS,
     ESTIMATOR_PHASE_SECONDS,
+    FASTPATH_STUDENT,
     LIFECYCLE_CHECKPOINTS,
     LIFECYCLE_MODEL_GENERATION,
     LIFECYCLE_PROMOTIONS,
@@ -66,6 +67,7 @@ from .metrics import (
     TRAIN_EPOCHS,
     TRAIN_LOSS,
     WORKER_QUERIES,
+    BoundCounter,
     Counter,
     Gauge,
     Histogram,
@@ -136,9 +138,11 @@ def reset_for_tests() -> None:
 
 __all__ = [
     "BREAKER_TRANSITIONS",
+    "BoundCounter",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "ESTIMATOR_PHASE_SECONDS",
+    "FASTPATH_STUDENT",
     "EpochRecord",
     "Event",
     "EventLog",

@@ -103,6 +103,15 @@ class Counter(_Metric):
         key = self._check_labels(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
 
+    def labelled(self, **labels: object) -> "BoundCounter":
+        """A handle bound to one label set, for per-query hot paths.
+
+        Label validation and key construction happen once, here; the
+        handle's :meth:`BoundCounter.inc` is a dict bump.  The handle
+        stays valid across :meth:`reset` (reset clears the series map,
+        it does not replace it)."""
+        return BoundCounter(self, self._check_labels(labels))
+
     def value(self, **labels: object) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
@@ -122,6 +131,22 @@ class Counter(_Metric):
 
     def reset(self) -> None:
         self._values.clear()
+
+
+class BoundCounter:
+    """One counter series with its label key pre-built (see
+    :meth:`Counter.labelled`)."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, counter: Counter, key: LabelKey) -> None:
+        self._values = counter._values
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError("counter cannot decrease")
+        self._values[self._key] = self._values.get(self._key, 0.0) + amount
 
 
 class Gauge(_Metric):
@@ -609,6 +634,9 @@ SLO_BURN_RATE = "repro_slo_burn_rate"
 SLO_BREACHED = "repro_slo_breached"
 #: breach/recovered transitions per {tenant, objective, transition}
 SLO_TRANSITIONS = "repro_slo_transitions_total"
+#: distilled-student answers, labelled {outcome}: "student" when the
+#: confidence gate lets the student answer, "teacher" on fallback
+FASTPATH_STUDENT = "repro_fastpath_student_total"
 
 
 def observe_phase(

@@ -59,7 +59,17 @@ DBMS_NAMES = ["postgres", "mysql", "dbms-a"]
 #: its taxonomy surveys (Table 1) and the STHoles baseline QuickSel's
 #: paper compares against.  Available via :func:`make_estimator` but not
 #: part of Table 4.
-EXTRA_NAMES = ["dqm-d", "dqm-q", "stholes", "naru-transformer"]
+EXTRA_NAMES = [
+    "dqm-d",
+    "dqm-q",
+    "stholes",
+    "naru-transformer",
+    # Fast-path int8 variants (repro.fastpath): post-training-quantized
+    # right after fit, packed weights, inference-only.
+    "naru-int8",
+    "mscn-int8",
+    "lw-nn-int8",
+]
 
 #: Default serving fallback chain appended after a primary estimator:
 #: cheap, data-driven, and ending in a tier that cannot fail.
@@ -103,6 +113,21 @@ def _factories(scale: Scale) -> dict[str, Callable[[], CardinalityEstimator]]:
             epochs=scale.naru_epochs,
             num_samples=scale.naru_samples,
             block="transformer",
+        ),
+        "naru-int8": lambda: NaruEstimator(
+            epochs=scale.naru_epochs,
+            num_samples=scale.naru_samples,
+            quantize="int8",
+        ),
+        "mscn-int8": lambda: MscnEstimator(
+            epochs=scale.nn_epochs,
+            update_epochs=max(2, scale.nn_epochs // 4),
+            quantize="int8",
+        ),
+        "lw-nn-int8": lambda: LwNnEstimator(
+            epochs=scale.nn_epochs,
+            update_epochs=max(2, scale.nn_epochs // 4),
+            quantize="int8",
         ),
         # Serving-layer last resort (see repro.serve): magic-constant
         # selectivities, cannot fail.

@@ -4,7 +4,9 @@ Real deployments answer the same parametrized queries over and over
 (dashboards, prepared statements), and a cardinality estimate only goes
 stale when the underlying data changes.  :class:`EstimateCache` is a
 small LRU map from :class:`~repro.core.query.Query` (frozen, hence
-hashable) to the served estimate.
+hashable) to the served estimate.  Keys are **canonicalized** — the
+predicate tuple is sorted by column — so the same conjunction written
+with its predicates in a different order hits the same entry.
 
 Entries are **namespaced by model generation**: every key carries the
 generation counter current at insertion time, and
@@ -23,7 +25,44 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from ..core.query import Query
+from ..core.query import Predicate, Query
+
+
+def canonical_predicates(query: Query) -> tuple[Predicate, ...]:
+    """The query's predicates sorted by column index.
+
+    A conjunction is order-insensitive — ``a=1 AND b=2`` and
+    ``b=2 AND a=1`` select the same rows — but :class:`Query` hashes its
+    predicate *tuple*, so the raw query object is order-sensitive.
+    Cache keys use this canonical form, letting semantically identical
+    queries share one entry.  (Columns are distinct per query by
+    construction, so the sort is a total order.)
+    """
+    return tuple(sorted(query.predicates, key=lambda p: p.column))
+
+
+def query_signature(query: Query) -> tuple[tuple, ...]:
+    """Canonical primitive cache key: ``((column, lo, hi), ...)`` sorted
+    by column, memoized on the query object.
+
+    Cache lookups at fast-path speeds are dominated by hashing: a key
+    built from :class:`Predicate` objects re-enters Python for every
+    element's generated ``__hash__`` on every dict probe — twice per
+    ``get`` (probe + LRU bump) — while a nested tuple of ints and floats
+    hashes entirely in C.  The signature is a pure function of a frozen
+    value, so it is computed once and stashed on the instance
+    (``object.__setattr__`` bypasses the frozen guard exactly like the
+    dataclass-generated ``__init__`` does); replayed query objects pay
+    the sort only on first sight.
+    """
+    sig = query.__dict__.get("_cache_signature")
+    if sig is None:
+        sig = tuple(
+            (p.column, p.lo, p.hi)
+            for p in sorted(query.predicates, key=lambda p: p.column)
+        )
+        object.__setattr__(query, "_cache_signature", sig)
+    return sig
 
 
 class EstimateCache:
@@ -39,28 +78,34 @@ class EstimateCache:
         #: Generation tag stamped onto new entries; old-generation
         #: entries are unreachable and simply age out of the LRU.
         self.generation = 0
-        self._entries: OrderedDict[tuple[int, Query], float] = OrderedDict()
+        self._entries: OrderedDict[
+            tuple[int, tuple[tuple, ...]], float
+        ] = OrderedDict()
+
+    def _key(self, query: Query) -> tuple[int, tuple[tuple, ...]]:
+        return (self.generation, query_signature(query))
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, query: Query) -> bool:
-        return (self.generation, query) in self._entries
+        return self._key(query) in self._entries
 
     def get(self, query: Query) -> float | None:
         """Cached estimate for ``query`` under the current generation."""
+        key = self._key(query)
         try:
-            value = self._entries[(self.generation, query)]
+            value = self._entries[key]
         except KeyError:
             self.misses += 1
             return None
-        self._entries.move_to_end((self.generation, query))
+        self._entries.move_to_end(key)
         self.hits += 1
         return value
 
     def put(self, query: Query, estimate: float) -> None:
         """Insert or refresh an entry, evicting the least recently used."""
-        key = (self.generation, query)
+        key = self._key(query)
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = estimate

@@ -68,6 +68,7 @@ from ..obs import (
     SloRegistry,
     SpanCollector,
     format_quantiles_ms,
+    get_collector,
     get_events,
     get_exemplars,
     get_registry,
@@ -280,6 +281,9 @@ class EstimatorService(CardinalityEstimator):
                 break
             except RuntimeError:
                 continue
+        #: (name, labels) -> (registry, BoundCounter): hot-path metric
+        #: memoization; see :meth:`_bound_counter`
+        self._counters: dict = {}
         self._queries = 0
         self._degraded = 0
         self._shortcuts = 0
@@ -321,6 +325,18 @@ class EstimatorService(CardinalityEstimator):
     # ------------------------------------------------------------------
     def serve(self, query: Query) -> ServedEstimate:
         """Answer one query through the chain; never raises, never NaN."""
+        # Raw-speed path: with no span collection active (neither a
+        # service-local collector nor the process-wide one) the span
+        # machinery can only ever yield None, so skip it entirely.  A
+        # cache hit then costs single-digit microseconds — the whole
+        # point of the fast-path tier — and a miss pays one extra
+        # attribute check before the usual chain walk.
+        if self._collector is None and get_collector() is None:
+            served = self._cached_answer(query)
+            if served is None:
+                served = self._serve_inner(query)
+                self._cache_result(query, served)
+            return served
         with span("serve", collector=self._collector, service=self.name) as root:
             served = self._cached_answer(query)
             if served is None:
@@ -341,17 +357,27 @@ class EstimatorService(CardinalityEstimator):
         if hit is None:
             self._count_cache("miss")
             return None
-        self._count_cache("hit")
+        # A semantic cache distinguishes exact hits from subsumption
+        # answers via ``last_hit_kind``; the plain LRU cache has no such
+        # attribute and every hit is exact.
+        self._count_cache(getattr(self.cache, "last_hit_kind", None) or "hit")
         self._queries += 1
         self._count_request("cache")
-        return ServedEstimate(
-            estimate=hit,
-            tier="cache",
-            tier_index=-1,
-            degraded=False,
-            latency_seconds=self._clock() - start,
-            attempts=(("cache", "served"),),
-        )
+        # Constructed via __dict__ rather than the frozen-dataclass
+        # __init__ (which object.__setattr__'s every field): the
+        # generated constructor alone costs ~2.5us, a third of the
+        # whole cache-hit latency budget.
+        served = ServedEstimate.__new__(ServedEstimate)
+        served.__dict__.update({
+            "estimate": hit,
+            "tier": "cache",
+            "tier_index": -1,
+            "degraded": False,
+            "latency_seconds": self._clock() - start,
+            "attempts": (("cache", "served"),),
+            "trace_id": None,
+        })
+        return served
 
     def _cache_result(self, query: Query, served: ServedEstimate) -> None:
         # Last-resort answers reflect a transient outage, not the model;
@@ -815,8 +841,36 @@ class EstimatorService(CardinalityEstimator):
     # ------------------------------------------------------------------
     # Telemetry plumbing (shared sinks default to the process-wide ones)
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Memoized counter handles point into a live registry (which
+        # holds a lock); they are a cache, not state — rebuilt lazily.
+        state = self.__dict__.copy()
+        state["_counters"] = {}
+        return state
+
     def _obs_registry(self) -> MetricsRegistry:
         return self._registry if self._registry is not None else get_registry()
+
+    def _bound_counter(self, name: str, help: str, **labels):
+        """Memoized :class:`~repro.obs.BoundCounter` for the hot path.
+
+        ``registry.counter(...).inc(**labels)`` pays a lock, a dict
+        probe, per-label regex validation, and a sorted key build on
+        every call; at cache-hit speeds that is a measurable slice of
+        the budget.  The bound series does all of that once.  Counter
+        objects survive ``registry.reset()`` (reset zeroes series, it
+        does not drop metrics), so caching the handle is safe as long
+        as the registry itself has not been swapped — which the
+        identity check guards.
+        """
+        key = (name, tuple(sorted(labels.items())))
+        registry = self._obs_registry()
+        cached = self._counters.get(key)
+        if cached is not None and cached[0] is registry:
+            return cached[1]
+        bound = registry.counter(name, help).labelled(**labels)
+        self._counters[key] = (registry, bound)
+        return bound
 
     def _obs_events(self) -> EventLog:
         return self._events if self._events is not None else get_events()
@@ -828,14 +882,24 @@ class EstimatorService(CardinalityEstimator):
         ).observe(seconds, tier=tier.name)
 
     def _count_request(self, outcome: str) -> None:
-        self._obs_registry().counter(
-            SERVE_REQUESTS, "Queries served, by outcome"
-        ).inc(outcome=outcome)
+        self._hot_inc(SERVE_REQUESTS, "Queries served, by outcome", outcome)
 
     def _count_cache(self, outcome: str) -> None:
-        self._obs_registry().counter(
-            SERVE_CACHE, "Estimate-cache lookups, by outcome"
-        ).inc(outcome=outcome)
+        self._hot_inc(SERVE_CACHE, "Estimate-cache lookups, by outcome", outcome)
+
+    def _hot_inc(self, name: str, help: str, outcome: str) -> None:
+        """Single-``outcome``-label bump without the kwargs/sort of
+        :meth:`_bound_counter` key building (the cache-hit path runs
+        this twice per query)."""
+        key = (name, outcome)
+        registry = self._obs_registry()
+        cached = self._counters.get(key)
+        if cached is not None and cached[0] is registry:
+            cached[1].inc()
+            return
+        bound = registry.counter(name, help).labelled(outcome=outcome)
+        self._counters[key] = (registry, bound)
+        bound.inc()
 
     def _attempt_outcome(
         self, tier: _Tier, attempts: list, outcome: str, attempt_span=None
@@ -843,6 +907,9 @@ class EstimatorService(CardinalityEstimator):
         attempts.append((tier.name, outcome))
         if attempt_span is not None:
             attempt_span.attrs["outcome"] = outcome
-        self._obs_registry().counter(
-            SERVE_TIER_ATTEMPTS, "Tier attempt outcomes along the chain"
-        ).inc(tier=tier.name, outcome=outcome)
+        self._bound_counter(
+            SERVE_TIER_ATTEMPTS,
+            "Tier attempt outcomes along the chain",
+            tier=tier.name,
+            outcome=outcome,
+        ).inc()

@@ -188,6 +188,108 @@ class TestBatchHookContract:
         assert np.array_equal(out, np.zeros(3))
 
 
+class TestFastPathTiers:
+    """Batch/scalar equivalence for the int8 and distilled-student tiers.
+
+    Quantized inference runs in float32, so naru's sampler can round a
+    bin differently between the scalar loop and the batch kernel —
+    bitwise equality is unattainable.  Mirroring the float32 gating of
+    the mixed-precision work, the quantized tiers are held to q-error
+    *bands* instead: batch vs scalar within p95 q-error 1.1, and the
+    quantized model within 1.5x p95 q-error of its own fp teacher.
+    """
+
+    QERR_BATCH_P95 = 1.1
+    QERR_TEACHER_P95 = 1.5
+
+    @staticmethod
+    def qerr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.maximum(np.asarray(a, dtype=np.float64), 1.0)
+        b = np.maximum(np.asarray(b, dtype=np.float64), 1.0)
+        return np.maximum(a / b, b / a)
+
+    @pytest.fixture(scope="class")
+    def probes(self, table):
+        rng = np.random.default_rng(41)
+        return list(generate_workload(table, 60, rng).queries) + edge_queries(table)
+
+    @pytest.fixture(scope="class", params=["mscn-int8", "lw-nn-int8"])
+    def quantized_mlp(self, request, table, train):
+        est = make_estimator(request.param, TINY)
+        est.fit(table, train)
+        return est
+
+    def test_mlp_batch_matches_scalar(self, quantized_mlp, probes):
+        scalar = np.array([quantized_mlp.estimate(q) for q in probes])
+        batch = quantized_mlp.estimate_many(probes)
+        # Dequantize-on-the-fly runs in float32; reordered reductions
+        # cost more ulps than the float64 paths' 1e-9.
+        np.testing.assert_allclose(batch, scalar, rtol=2e-4, atol=1e-6)
+
+    def test_naru_batch_within_qerror_band(self, table, probes):
+        est = make_estimator("naru-int8", TINY)
+        est.fit(table)
+        est.inference_seed = 1234
+        scalar = np.array([est.estimate(q) for q in probes])
+        batch = est.estimate_many(probes)
+        p95 = float(np.percentile(self.qerr(batch, scalar), 95.0))
+        assert p95 <= self.QERR_BATCH_P95, (
+            f"quantized naru batch vs scalar p95 q-error {p95:.3f} "
+            f"exceeds {self.QERR_BATCH_P95}"
+        )
+
+    @pytest.mark.parametrize("method", ["naru", "mscn", "lw-nn"])
+    def test_quantized_tracks_fp_teacher(self, method, table, train, probes):
+        import copy
+
+        teacher = make_estimator(method, TINY)
+        teacher.fit(table, train if teacher.requires_workload else None)
+        if hasattr(teacher, "inference_seed"):
+            teacher.inference_seed = 1234
+        quantized = copy.deepcopy(teacher)
+        quantized.quantize_int8()
+        fp = teacher.estimate_many(probes)
+        q8 = quantized.estimate_many(probes)
+        p95 = float(np.percentile(self.qerr(q8, fp), 95.0))
+        assert p95 <= self.QERR_TEACHER_P95, (
+            f"int8 {method} p95 q-error vs fp teacher {p95:.3f} "
+            f"exceeds {self.QERR_TEACHER_P95}"
+        )
+
+    def test_student_batch_matches_scalar(self, table, train, probes):
+        from repro.fastpath import DistilledStudent
+
+        teacher = make_estimator("mscn", TINY)  # deterministic teacher
+        teacher.fit(table, train)
+        student = DistilledStudent(teacher, num_queries=200, seed=3)
+        student.fit(table)
+        scalar = np.array([student.estimate(q) for q in probes])
+        batch = student.estimate_many(probes)
+        np.testing.assert_allclose(batch, scalar, rtol=RTOL, atol=0.0)
+
+    def test_cache_on_off_exact_hit_identity(self, table, train):
+        """A cached answer must equal the answer the chain would give."""
+        from repro.fastpath import SemanticEstimateCache
+        from repro.serve import EstimatorService
+
+        rng = np.random.default_rng(43)
+        queries = list(generate_workload(table, 20, rng).queries)
+
+        def build(cache):
+            est = make_estimator("lw-xgb", TINY)
+            est.fit(table, train)
+            return EstimatorService([est], cache=cache, deadline_ms=None)
+
+        plain = build(None)
+        cached = build(SemanticEstimateCache(capacity=256, scan_limit=0))
+        uncached_answers = plain.estimate_many(queries)
+        first = cached.estimate_many(queries)   # cold: populates
+        second = cached.estimate_many(queries)  # warm: exact hits
+        assert cached.cache.hits >= len(queries)
+        np.testing.assert_array_equal(first, uncached_answers)
+        np.testing.assert_array_equal(second, uncached_answers)
+
+
 @pytest.mark.slow
 class TestBatchPerfSmoke:
     """Batched inference must beat the scalar loop on a real batch."""

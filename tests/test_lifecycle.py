@@ -577,3 +577,81 @@ class TestDriftDetector:
         new_table, _, _ = drifted_update(lifecycle_table)
         decision = detector.check(est, new_table)
         assert decision.qerror_p95 >= decision.baseline_p95 or not decision.drifted
+
+
+# ----------------------------------------------------------------------
+class TestDistillationGate:
+    """The fastpath student ships only through the promotion gate.
+
+    A student that fails the gate must leave the incumbent teacher
+    serving, keep the estimate cache's generation (cached answers are
+    still the serving model's answers), and emit the rejection event;
+    a passing student hot-swaps in and invalidates the cache.
+    """
+
+    def build_service(self, table, train):
+        service = EstimatorService(
+            [small_lwnn(), HeuristicConstantEstimator()], cache=64
+        ).fit(table, train)
+        return service
+
+    def test_failing_student_leaves_teacher_serving(
+        self, lifecycle_table, lifecycle_workloads
+    ):
+        from repro.fastpath import DistilledStudent, distill_into_service
+
+        train, probe = lifecycle_workloads
+        service = self.build_service(lifecycle_table, train)
+        teacher = service.primary_estimator
+        # Warm the cache: surviving entries prove no generation bump.
+        for query in probe.queries[:5]:
+            service.serve(query)
+        assert len(service.cache) > 0
+        generation_before = service.model_generation
+
+        # A student whose every answer is NaN cannot pass the sanity
+        # rule, whatever the tolerance.
+        broken = NaNFault(
+            DistilledStudent(teacher, num_queries=32, num_trees=2, seed=1),
+            probability=1.0,
+        )
+        gate = PromotionGate(list(probe.queries), regression_tolerance=50.0)
+        _, report = distill_into_service(
+            service, lifecycle_table, gate=gate, student=broken
+        )
+
+        assert not report.passed
+        assert service.primary_estimator is teacher
+        assert service.model_generation == generation_before
+        assert service.cache.generation == generation_before
+        assert all(q in service.cache for q in probe.queries[:5])
+        kinds = obs.get_events().kinds()
+        assert kinds.get("fastpath.student_rejected", 0) == 1
+        assert "fastpath.student_promoted" not in kinds
+
+    def test_passing_student_hot_swaps_and_invalidates_cache(
+        self, lifecycle_table, lifecycle_workloads
+    ):
+        from repro.fastpath import distill_into_service
+
+        train, probe = lifecycle_workloads
+        service = self.build_service(lifecycle_table, train)
+        teacher = service.primary_estimator
+        for query in probe.queries[:5]:
+            service.serve(query)
+        generation_before = service.model_generation
+
+        gate = PromotionGate(list(probe.queries), regression_tolerance=50.0)
+        student, report = distill_into_service(
+            service, lifecycle_table, gate=gate, num_queries=256, seed=2
+        )
+
+        assert report.passed, report.reasons
+        assert service.primary_estimator is student
+        assert service.model_generation == generation_before + 1
+        assert service.cache.generation == generation_before + 1
+        assert all(q not in service.cache for q in probe.queries[:5])
+        kinds = obs.get_events().kinds()
+        assert kinds.get("fastpath.student_promoted", 0) == 1
+        assert student.report is not None
+        assert student.report.teacher == teacher.name

@@ -1,6 +1,6 @@
 """Static analysis over ``src/repro``: robustness anti-patterns.
 
-Four rules, enforced by walking every module's AST:
+Five rules, enforced by walking every module's AST:
 
 1. **No bare ``except:``** — it catches ``SystemExit`` and
    ``KeyboardInterrupt``, which breaks graceful shutdown (the bench CLI
@@ -20,6 +20,13 @@ Four rules, enforced by walking every module's AST:
    about (and, where needed, intercept) a single clock source.
    Passing ``time.monotonic`` as a *reference* (e.g. an injectable
    ``clock=`` default) stays legal; only direct calls are banned.
+5. **No float64 in the fast path** — modules under ``src/repro/fastpath``
+   exist to be memory-lean (int8 weights, float32 activations); a
+   ``np.float64`` attribute or a ``"float64"`` dtype string there
+   silently doubles every buffer it touches.  Flagged forms:
+   ``np.float64`` / ``numpy.float64`` and the exact string literal
+   ``"float64"`` (so ``dtype="float64"`` and ``astype("float64")`` are
+   both caught; prose merely *mentioning* the word is not).
 
 A handler that is *deliberately* silent (e.g. a child process whose
 parent observes the dead pipe) opts out with a ``# lint-ok: <reason>``
@@ -46,6 +53,9 @@ CLOCK_MODULE = ("obs", "clock.py")
 
 #: monotonic-clock callables that must be reached via ``obs/clock.py``
 CLOCK_ATTRS = ("monotonic", "perf_counter")
+
+#: package directory whose modules must stay float64-free (rule 5)
+FASTPATH_DIR = "fastpath"
 
 
 def _python_sources() -> list[Path]:
@@ -111,6 +121,24 @@ def _line_has_pragma(lines: list[str], lineno: int) -> bool:
     return lineno <= len(lines) and PRAGMA in lines[lineno - 1]
 
 
+def _float64_violation(node: ast.AST, lines: list[str]) -> bool:
+    """Rule 5 matcher: ``np.float64``/``numpy.float64`` or ``"float64"``.
+
+    Only the exact string literal matches, so a docstring *mentioning*
+    float64 (as part of a sentence) never trips the rule.
+    """
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "float64"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    ):
+        return not _line_has_pragma(lines, node.lineno)
+    if isinstance(node, ast.Constant) and node.value == "float64":
+        return not _line_has_pragma(lines, node.lineno)
+    return False
+
+
 def _violations_in(path: Path) -> list[str]:
     source = path.read_text()
     lines = source.splitlines()
@@ -118,7 +146,14 @@ def _violations_in(path: Path) -> list[str]:
     found: list[str] = []
     rel = path.relative_to(SRC_ROOT.parent.parent)
     is_clock_module = tuple(path.parts[-2:]) == CLOCK_MODULE
+    is_fastpath = FASTPATH_DIR in path.parts
     for node in ast.walk(tree):
+        if is_fastpath and _float64_violation(node, lines):
+            found.append(
+                f"{rel}:{node.lineno}: float64 in the fast path — "
+                "repro.fastpath is int8/float32 only; "
+                "`# lint-ok: <reason>` to opt out"
+            )
         if isinstance(node, ast.ExceptHandler):
             if node.type is None and not _has_pragma(lines, node):
                 found.append(f"{rel}:{node.lineno}: bare `except:`")
@@ -167,10 +202,14 @@ class TestLintRules:
     """The lint rules themselves, on synthetic snippets."""
 
     @staticmethod
-    def check(snippet: str, *, is_clock_module: bool = False) -> list[str]:
+    def check(
+        snippet: str, *, is_clock_module: bool = False, is_fastpath: bool = False
+    ) -> list[str]:
         lines = snippet.splitlines()
         found = []
         for node in ast.walk(ast.parse(snippet)):
+            if is_fastpath and _float64_violation(node, lines):
+                found.append("float64")
             if isinstance(node, ast.ExceptHandler):
                 if node.type is None and not _has_pragma(lines, node):
                     found.append("bare")
@@ -281,3 +320,37 @@ class TestLintRules:
     def test_clock_module_is_exempt(self):
         snippet = "import time\nnow = time.monotonic()\n"
         assert self.check(snippet, is_clock_module=True) == []
+
+    def test_flags_np_float64_attribute_in_fastpath(self):
+        snippet = "import numpy as np\nw = np.zeros(4, dtype=np.float64)\n"
+        assert self.check(snippet, is_fastpath=True) == ["float64"]
+
+    def test_flags_numpy_float64_attribute_in_fastpath(self):
+        snippet = "import numpy\nx = numpy.float64(3.0)\n"
+        assert self.check(snippet, is_fastpath=True) == ["float64"]
+
+    def test_flags_float64_dtype_string_in_fastpath(self):
+        snippet = "import numpy as np\nw = np.zeros(4, dtype='float64')\n"
+        assert self.check(snippet, is_fastpath=True) == ["float64"]
+        assert self.check("x = y.astype('float64')\n", is_fastpath=True) == [
+            "float64"
+        ]
+
+    def test_float64_legal_outside_fastpath(self):
+        snippet = "import numpy as np\nw = np.zeros(4, dtype=np.float64)\n"
+        assert self.check(snippet) == []
+
+    def test_float64_mention_in_docstring_is_legal(self):
+        snippet = '"""Unlike the float64 trainers, this module is lean."""\n'
+        assert self.check(snippet, is_fastpath=True) == []
+
+    def test_float64_accepts_pragma(self):
+        snippet = (
+            "import numpy as np\n"
+            "w = np.float64(0.0)  # lint-ok: interop shim\n"
+        )
+        assert self.check(snippet, is_fastpath=True) == []
+
+    def test_float32_in_fastpath_is_legal(self):
+        snippet = "import numpy as np\nw = np.zeros(4, dtype=np.float32)\n"
+        assert self.check(snippet, is_fastpath=True) == []

@@ -47,6 +47,23 @@ class TestRoundTrip:
         # With a pinned inference seed the reloaded model must agree.
         assert loaded.estimate(q) == pytest.approx(est.estimate(q))
 
+    def test_quantized_naru_round_trip(self, small_synthetic, tmp_path):
+        from repro.core import Predicate, Query
+
+        est = NaruEstimator(
+            epochs=2, num_samples=32, inference_seed=3, quantize="int8"
+        ).fit(small_synthetic)
+        path = tmp_path / "naru-int8.repro"
+        save_estimator(est, path)
+        loaded = load_estimator(path)
+        q = Query((Predicate(0, 0.0, 50.0),))
+        assert loaded.estimate(q) == pytest.approx(est.estimate(q))
+        # Packed-weight size survives the round-trip, and the loaded
+        # model is still inference-only.
+        assert loaded.model_size_bytes() == est.model_size_bytes()
+        with pytest.raises(RuntimeError, match="quantized"):
+            loaded.train_epochs(small_synthetic, 1)
+
     def test_deepdb_round_trip(self, small_synthetic, tmp_path):
         from repro.core import Predicate, Query
 

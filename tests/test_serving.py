@@ -610,6 +610,26 @@ class TestEstimateCache:
         assert query not in cache
         assert cache.hits == 1
 
+    def test_keys_are_predicate_order_insensitive(self):
+        """Regression: ``a AND b`` and ``b AND a`` must share one entry.
+
+        Query hashes its raw predicate tuple, so before canonicalization
+        a reordered rendering of the same conjunction missed the cache
+        and stored a duplicate entry.
+        """
+        p_a = Predicate(0, 1.0, 5.0)
+        p_b = Predicate(1, 2.0, 3.0)
+        cache = EstimateCache(capacity=4)
+        cache.put(Query((p_a, p_b)), 9.0)
+        reordered = Query((p_b, p_a))
+        assert reordered in cache
+        assert cache.get(reordered) == 9.0
+        assert (cache.hits, cache.misses) == (1, 0)
+        # Re-putting under the reordered form refreshes, not duplicates.
+        cache.put(reordered, 10.0)
+        assert len(cache) == 1
+        assert cache.get(Query((p_a, p_b))) == 10.0
+
 
 class TestServiceCache:
     def service(self, tiers, table, **kwargs):
@@ -625,6 +645,14 @@ class TestServiceCache:
         assert [s.estimate for s in warm] == [s.estimate for s in cold]
         assert all(s.tier == "cache" and s.tier_index == -1 for s in warm)
         assert svc.cache.hits == 6 and svc.cache.misses == 6
+
+    def test_reordered_conjunction_served_from_cache(self, tiny_table):
+        svc = self.service([StubEstimator(4.0)], tiny_table, cache=32)
+        p_a, p_b = Predicate(0, 1.0, 3.0), Predicate(1, 10.0, 40.0)
+        svc.serve(Query((p_a, p_b)))
+        warm = svc.serve(Query((p_b, p_a)))
+        assert warm.tier == "cache"
+        assert warm.estimate == 4.0
 
     def test_serve_batch_uses_cache(self, tiny_table):
         svc = self.service([StubEstimator(4.0)], tiny_table, cache=32)
