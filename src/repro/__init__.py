@@ -33,6 +33,7 @@ from . import (
     dynamic,
     explain,
     faults,
+    guard,
     lifecycle,
     obs,
     persistence,
@@ -64,6 +65,7 @@ from .registry import (
     estimator_names,
     make_estimator,
     make_fallback_chain,
+    make_guarded_service,
     make_learned,
     make_lifecycle_manager,
     make_service,
@@ -96,9 +98,11 @@ __all__ = [
     "explain",
     "faults",
     "generate_workload",
+    "guard",
     "lifecycle",
     "make_estimator",
     "make_fallback_chain",
+    "make_guarded_service",
     "make_learned",
     "make_lifecycle_manager",
     "make_service",

@@ -37,6 +37,7 @@ from ..scale import Scale
 from . import figure2, robustness, rules_exp  # noqa: F401  (rules_exp via table6)
 from .batch_exp import batch_experiment
 from .fastpath_exp import fastpath_experiment
+from .guard_exp import guard_experiment
 from .context import BenchContext
 from .train_exp import format_train, train_experiment
 from .lifecycle_exp import format_lifecycle, lifecycle_experiment
@@ -96,6 +97,7 @@ EXPERIMENTS: dict[str, Callable[[BenchContext], str]] = {
     "obs-report": lambda ctx: format_obs_report(obs_report_experiment(ctx)),
     "batch": lambda ctx: batch_experiment(ctx),
     "fastpath": lambda ctx: fastpath_experiment(ctx),
+    "guard": lambda ctx: guard_experiment(ctx),
     "train": lambda ctx: format_train(train_experiment(ctx)),
     "scale": lambda ctx: format_scale(scale_experiment(ctx)),
 }

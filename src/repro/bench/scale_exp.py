@@ -459,7 +459,12 @@ def write_serve_artifacts(
     json_path: str | Path = "BENCH_serve.json",
     text_path: str | Path = "benchmarks/results/scale_serving.txt",
 ) -> list[Path]:
-    """Write the machine-readable baseline and the formatted table."""
+    """Write the machine-readable baseline and the formatted table.
+
+    Sections owned by other experiments sharing the file (the guard
+    experiment's ``guard`` key) are preserved verbatim — the same merge
+    discipline ``fastpath`` uses in ``BENCH_batch.json``.
+    """
     json_path, text_path = Path(json_path), Path(text_path)
     no_fault = next((r for r in results if r.scenario == "no-fault"), None)
     payload = {
@@ -503,8 +508,13 @@ def write_serve_artifacts(
             for r in results
         },
     }
+    try:
+        merged = json.loads(json_path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(payload)
     json_path.parent.mkdir(parents=True, exist_ok=True)
-    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    json_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
     text_path.parent.mkdir(parents=True, exist_ok=True)
     text_path.write_text(format_scale(results) + "\n")
     return [json_path, text_path]

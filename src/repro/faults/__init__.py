@@ -1,11 +1,14 @@
 """Fault-injection harness: seeded, composable estimator wrappers that
 misbehave on purpose, used to prove the serving layer degrades
-gracefully, the model lifecycle recovers from crashes, and the sharded
-serving tier survives worker-level chaos."""
+gracefully, the model lifecycle recovers from crashes, the sharded
+serving tier survives worker-level chaos, and the guard tier catches
+adversarial plausible-but-wrong estimates."""
 
 from .wrappers import (
+    CorrelatedShiftFault,
     CorruptionFault,
     CrashAtEpochFault,
+    DomainShiftFault,
     ExceptionFault,
     FaultInjector,
     FlakyRetrainFault,
@@ -15,6 +18,7 @@ from .wrappers import (
     SimulatedCrash,
     SlowWorkerFault,
     StaleModelFault,
+    UpdateSkewFault,
     WorkerCrashFault,
     WorkerHangFault,
     queue_flood,
@@ -22,8 +26,10 @@ from .wrappers import (
 )
 
 __all__ = [
+    "CorrelatedShiftFault",
     "CorruptionFault",
     "CrashAtEpochFault",
+    "DomainShiftFault",
     "ExceptionFault",
     "FaultInjector",
     "FlakyRetrainFault",
@@ -33,6 +39,7 @@ __all__ = [
     "SimulatedCrash",
     "SlowWorkerFault",
     "StaleModelFault",
+    "UpdateSkewFault",
     "WorkerCrashFault",
     "WorkerHangFault",
     "queue_flood",

@@ -17,8 +17,26 @@ production):
   hazard, composable with :mod:`repro.dynamic`'s environment machinery).
 
 Faults fire with probability ``probability`` per call after the first
-``after`` calls, driven by a dedicated ``numpy`` generator, so a given
-``seed`` yields an identical fault schedule on every run.
+``after`` calls (and, when ``until`` is set, only through call number
+``until`` — a bounded incident window), driven by a dedicated ``numpy``
+generator, so a given ``seed`` yields an identical fault schedule on
+every run.
+
+**Adversarial distribution faults** produce *plausible-looking but
+systematically wrong* answers — the guardrail hazards
+:mod:`repro.guard` defends against (none of them trip the NaN/inf
+sanity checks; only provable bounds, OOD detection, or q-error
+quarantine catch them):
+
+* :class:`CorrelatedShiftFault` — estimates are inflated by
+  ``magnitude`` per predicate, the signature of an independence
+  assumption meeting correlated columns.
+* :class:`DomainShiftFault` — queries are answered as if translated
+  across the column domain, the signature of a model trained on a
+  different region of the data than it is serving.
+* :class:`UpdateSkewFault` — ``update()`` forwards only a biased slice
+  of the appended rows, so the model's view of the table silently
+  drifts from the truth with every update.
 
 **Update-path faults** target the training/retraining lifecycle instead
 of the query path (the hazards :mod:`repro.lifecycle` defends against):
@@ -61,7 +79,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..core.estimator import CardinalityEstimator
-from ..core.query import Query
+from ..core.query import Predicate, Query
 from ..core.table import Table
 from ..core.workload import Workload
 
@@ -102,15 +120,19 @@ class FaultInjector(CardinalityEstimator):
         probability: float = 1.0,
         seed: int = 0,
         after: int = 0,
+        until: int | None = None,
     ) -> None:
         super().__init__()
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         if after < 0:
             raise ValueError("after must be non-negative")
+        if until is not None and until < after:
+            raise ValueError("until must be >= after")
         self.inner = inner
         self.probability = probability
         self.after = after
+        self.until = until
         self.name = f"{self.kind}({inner.name})"
         self.requires_workload = inner.requires_workload
         self._rng = np.random.default_rng(seed)
@@ -129,11 +151,19 @@ class FaultInjector(CardinalityEstimator):
     def _update(self, table: Table, appended, workload: Workload | None) -> None:
         self.inner.update(table, appended, workload)
 
+    def _scheduled(self) -> bool:
+        """Roll the seeded schedule for the current call number."""
+        if self._calls <= self.after:
+            return False
+        if self.until is not None and self._calls > self.until:
+            return False
+        return self._rng.random() < self.probability
+
     def estimate(self, query: Query) -> float:
         if self._table is None:
             raise RuntimeError(f"{self.name} must be fit before estimating")
         self._calls += 1
-        if self._calls > self.after and self._rng.random() < self.probability:
+        if self._scheduled():
             self.faults_fired += 1
             return self._fault(query)
         return self.inner.estimate(query)
@@ -541,7 +571,7 @@ class SlowWorkerFault(FaultInjector):
         if self._table is None:
             raise RuntimeError(f"{self.name} must be fit before estimating")
         self._calls += 1
-        if self._calls > self.after and self._rng.random() < self.probability:
+        if self._scheduled():
             self.faults_fired += 1
             self._sleep(self.delay_seconds)
         return np.asarray(self.inner.estimate_many(queries), dtype=np.float64)
@@ -589,6 +619,134 @@ class StaleModelFault(FaultInjector):
 
     def _update(self, table: Table, appended, workload: Workload | None) -> None:
         self.dropped_updates += 1
+
+    def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
+        return self.inner.estimate(query)
+
+
+class CorrelatedShiftFault(FaultInjector):
+    """Inflate estimates by ``magnitude`` per predicate — AVI gone wrong.
+
+    The attribute-value-independence assumption multiplies per-column
+    selectivities; when the columns are in fact correlated, the product
+    under- or over-shoots *geometrically in the number of predicates*.
+    Each scheduled answer is the inner estimate times
+    ``magnitude ** num_predicates``: ``magnitude > 1`` reproduces the
+    overestimate direction (only a provable upper bound stops it),
+    ``magnitude < 1`` the underestimate direction on positively
+    correlated data (no bound catches it — only q-error feedback).
+    Either way the result is finite and positive, sailing straight
+    through NaN/inf sanity checks.
+    """
+
+    kind = "correlated-shift"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        magnitude: float = 8.0,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        until: int | None = None,
+    ) -> None:
+        super().__init__(inner, probability, seed, after, until)
+        if magnitude <= 0.0 or magnitude == 1.0:
+            raise ValueError("magnitude must be positive and not 1.0")
+        self.magnitude = magnitude
+
+    def _fault(self, query: Query) -> float:
+        inflation = self.magnitude ** max(len(query.predicates), 1)
+        return self.inner.estimate(query) * inflation
+
+
+class DomainShiftFault(FaultInjector):
+    """Answer queries as if translated across the column domain.
+
+    Models a train/serve domain mismatch: the scheduled answer is the
+    inner estimate for the query *shifted* by ``shift_fraction`` of each
+    predicated column's value range — i.e. the model responds from a
+    different region of the distribution than the one being asked
+    about.  Like all adversarial faults the answer is perfectly sane in
+    isolation; only comparing against the true domain (bounds, OOD
+    scoring, q-error feedback) reveals it.
+    """
+
+    kind = "domain-shift"
+
+    def __init__(
+        self,
+        inner: CardinalityEstimator,
+        shift_fraction: float = 0.5,
+        probability: float = 1.0,
+        seed: int = 0,
+        after: int = 0,
+        until: int | None = None,
+    ) -> None:
+        super().__init__(inner, probability, seed, after, until)
+        if shift_fraction == 0.0:
+            raise ValueError("shift_fraction must be non-zero")
+        self.shift_fraction = shift_fraction
+
+    def _fault(self, query: Query) -> float:
+        data = self.inner.table.data
+        shifted = []
+        for pred in query.predicates:
+            column = data[:, pred.column]
+            span = float(column.max() - column.min()) or 1.0
+            shift = self.shift_fraction * span
+            shifted.append(
+                Predicate(
+                    column=pred.column,
+                    lo=None if pred.lo is None else pred.lo + shift,
+                    hi=None if pred.hi is None else pred.hi + shift,
+                )
+            )
+        return self.inner.estimate(Query(predicates=tuple(shifted)))
+
+
+class UpdateSkewFault(FaultInjector):
+    """Forward only a biased slice of appended rows — silent data skew.
+
+    On every ``update()`` the wrapper keeps just the appended rows whose
+    ``column`` value is at or below the append batch's median and shows
+    the inner model a table containing only those (the wrapper itself —
+    and therefore the serving layer — still sees the true table).  The
+    model's view of the distribution drifts further from the truth with
+    each update, the creeping version of the Section 5 staleness hazard
+    that no single-query sanity check can catch.
+    """
+
+    kind = "update-skew"
+
+    def __init__(
+        self, inner: CardinalityEstimator, column: int = 0, seed: int = 0
+    ) -> None:
+        super().__init__(inner, probability=0.0, seed=seed)
+        self.column = column
+        self.updates_skewed = 0
+
+    def _update(self, table: Table, appended, workload: Workload | None) -> None:
+        if appended is None or len(appended) == 0:
+            self.inner.update(table, appended, workload)
+            return
+        self.updates_skewed += 1
+        values = appended[:, self.column]
+        biased = appended[values <= np.median(values)]
+        old_rows = table.data[: table.num_rows - len(appended)]
+        skewed = Table(
+            name=table.name,
+            data=np.vstack([old_rows, biased]),
+            column_names=list(table.column_names),
+        )
+        if workload is not None:
+            # The model's whole training view is the skewed world: any
+            # retraining labels are recomputed against the biased table.
+            workload = Workload(
+                queries=workload.queries,
+                cardinalities=skewed.cardinalities(list(workload.queries)),
+            )
+        self.inner.update(skewed, biased, workload)
 
     def _fault(self, query: Query) -> float:  # pragma: no cover - never fires
         return self.inner.estimate(query)

@@ -1,0 +1,40 @@
+"""Estimate guardrails: provable bounds, OOD detection, model quarantine.
+
+Defense-in-depth around the learned tiers of the serving stack, built
+from the paper's Section 5/6 failure catalogue: every served estimate is
+
+* **bounded** — clamped into a provable ``[lower, upper]`` interval from
+  a fit-time :class:`BoundSketch` (AVI-free min over per-predicate
+  conservative counts);
+* **attributable** — out-of-distribution queries are detected against a
+  fit-time :class:`DomainSnapshot` and routed past the learned primary,
+  with clamp/reroute events and metrics naming the reason;
+* **revocable** — a :class:`QuarantineMonitor` watches the q-error
+  feedback stream and demotes a misbehaving learned tier out of the
+  chain, re-admitting it only after a clean pass through the lifecycle
+  promotion gate.
+"""
+
+from .bounds import BoundSketch, ColumnBound
+from .guard import EstimateGuard
+from .ood import DEFAULT_OOD_THRESHOLD, DomainSnapshot, OodDetector, OodVerdict
+from .quarantine import (
+    HEALTHY,
+    QUARANTINED,
+    QuarantineMonitor,
+    QuarantineStatus,
+)
+
+__all__ = [
+    "BoundSketch",
+    "ColumnBound",
+    "DEFAULT_OOD_THRESHOLD",
+    "DomainSnapshot",
+    "EstimateGuard",
+    "HEALTHY",
+    "OodDetector",
+    "OodVerdict",
+    "QUARANTINED",
+    "QuarantineMonitor",
+    "QuarantineStatus",
+]

@@ -1,0 +1,122 @@
+"""The guard facade: bounds + OOD + quarantine behind one object.
+
+:class:`EstimateGuard` is what the serving layers actually hold.  It is
+deliberately passive — the :class:`~repro.serve.EstimatorService` and
+:class:`~repro.shard.Shard` call into it at three hook points:
+
+* ``fit``/``update`` — (re)build the :class:`~repro.guard.BoundSketch`
+  and the :class:`~repro.guard.DomainSnapshot` from the table the chain
+  was fitted on;
+* ``clamp(query, value)`` — pull any accepted estimate into the
+  provable ``[lower, upper]`` interval, returning the violation reason
+  (``"above-upper"`` / ``"below-lower"``) when the raw value broke it;
+* ``is_ood(query)`` — decide whether the learned primary should be
+  skipped for this query.
+
+The guard also relays accuracy feedback to an attached
+:class:`~repro.guard.QuarantineMonitor` (see :meth:`observe_qerror`),
+so ``service.record_actual`` drives demotion without the service layer
+knowing the quarantine machinery exists.  Every piece degrades to a
+no-op when unfitted or disabled, so a guard can be installed on an
+unfitted chain and simply wake up at ``fit`` time.
+"""
+
+from __future__ import annotations
+
+from ..core.query import Query
+from .bounds import DEFAULT_MAX_EXACT, DEFAULT_NUM_BUCKETS, BoundSketch
+from .ood import DEFAULT_OOD_THRESHOLD, DomainSnapshot, OodDetector, OodVerdict
+
+
+class EstimateGuard:
+    """Bounds clamp + OOD routing + quarantine relay (see module doc)."""
+
+    def __init__(
+        self,
+        *,
+        bounds_enabled: bool = True,
+        ood_enabled: bool = True,
+        ood_threshold: float = DEFAULT_OOD_THRESHOLD,
+        max_exact: int = DEFAULT_MAX_EXACT,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+    ) -> None:
+        self.bounds_enabled = bounds_enabled
+        self.ood_enabled = ood_enabled
+        self.ood_threshold = ood_threshold
+        self._max_exact = max_exact
+        self._num_buckets = num_buckets
+        self.sketch: BoundSketch | None = None
+        self.detector: OodDetector | None = None
+        #: attached by the caller after the service exists (the monitor
+        #: needs the service reference to demote)
+        self.monitor = None
+        # Introspection counters (metrics/events are emitted by the
+        # serving layer, which owns the telemetry sinks).
+        self.clamped = 0
+        self.ood_rerouted = 0
+
+    # ------------------------------------------------------------------
+    # Fit-time hooks
+    # ------------------------------------------------------------------
+    def fit(self, table, workload=None) -> None:
+        """Capture the bound sketch and training-domain snapshot."""
+        if self.bounds_enabled:
+            self.sketch = BoundSketch(
+                table, max_exact=self._max_exact, num_buckets=self._num_buckets
+            )
+        if self.ood_enabled:
+            self.detector = OodDetector(
+                DomainSnapshot.capture(table, workload), self.ood_threshold
+            )
+
+    def update(self, table, appended=None) -> None:
+        """Fold a data update into the sketch (snapshot follows the
+        refitted model: the chain's ``update`` retrains on the new
+        table, so its value ranges become the training domain)."""
+        if self.sketch is not None:
+            self.sketch.update(table, appended)
+        if self.detector is not None:
+            self.detector = OodDetector(
+                DomainSnapshot.capture(table, None), self.ood_threshold
+            )
+
+    # ------------------------------------------------------------------
+    # Serve-time hooks
+    # ------------------------------------------------------------------
+    def bounds(self, query: Query) -> tuple[float, float] | None:
+        if self.sketch is None:
+            return None
+        return self.sketch.bounds(query)
+
+    def clamp(self, query: Query, value: float) -> tuple[float, str | None]:
+        """Pull ``value`` into the provable interval; name the reason."""
+        if self.sketch is None:
+            return value, None
+        lower, upper = self.sketch.bounds(query)
+        if value > upper:
+            self.clamped += 1
+            return upper, "above-upper"
+        if value < lower:
+            self.clamped += 1
+            return lower, "below-lower"
+        return value, None
+
+    def ood_verdict(self, query: Query) -> OodVerdict | None:
+        if self.detector is None:
+            return None
+        return self.detector.score(query)
+
+    def is_ood(self, query: Query) -> bool:
+        if self.detector is None:
+            return False
+        if self.detector.is_ood(query):
+            self.ood_rerouted += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Feedback relay
+    # ------------------------------------------------------------------
+    def observe_qerror(self, tenant: str, qerror: float) -> None:
+        if self.monitor is not None:
+            self.monitor.observe(tenant, qerror)

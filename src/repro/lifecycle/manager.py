@@ -98,8 +98,12 @@ class ModelLifecycleManager:
         events: EventLog | None = None,
         registry: MetricsRegistry | None = None,
         collector: SpanCollector | None = None,
+        quarantine=None,
     ) -> None:
         self.service = service
+        #: optional guard QuarantineMonitor — a gate-passed promotion
+        #: supersedes any standing quarantine of the old primary
+        self.quarantine = quarantine
         self.candidate_factory = candidate_factory
         self.detector = detector
         self.gate = gate or PromotionGate(list(detector.probe.queries), seed=seed)
@@ -237,6 +241,8 @@ class ModelLifecycleManager:
         new_table: Table,
     ) -> LifecycleReport:
         self.service.replace_primary(candidate)
+        if self.quarantine is not None:
+            self.quarantine.on_promotion()
         self.detector.set_baseline(candidate, new_table)
         self._transition(PROMOTED, generation=self.generation)
         self._count_promotion(PROMOTED)

@@ -42,6 +42,9 @@ from .metrics import (
     BREAKER_TRANSITIONS,
     ESTIMATOR_PHASE_SECONDS,
     FASTPATH_STUDENT,
+    GUARD_CLAMPED,
+    GUARD_OOD,
+    GUARD_QUARANTINE,
     LIFECYCLE_CHECKPOINTS,
     LIFECYCLE_MODEL_GENERATION,
     LIFECYCLE_PROMOTIONS,
@@ -143,6 +146,9 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "ESTIMATOR_PHASE_SECONDS",
     "FASTPATH_STUDENT",
+    "GUARD_CLAMPED",
+    "GUARD_OOD",
+    "GUARD_QUARANTINE",
     "EpochRecord",
     "Event",
     "EventLog",

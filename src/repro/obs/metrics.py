@@ -637,6 +637,14 @@ SLO_TRANSITIONS = "repro_slo_transitions_total"
 #: distilled-student answers, labelled {outcome}: "student" when the
 #: confidence gate lets the student answer, "teacher" on fallback
 FASTPATH_STUDENT = "repro_fastpath_student_total"
+#: estimates pulled into the provable bound interval, labelled {reason}
+#: ("above-upper" / "below-lower")
+GUARD_CLAMPED = "repro_guard_clamped_total"
+#: out-of-distribution guard decisions, labelled {action} ("reroute")
+GUARD_OOD = "repro_guard_ood_total"
+#: quarantine transitions, labelled {action} ("demote" / "readmit" /
+#: "probe-failed")
+GUARD_QUARANTINE = "repro_guard_quarantine_total"
 
 
 def observe_phase(

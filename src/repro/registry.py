@@ -33,6 +33,7 @@ from .estimators.traditional import (
 )
 from .core.table import Table
 from .core.workload import Workload
+from .guard import EstimateGuard, QuarantineMonitor
 from .lifecycle import DriftDetector, ModelLifecycleManager
 from .scale import Scale
 from .serve import EstimatorService, HeuristicConstantEstimator
@@ -203,6 +204,45 @@ def make_service(
     )
 
 
+def make_guarded_service(
+    primary: str | CardinalityEstimator,
+    fallbacks: Sequence[str] | None = None,
+    scale: Scale | None = None,
+    *,
+    table: Table | None = None,
+    workload: Workload | None = None,
+    probe_workload: Workload | None = None,
+    guard_kwargs: dict | None = None,
+    quarantine_kwargs: dict | None = None,
+    **service_kwargs,
+) -> EstimatorService:
+    """A :func:`make_service` chain with the full guard tier installed.
+
+    Builds an :class:`~repro.guard.EstimateGuard` (provable bounds +
+    OOD detection; tune via ``guard_kwargs``) into the service.  When
+    ``table`` is given the chain — and the guard — is fitted here
+    (pass ``workload`` for query-driven primaries).  When
+    ``probe_workload`` is given a
+    :class:`~repro.guard.QuarantineMonitor` is attached too (tune via
+    ``quarantine_kwargs``), so sustained q-error breaches demote the
+    learned primary and its probe queries gate re-admission; reach it
+    at ``service.guard.monitor``.
+    """
+    guard = EstimateGuard(**(guard_kwargs or {}))
+    service = EstimatorService(
+        make_fallback_chain(primary, fallbacks, scale),
+        guard=guard,
+        **service_kwargs,
+    )
+    if table is not None:
+        service.fit(table, workload)
+    if probe_workload is not None:
+        guard.monitor = QuarantineMonitor(
+            service, list(probe_workload.queries), **(quarantine_kwargs or {})
+        )
+    return service
+
+
 def make_shard_service(
     primary: str | CardinalityEstimator,
     table: Table,
@@ -269,3 +309,28 @@ def make_lifecycle_manager(
         checkpoint_dir=checkpoint_dir,
         **manager_kwargs,
     )
+
+
+#: The factory entry points, for the misspelling hints below.
+FACTORY_NAMES = [
+    "make_estimator",
+    "make_traditional",
+    "make_learned",
+    "make_fallback_chain",
+    "make_service",
+    "make_guarded_service",
+    "make_shard_service",
+    "make_lifecycle_manager",
+]
+
+
+def __getattr__(name: str):
+    """Typo hints for factory names, mirroring :func:`make_estimator`.
+
+    ``from repro.registry import make_gaurded_service`` should fail the
+    same way ``make_estimator("nauru")`` does: with the close matches
+    spelled out, not a bare AttributeError.
+    """
+    close = get_close_matches(name, FACTORY_NAMES, n=3, cutoff=0.5)
+    hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}{hint}")

@@ -56,6 +56,8 @@ from ..core.query import Query
 from ..core.table import Table
 from ..core.workload import Workload
 from ..obs import (
+    GUARD_CLAMPED,
+    GUARD_OOD,
     SERVE_CACHE,
     SERVE_REQUESTS,
     SERVE_TIER_ATTEMPTS,
@@ -123,6 +125,8 @@ class TierHealth:
     trips: int
     p50_ms: float
     p99_ms: float
+    #: answers pulled into the provable bound interval (repro.guard)
+    guard_clamped: int = 0
 
 
 @dataclass(frozen=True)
@@ -172,6 +176,7 @@ class _TierStats:
     attempts: int = 0
     served: int = 0
     sanitized: int = 0
+    guard_clamped: int = 0
     failures: Counter = field(default_factory=Counter)
     skipped_open: int = 0
     skipped_deadline: int = 0
@@ -205,6 +210,7 @@ class _Tier:
             skipped_open=self.stats.skipped_open,
             skipped_deadline=self.stats.skipped_deadline,
             trips=self.breaker.trips,
+            guard_clamped=self.stats.guard_clamped,
             p50_ms=self.stats.latencies.percentile_ms(50.0),
             p99_ms=self.stats.latencies.percentile_ms(99.0),
         )
@@ -234,6 +240,7 @@ class EstimatorService(CardinalityEstimator):
         cache: EstimateCache | int | None = None,
         slos: SloRegistry | None = None,
         exemplars: ExemplarStore | None = None,
+        guard=None,
     ) -> None:
         super().__init__()
         if not tiers:
@@ -253,6 +260,10 @@ class EstimatorService(CardinalityEstimator):
         self._events = events
         self._slos = slos
         self._exemplars = exemplars
+        #: optional repro.guard.EstimateGuard: provable bound clamping,
+        #: OOD routing, and quarantine feedback (duck-typed so the serve
+        #: layer stays import-free of repro.guard)
+        self.guard = guard
         self._tiers: list[_Tier] = []
         seen: Counter = Counter()
         for est in tiers:
@@ -300,12 +311,16 @@ class EstimatorService(CardinalityEstimator):
             tier.estimator.fit(
                 table, workload if tier.estimator.requires_workload else None
             )
+        if self.guard is not None:
+            self.guard.fit(table, workload)
 
     def _update(self, table: Table, appended, workload: Workload | None) -> None:
         for tier in self._tiers:
             tier.estimator.update(
                 table, appended, workload if tier.estimator.requires_workload else None
             )
+        if self.guard is not None:
+            self.guard.update(table, appended)
         # Model state changed; every cached estimate is stale.
         self._advance_generation()
 
@@ -404,8 +419,23 @@ class EstimatorService(CardinalityEstimator):
             )
 
         attempts: list[tuple[str, str]] = []
+        # OOD queries skip the learned primary: the model never saw this
+        # region of the query space, so a tier with bounded-by-design
+        # error answers instead (unless the primary is the only tier).
+        skip_primary = (
+            self.guard is not None
+            and len(self._tiers) > 1
+            and self.guard.is_ood(query)
+        )
+        if skip_primary:
+            attempts.append(("guard", "ood-reroute"))
+            self._count_guard_ood()
+            self._obs_events().emit("guard.ood", service=self.name)
         last = len(self._tiers) - 1
         for index, tier in enumerate(self._tiers):
+            if index == 0 and skip_primary:
+                self._attempt_outcome(tier, attempts, "skipped-ood")
+                continue
             if not tier.breaker.allows_request():
                 tier.stats.skipped_open += 1
                 self._attempt_outcome(tier, attempts, "skipped-open")
@@ -454,16 +484,21 @@ class EstimatorService(CardinalityEstimator):
 
                 if 0.0 <= raw <= table.num_rows:
                     value, outcome = raw, "served"
-                    tier.breaker.record_success()
                 else:
                     # Finite but illogical: serve the clamped value, count
                     # the incident against the tier's breaker.
                     value, outcome = clamp_to_bounds(raw, table.num_rows), "sanitized"
                     tier.stats.sanitized += 1
-                    tier.breaker.record_failure()
                     self._obs_events().emit(
                         "serve.sanitized", tier=tier.name, raw=raw, served=value
                     )
+                value, outcome = self._guard_clamp(
+                    tier, query, raw, value, outcome
+                )
+                if outcome == "served":
+                    tier.breaker.record_success()
+                else:
+                    tier.breaker.record_failure()
                 tier.stats.served += 1
                 if index > 0:
                     self._degraded += 1
@@ -487,13 +522,8 @@ class EstimatorService(CardinalityEstimator):
         attempts.append(("last-resort", "served"))
         self._count_request("last-resort")
         self._obs_events().emit("serve.last_resort", service=self.name)
-        value = (
-            0.0
-            if any(p.is_empty for p in query.predicates)
-            else table.num_rows * LAST_RESORT_SELECTIVITY**query.num_predicates
-        )
         return ServedEstimate(
-            estimate=clamp_to_bounds(value, table.num_rows),
+            estimate=self._last_resort_value(query, table),
             tier="last-resort",
             tier_index=len(self._tiers),
             degraded=True,
@@ -527,14 +557,23 @@ class EstimatorService(CardinalityEstimator):
         q = _qerror(served.estimate, actual)
         slos = self._slos if self._slos is not None else get_slos()
         slos.record_qerror(tenant, q)
+        if self.guard is not None:
+            # Quarantine watches the same feedback stream the SLOs do.
+            self.guard.observe_qerror(tenant, q)
         exemplars = (
             self._exemplars if self._exemplars is not None else get_exemplars()
         )
+        # OOD-rerouted answers are surfaced on the board under an
+        # "ood->tier" label, so a drifting workload is attributable at a
+        # glance.
+        estimator_label = served.tier
+        if ("guard", "ood-reroute") in served.attempts:
+            estimator_label = f"ood->{served.tier}"
         if exemplars.would_record_qerror(tenant, q):
             exemplars.record_qerror(
                 Exemplar(
                     tenant=tenant,
-                    estimator=served.tier,
+                    estimator=estimator_label,
                     query=repr(query),
                     estimate=served.estimate,
                     latency_seconds=served.latency_seconds,
@@ -600,9 +639,32 @@ class EstimatorService(CardinalityEstimator):
                 continue
             pending.append(i)
 
+        # Per-query OOD verdicts: flagged queries are pulled out of the
+        # tier-0 sub-batch and rejoin the walk at tier 1, so the learned
+        # primary never sees them (mirrors the scalar path's skip).
+        ood_carry: list[int] = []
+        if self.guard is not None and len(self._tiers) > 1:
+            for i in pending:
+                if self.guard.is_ood(queries[i]):
+                    ood_carry.append(i)
+                    attempts[i].append(("guard", "ood-reroute"))
+                    self._count_guard_ood()
+                    self._obs_events().emit("guard.ood", service=self.name)
+            if ood_carry:
+                carried = set(ood_carry)
+                pending = [i for i in pending if i not in carried]
+
         last = len(self._tiers) - 1
         for index, tier in enumerate(self._tiers):
+            if index == 0 and ood_carry:
+                for i in ood_carry:
+                    self._attempt_outcome(tier, attempts[i], "skipped-ood")
+            if index == 1 and ood_carry:
+                pending = pending + ood_carry
+                ood_carry = []
             if not pending:
+                if ood_carry:
+                    continue  # rerouted queries rejoin at tier 1
                 break
             if not tier.breaker.allows_request():
                 tier.stats.skipped_open += len(pending)
@@ -678,20 +740,25 @@ class EstimatorService(CardinalityEstimator):
                         continue
                     if 0.0 <= value <= table.num_rows:
                         outcome = "served"
-                        tier.breaker.record_success()
                     else:
                         value, outcome = (
                             clamp_to_bounds(value, table.num_rows),
                             "sanitized",
                         )
                         tier.stats.sanitized += 1
-                        tier.breaker.record_failure()
                         self._obs_events().emit(
                             "serve.sanitized",
                             tier=tier.name,
                             raw=float(raw[pos]),
                             served=value,
                         )
+                    value, outcome = self._guard_clamp(
+                        tier, queries[i], float(raw[pos]), value, outcome
+                    )
+                    if outcome == "served":
+                        tier.breaker.record_success()
+                    else:
+                        tier.breaker.record_failure()
                     tier.stats.served += 1
                     if index > 0:
                         self._degraded += 1
@@ -720,13 +787,8 @@ class EstimatorService(CardinalityEstimator):
             self._count_request("last-resort")
             self._obs_events().emit("serve.last_resort", service=self.name)
             query = queries[i]
-            value = (
-                0.0
-                if any(p.is_empty for p in query.predicates)
-                else table.num_rows * LAST_RESORT_SELECTIVITY**query.num_predicates
-            )
             results[i] = ServedEstimate(
-                estimate=clamp_to_bounds(value, table.num_rows),
+                estimate=self._last_resort_value(query, table),
                 tier="last-resort",
                 tier_index=len(self._tiers),
                 degraded=True,
@@ -829,6 +891,61 @@ class EstimatorService(CardinalityEstimator):
     # ------------------------------------------------------------------
     def _budget_spent(self, start: float) -> bool:
         return self._deadline is not None and self._clock() - start > self._deadline
+
+    def _guard_clamp(
+        self, tier: _Tier, query: Query, raw: float, value: float, outcome: str
+    ) -> tuple[float, str]:
+        """Pull an accepted answer into the provable bound interval.
+
+        A violation is counted against the tier (``guard_clamped`` stat,
+        ``repro_guard_clamped_total{reason}`` metric, ``guard.clamp``
+        event) and reported as the ``"guard-clamped"`` outcome, which
+        the caller records as a breaker failure: an estimate that broke
+        a provable bound is model misbehaviour, not noise.
+        """
+        if self.guard is None:
+            return value, outcome
+        value, reason = self.guard.clamp(query, value)
+        if reason is not None:
+            outcome = "guard-clamped"
+            tier.stats.guard_clamped += 1
+            self._count_guard_clamp(reason)
+            self._obs_events().emit(
+                "guard.clamp",
+                tier=tier.name,
+                raw=raw,
+                served=value,
+                reason=reason,
+            )
+        return value, outcome
+
+    def _last_resort_value(self, query: Query, table: Table) -> float:
+        """The emergency answer, clamped into every bound we can prove."""
+        if any(p.is_empty for p in query.predicates):
+            return 0.0
+        value = clamp_to_bounds(
+            table.num_rows * LAST_RESORT_SELECTIVITY**query.num_predicates,
+            table.num_rows,
+        )
+        if self.guard is not None:
+            value, reason = self.guard.clamp(query, value)
+            if reason is not None:
+                self._count_guard_clamp(reason)
+        return value
+
+    def _count_guard_clamp(self, reason: str) -> None:
+        self._bound_counter(
+            GUARD_CLAMPED,
+            "Estimates pulled into the provable bound interval",
+            reason=reason,
+        ).inc()
+
+    def _count_guard_ood(self) -> None:
+        self._bound_counter(
+            GUARD_OOD,
+            "Out-of-distribution guard decisions",
+            action="reroute",
+        ).inc()
 
     def _record_failure(
         self, tier: _Tier, kind: str, call_start: float | None

@@ -38,6 +38,7 @@ from ..core.query import Query
 from ..lifecycle.gate import GateReport, PromotionGate
 from ..lifecycle.retrain import RetryPolicy
 from ..obs import (
+    GUARD_CLAMPED,
     SHARD_REQUESTS,
     SHARD_SWAPS,
     EventLog,
@@ -122,11 +123,13 @@ class Shard:
         telemetry: bool = True,
         slos: SloRegistry | None = None,
         exemplars: ExemplarStore | None = None,
+        guard=None,
     ) -> None:
         self.name = name
         self.estimator = estimator
         self.table = estimator.table  # raises if unfitted, by design
         self._fallback_tiers = list(fallback_tiers)
+        self.guard = guard
         self._events = events
         self._registry = registry
         self.telemetry = telemetry
@@ -152,6 +155,7 @@ class Shard:
             registry=registry,
             slos=slos,
             exemplars=exemplars,
+            guard=guard,
         )
         # Shed answers come straight from the magic-constant tier: it
         # cannot fail and costs microseconds, which is the whole point
@@ -277,7 +281,39 @@ class Shard:
         trace_ctx: tuple[int, int] | None = None,
         trace_id: int | None = None,
     ) -> list[ServedEstimate]:
-        """Worker dispatch with validation; fallback chain on any miss."""
+        """Worker dispatch with validation; fallback chain on any miss.
+
+        Out-of-distribution queries never reach the worker path: the
+        guard's domain snapshot flags them and they go straight to the
+        in-process fallback chain, whose own guard hook skips the
+        learned primary (the chain owns the reroute telemetry, so the
+        split here stays silent to avoid double counting).
+        """
+        if self.guard is not None and not self.fallback_mode:
+            verdicts = [self.guard.ood_verdict(q) for q in queries]
+            ood = [
+                i
+                for i, v in enumerate(verdicts)
+                if v is not None and v.is_ood
+            ]
+            if ood:
+                results: list[ServedEstimate | None] = [None] * len(queries)
+                ood_set = set(ood)
+                keep = [i for i in range(len(queries)) if i not in ood_set]
+                rerouted = self.fallback_service.serve_batch(
+                    [queries[i] for i in ood]
+                )
+                for i, served in zip(ood, rerouted):
+                    results[i] = served
+                self.stats.fallback_served += len(ood)
+                if keep:
+                    kept = self._serve_admitted(
+                        [queries[i] for i in keep], trace_ctx, trace_id
+                    )
+                    for i, served in zip(keep, kept):
+                        results[i] = served
+                assert all(r is not None for r in results)
+                return results  # type: ignore[return-value]
         if not self.fallback_mode:
             dispatch = self.supervisor.dispatch(queries, trace_ctx)
             if dispatch.attempts > 1:
@@ -310,10 +346,11 @@ class Shard:
 
         Finite but out-of-bounds values are clamped exactly like the
         serving chain's "sanitized" outcome (raw model estimates may
-        legitimately overshoot the row count by a little).  NaN/inf —
-        the signature of a corrupted worker model — sends those queries
-        to the parent's clean fallback chain instead of surfacing
-        garbage to the optimizer.
+        legitimately overshoot the row count by a little), then pulled
+        into the guard's provable per-query interval when a guard is
+        installed.  NaN/inf — the signature of a corrupted worker model
+        — sends those queries to the parent's clean fallback chain
+        instead of surfacing garbage to the optimizer.
         """
         num_rows = self.table.num_rows
         latency = seconds / max(len(queries), 1)
@@ -326,6 +363,23 @@ class Shard:
                 if not is_sane(value, num_rows):
                     value = clamp_to_bounds(value, num_rows)
                     outcome = "sanitized"
+                if self.guard is not None:
+                    clamped, reason = self.guard.clamp(queries[i], value)
+                    if reason is not None:
+                        self._obs_registry().counter(
+                            GUARD_CLAMPED,
+                            "Estimates clamped to provable bounds",
+                        ).inc(1, reason=reason)
+                        self._obs_events().emit(
+                            "guard.clamp",
+                            shard=self.name,
+                            tier="worker",
+                            raw=value,
+                            served=clamped,
+                            reason=reason,
+                        )
+                        value = clamped
+                        outcome = "guard-clamped"
                 results[i] = ServedEstimate(
                     estimate=value,
                     tier="worker",
@@ -415,10 +469,12 @@ class ShardRouter:
         telemetry: bool = True,
         slos: SloRegistry | None = None,
         exemplars: ExemplarStore | None = None,
+        guard=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         self.estimator = estimator
+        self.guard = guard
         self._events = events
         self._registry = registry
         self.telemetry = telemetry
@@ -445,6 +501,7 @@ class ShardRouter:
                 telemetry=telemetry,
                 slos=slos,
                 exemplars=exemplars,
+                guard=guard,
             )
         self.ring = HashRing(self.shards, replicas=ring_replicas)
         self.started = False

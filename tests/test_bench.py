@@ -448,3 +448,107 @@ class TestObsReport:
             s["span_id"] for s in spans if s["name"] == "serve.batch"
         }
         assert any(s.get("parent_id") in batch_ids for s in worker_spans)
+
+
+class TestBenchServeMergeDiscipline:
+    """BENCH_serve.json is shared: scale and guard must not clobber
+    each other's sections on regeneration (the fastpath merge rule)."""
+
+    def fake_guard_result(self):
+        from repro.bench.guard_exp import (
+            GuardBenchResult,
+            GuardScenarioResult,
+            QuarantineCycleResult,
+        )
+
+        scenario = GuardScenarioResult(
+            scenario="correlated-shift",
+            queries=10,
+            worst_q_off=120.0,
+            p95_q_off=80.0,
+            worst_q_on=6.0,
+            p95_q_on=4.0,
+            improvement=20.0,
+            availability=1.0,
+            clamped=5,
+            ood_rerouted=0,
+            demotions=0,
+        )
+        cycle = QuarantineCycleResult(
+            serves=24,
+            demoted_after=8,
+            demotions=1,
+            probes_failed=0,
+            readmissions=1,
+            final_state="healthy",
+        )
+        return GuardBenchResult(
+            method="lw-xgb",
+            dataset="census",
+            scenarios=[scenario],
+            quarantine=cycle,
+            p50_off_us=100.0,
+            p50_on_us=104.0,
+            p50_overhead_fraction=0.04,
+            worst_case_improvement=20.0,
+            availability=1.0,
+        )
+
+    def test_guard_write_preserves_scale_sections(self, ctx, tmp_path):
+        import json
+
+        from repro.bench.guard_exp import write_guard_artifacts
+
+        json_path = tmp_path / "BENCH_serve.json"
+        scale_payload = {
+            "experiment": "scale_serving",
+            "speedup": 2.5,
+            "scenarios": {"no-fault": {"availability": 1.0}},
+        }
+        json_path.write_text(json.dumps(scale_payload))
+        write_guard_artifacts(
+            ctx, self.fake_guard_result(), json_path, tmp_path / "guard.txt"
+        )
+        merged = json.loads(json_path.read_text())
+        assert merged["experiment"] == "scale_serving"
+        assert merged["speedup"] == 2.5
+        assert merged["scenarios"] == {"no-fault": {"availability": 1.0}}
+        assert merged["guard"]["worst_case_improvement"] == 20.0
+        assert merged["guard"]["quarantine"]["readmissions"] == 1
+
+    def test_scale_write_preserves_guard_section(self, ctx, tmp_path):
+        import json
+
+        from repro.bench.scale_exp import write_serve_artifacts
+
+        json_path = tmp_path / "BENCH_serve.json"
+        json_path.write_text(json.dumps({"guard": {"availability": 1.0}}))
+        write_serve_artifacts(
+            ctx,
+            [],
+            num_shards=1,
+            workers_per_shard=1,
+            json_path=json_path,
+            text_path=tmp_path / "scale.txt",
+        )
+        merged = json.loads(json_path.read_text())
+        assert merged["guard"] == {"availability": 1.0}
+        assert merged["experiment"] == "scale_serving"
+
+    def test_guard_write_survives_a_corrupt_file(self, ctx, tmp_path):
+        import json
+
+        from repro.bench.guard_exp import write_guard_artifacts
+
+        json_path = tmp_path / "BENCH_serve.json"
+        json_path.write_text("{not json")
+        write_guard_artifacts(
+            ctx, self.fake_guard_result(), json_path, tmp_path / "guard.txt"
+        )
+        merged = json.loads(json_path.read_text())
+        assert set(merged) == {"guard"}
+
+    def test_guard_cli_experiment_is_registered(self):
+        from repro.bench.__main__ import EXPERIMENTS
+
+        assert "guard" in EXPERIMENTS

@@ -27,6 +27,16 @@ Five rules, enforced by walking every module's AST:
    ``np.float64`` / ``numpy.float64`` and the exact string literal
    ``"float64"`` (so ``dtype="float64"`` and ``astype("float64")`` are
    both caught; prose merely *mentioning* the word is not).
+6. **No unguarded model-output conversions in the serving layers** —
+   modules under ``src/repro/serve`` and ``src/repro/shard`` must not
+   call ``math.exp(...)`` or wrap an ``.estimate(...)`` /
+   ``.estimate_many(...)`` call in ``float(...)`` outside the
+   sanctioned guard/sanitize helpers.  A raw conversion is how
+   unclamped model garbage leaks to a caller: every model output in
+   the serving layers must pass through a function whose name marks it
+   as a judging site (``*sanit*``, ``*guard*``, ``*clamp*``,
+   ``*validate*``, the ``_serve_inner``/``_serve_batch_inner`` chain
+   walkers, or the ``*last_resort*`` floor).
 
 A handler that is *deliberately* silent (e.g. a child process whose
 parent observes the dead pipe) opts out with a ``# lint-ok: <reason>``
@@ -56,6 +66,24 @@ CLOCK_ATTRS = ("monotonic", "perf_counter")
 
 #: package directory whose modules must stay float64-free (rule 5)
 FASTPATH_DIR = "fastpath"
+
+#: package directories whose model-output conversions are policed (rule 6)
+SERVING_DIRS = ("serve", "shard")
+
+#: enclosing-function name fragments that mark a sanctioned judging
+#: site for model outputs (rule 6)
+SANCTIONED_FRAGMENTS = (
+    "sanit",
+    "guard",
+    "clamp",
+    "validate",
+    "serve_inner",
+    "serve_batch_inner",
+    "last_resort",
+)
+
+#: the estimator-protocol calls whose raw result rule 6 protects
+ESTIMATE_ATTRS = ("estimate", "estimate_many")
 
 
 def _python_sources() -> list[Path]:
@@ -139,6 +167,66 @@ def _float64_violation(node: ast.AST, lines: list[str]) -> bool:
     return False
 
 
+def _is_sanctioned(stack: list[str]) -> bool:
+    """Is any enclosing function a designated model-output judging site?"""
+    return any(
+        fragment in name for name in stack for fragment in SANCTIONED_FRAGMENTS
+    )
+
+
+def _wraps_estimate_call(call: ast.Call) -> bool:
+    """``float(...)`` whose argument subtree invokes ``.estimate*(...)``."""
+    for arg in call.args:
+        for node in ast.walk(arg):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ESTIMATE_ATTRS
+            ):
+                return True
+    return False
+
+
+def _model_output_violations(
+    tree: ast.AST, lines: list[str]
+) -> list[tuple[int, str]]:
+    """Rule 6 matcher: ``(lineno, kind)`` pairs, ``kind`` in exp/float.
+
+    Walks with an explicit enclosing-function-name stack (``ast.walk``
+    flattens scope away) so conversions inside ``*guard*``/``*sanit*``
+    helpers stay legal while the same call one function up is flagged.
+    """
+    found: list[tuple[int, str]] = []
+
+    def visit(node: ast.AST, stack: list[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack = stack + [node.name]
+        if (
+            isinstance(node, ast.Call)
+            and not _is_sanctioned(stack)
+            and not _line_has_pragma(lines, node.lineno)
+        ):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "exp"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+            ):
+                found.append((node.lineno, "exp"))
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "float"
+                and _wraps_estimate_call(node)
+            ):
+                found.append((node.lineno, "float"))
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+
+    visit(tree, [])
+    return found
+
+
 def _violations_in(path: Path) -> list[str]:
     source = path.read_text()
     lines = source.splitlines()
@@ -147,6 +235,19 @@ def _violations_in(path: Path) -> list[str]:
     rel = path.relative_to(SRC_ROOT.parent.parent)
     is_clock_module = tuple(path.parts[-2:]) == CLOCK_MODULE
     is_fastpath = FASTPATH_DIR in path.parts
+    is_serving = any(d in path.parts for d in SERVING_DIRS)
+    if is_serving:
+        for lineno, kind in _model_output_violations(tree, lines):
+            what = (
+                "math.exp() on a model output"
+                if kind == "exp"
+                else "float() around an .estimate*() call"
+            )
+            found.append(
+                f"{rel}:{lineno}: {what} outside a guard/sanitize helper — "
+                "route it through a *guard*/*sanit*/*clamp*/*validate* "
+                "function; `# lint-ok: <reason>` to opt out"
+            )
     for node in ast.walk(tree):
         if is_fastpath and _float64_violation(node, lines):
             found.append(
@@ -203,11 +304,18 @@ class TestLintRules:
 
     @staticmethod
     def check(
-        snippet: str, *, is_clock_module: bool = False, is_fastpath: bool = False
+        snippet: str,
+        *,
+        is_clock_module: bool = False,
+        is_fastpath: bool = False,
+        is_serving: bool = False,
     ) -> list[str]:
         lines = snippet.splitlines()
         found = []
-        for node in ast.walk(ast.parse(snippet)):
+        tree = ast.parse(snippet)
+        if is_serving:
+            found.extend(kind for _, kind in _model_output_violations(tree, lines))
+        for node in ast.walk(tree):
             if is_fastpath and _float64_violation(node, lines):
                 found.append("float64")
             if isinstance(node, ast.ExceptHandler):
@@ -354,3 +462,72 @@ class TestLintRules:
     def test_float32_in_fastpath_is_legal(self):
         snippet = "import numpy as np\nw = np.zeros(4, dtype=np.float32)\n"
         assert self.check(snippet, is_fastpath=True) == []
+
+    def test_flags_math_exp_in_serving(self):
+        snippet = (
+            "import math\n"
+            "def serve(model, query):\n"
+            "    return math.exp(model.predict_log(query))\n"
+        )
+        assert self.check(snippet, is_serving=True) == ["exp"]
+
+    def test_flags_float_of_estimate_in_serving(self):
+        snippet = (
+            "def serve(tier, query):\n"
+            "    return float(tier.estimator.estimate(query))\n"
+        )
+        assert self.check(snippet, is_serving=True) == ["float"]
+
+    def test_flags_float_of_estimate_many_in_serving(self):
+        snippet = (
+            "def serve(tier, queries):\n"
+            "    return float(tier.estimate_many(queries)[0])\n"
+        )
+        assert self.check(snippet, is_serving=True) == ["float"]
+
+    def test_guard_helper_is_sanctioned(self):
+        snippet = (
+            "def _guard_clamp(tier, query):\n"
+            "    return float(tier.estimate(query))\n"
+        )
+        assert self.check(snippet, is_serving=True) == []
+
+    def test_sanitize_helper_is_sanctioned(self):
+        snippet = (
+            "import math\n"
+            "def _sanitize(model, query):\n"
+            "    return math.exp(model.predict_log(query))\n"
+        )
+        assert self.check(snippet, is_serving=True) == []
+
+    def test_sanctioned_nesting_covers_inner_lambda_free_helpers(self):
+        # An inner helper defined inside a sanctioned function inherits
+        # the sanction — the judging site encloses the conversion.
+        snippet = (
+            "def _validate_values(tier, queries):\n"
+            "    def convert(q):\n"
+            "        return float(tier.estimate(q))\n"
+            "    return [convert(q) for q in queries]\n"
+        )
+        assert self.check(snippet, is_serving=True) == []
+
+    def test_float_of_plain_name_is_legal_in_serving(self):
+        # Converting an already-judged value is fine; the rule targets
+        # the direct model call, not every float() in the layer.
+        snippet = "def serve(raw):\n    return float(raw)\n"
+        assert self.check(snippet, is_serving=True) == []
+
+    def test_serving_conversion_accepts_pragma(self):
+        snippet = (
+            "def serve(tier, query):\n"
+            "    return float(tier.estimate(query))  # lint-ok: exact tier\n"
+        )
+        assert self.check(snippet, is_serving=True) == []
+
+    def test_model_output_rule_scoped_to_serving_dirs(self):
+        snippet = (
+            "import math\n"
+            "def train_step(model, x):\n"
+            "    return math.exp(model.predict_log(x))\n"
+        )
+        assert self.check(snippet) == []

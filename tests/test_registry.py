@@ -103,3 +103,83 @@ class TestRegistry:
         assert flags["quicksel"] and flags["kde-fb"]
         assert not flags["naru"] and not flags["deepdb"]
         assert not flags["postgres"] and not flags["sampling"]
+
+
+class TestGuardedServiceFactory:
+    def build(self, **kwargs):
+        import numpy as np
+
+        from repro import generate_workload, make_guarded_service
+        from repro.datasets import census
+
+        table = census(num_rows=500)
+        rng = np.random.default_rng(3)
+        train = generate_workload(table, 40, rng)
+        return table, train, make_guarded_service(
+            "sampling", table=table, workload=train, **kwargs
+        )
+
+    def test_builds_a_guarded_fitted_chain(self):
+        table, train, service = self.build()
+        assert service.guard is not None
+        assert service.guard.sketch is not None  # fit reached the guard
+        assert service.guard.monitor is None  # no probe workload given
+        served = service.serve(train.queries[0])
+        assert 0.0 <= served.estimate <= table.num_rows
+
+    def test_probe_workload_attaches_quarantine(self):
+        table, train, service = self.build(
+            probe_workload=None, quarantine_kwargs=None
+        )
+        import numpy as np
+
+        from repro import generate_workload, make_guarded_service
+        from repro.datasets import census
+
+        rng = np.random.default_rng(5)
+        probe = generate_workload(table, 16, rng)
+        service = make_guarded_service(
+            "sampling",
+            table=table,
+            workload=train,
+            probe_workload=probe,
+            quarantine_kwargs={"qerror_threshold": 8.0, "window": 16},
+        )
+        monitor = service.guard.monitor
+        assert monitor is not None
+        assert monitor.service is service
+        assert monitor.qerror_threshold == 8.0
+
+    def test_guard_kwargs_reach_the_guard(self):
+        _, _, service = self.build(guard_kwargs={"ood_enabled": False})
+        assert service.guard.detector is None
+        assert service.guard.sketch is not None
+
+
+class TestFactoryTypoHints:
+    def test_misspelled_factory_names_the_close_matches(self):
+        from repro import registry
+
+        with pytest.raises(
+            AttributeError, match="did you mean 'make_guarded_service'"
+        ):
+            getattr(registry, "make_gaurded_service")
+
+    def test_make_service_typo(self):
+        from repro import registry
+
+        with pytest.raises(AttributeError, match="did you mean 'make_service'"):
+            getattr(registry, "make_servce")
+
+    def test_unrelated_name_gets_no_hint(self):
+        from repro import registry
+
+        with pytest.raises(AttributeError) as excinfo:
+            getattr(registry, "zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_real_factories_resolve(self):
+        from repro import registry
+
+        for name in registry.FACTORY_NAMES:
+            assert callable(getattr(registry, name))

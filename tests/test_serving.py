@@ -43,6 +43,13 @@ class RawStub(StubEstimator):
         return self.value
 
 
+class RawBatchStub(RawStub):
+    """Unclamped on the batch path too."""
+
+    def estimate_many(self, queries) -> np.ndarray:
+        return np.full(len(queries), self.value, dtype=np.float64)
+
+
 class FakeClock:
     def __init__(self) -> None:
         self.now = 0.0
@@ -573,6 +580,23 @@ class TestServeBatch:
         assert out.shape == (6,)
         assert np.array_equal(out, np.full(6, 4.0))
         assert svc.health().queries == 6
+
+    def test_batch_sanitizes_over_table_estimates(self, tiny_table):
+        # Regression: a finite answer above num_rows must be clamped to
+        # num_rows on the batch path, exactly like the scalar path.
+        wild = RawBatchStub(10 * tiny_table.num_rows, name="wild")
+        svc = self.service([wild], tiny_table)
+        served = svc.serve_batch(distinct_queries(4))
+        assert [s.estimate for s in served] == [tiny_table.num_rows] * 4
+        assert all(s.attempts[-1][1] == "sanitized" for s in served)
+        assert svc.health().tiers[0].sanitized == 4
+
+    def test_batch_sanitizes_negative_estimates(self, tiny_table):
+        wild = RawBatchStub(-50.0, name="neg")
+        svc = self.service([wild], tiny_table)
+        served = svc.serve_batch(distinct_queries(4))
+        assert [s.estimate for s in served] == [0.0] * 4
+        assert all(s.attempts[-1][1] == "sanitized" for s in served)
 
 
 class TestEstimateCache:
