@@ -109,6 +109,9 @@ class LwNnEstimator(CardinalityEstimator):
         quantize_sequential(self._model)
         self._optimizer = None
         self._quantized = True
+        # Packed layers dequantize into float32: cast features to match
+        # so the whole batch forward stays out of float64.
+        self._np_dtype = np.dtype(np.float32)
 
     # ------------------------------------------------------------------
     # Resumable-training protocol (driven by repro.lifecycle)
@@ -116,6 +119,7 @@ class LwNnEstimator(CardinalityEstimator):
     def begin_training(self, table: Table, workload: Workload) -> None:
         """Initialise a fresh training run (epoch counter at zero)."""
         self._quantized = False
+        self._np_dtype = np.dtype(self.dtype)
         self._table = table
         self._train_rng = np.random.default_rng(self.seed)
         self._featurizer = LwFeaturizer(table, self.use_ce_features)

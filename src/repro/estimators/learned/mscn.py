@@ -94,7 +94,9 @@ class _MscnNetwork:
         """
         counts = np.asarray(counts, dtype=np.int64)
         hidden = self.predicate_mlp.forward(flat_feats)
-        pooled = np.zeros((len(counts), self.hidden))
+        # Inherit the MLP's dtype: int8 layers emit float32, and a
+        # float64 pool here would silently upcast the rest of the net.
+        pooled = np.zeros((len(counts), self.hidden), dtype=hidden.dtype)
         nonzero = np.flatnonzero(counts)
         if nonzero.size and len(hidden):
             ends = np.cumsum(counts)

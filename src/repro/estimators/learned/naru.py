@@ -264,7 +264,10 @@ class NaruEstimator(CardinalityEstimator):
         # slower.  Chunks run in query order, preserving the
         # inference-RNG stream.
         max_card = max(self._disc.cardinalities)
-        chunk = max(1, int(1_250_000 // max(1, self.num_samples * max_card)))
+        # Int8 models run their scratch in float32 (half the bytes), so
+        # the same cache budget fits twice the queries per chunk.
+        budget = 2_500_000 if self._quantized else 1_250_000
+        chunk = max(1, int(budget // max(1, self.num_samples * max_card)))
         out = np.empty(len(queries))
         for start in range(0, len(queries), chunk):
             out[start : start + chunk] = self.estimate_selectivities(
@@ -338,6 +341,12 @@ class NaruEstimator(CardinalityEstimator):
         n_cols = len(cards)
         s = self.num_samples
 
+        # Quantized models dequantize into float32; keeping the whole
+        # per-column scratch (dist / weights / cumsums) in float32 halves
+        # the kernel's memory traffic.  The fp64 teacher keeps fp64
+        # scratch, and ``draws`` stays float64 on both paths so the
+        # shared inference-RNG stream is identical bit-for-bit.
+        work_dtype = np.float32 if self._quantized else np.float64
         predicated = np.zeros((n_q, n_cols), dtype=bool)
         weights: list[dict[int, np.ndarray]] = []
         last = np.zeros(n_q, dtype=np.int64)
@@ -362,7 +371,7 @@ class NaruEstimator(CardinalityEstimator):
                 draws[qi, col] = rng.random(s)
 
         samples = np.zeros((n_q, s, n_cols), dtype=np.int64)
-        p_total = np.ones((n_q, s))
+        p_total = np.ones((n_q, s), dtype=work_dtype)
         for col in range(int(last.max()) + 1):
             active_mask = last >= col
             if self.wildcard_skipping:
@@ -371,7 +380,7 @@ class NaruEstimator(CardinalityEstimator):
             if active.size == 0:
                 continue
             card = cards[col]
-            dist = np.empty((active.size, s, card))
+            dist = np.empty((active.size, s, card), dtype=work_dtype)
             if self.wildcard_skipping:
                 # ``present`` is shared across a conditional_from_bins
                 # call, so group the active queries by which earlier
@@ -394,7 +403,7 @@ class NaruEstimator(CardinalityEstimator):
                 dist = self._conditional_deduped(flat, col).reshape(
                     active.size, s, card
                 )
-            w_col = np.ones((active.size, card))
+            w_col = np.ones((active.size, card), dtype=work_dtype)
             for pos, qi in enumerate(active):
                 if col in weights[qi]:
                     w_col[pos] = weights[qi][col]
@@ -407,7 +416,7 @@ class NaruEstimator(CardinalityEstimator):
             samples[active, :, col] = (draws[active, col][:, :, None] < cum).argmax(
                 axis=2
             )
-        return p_total.mean(axis=1)
+        return p_total.mean(axis=1, dtype=np.float64)
 
     # ------------------------------------------------------------------
     def model_size_bytes(self) -> int:

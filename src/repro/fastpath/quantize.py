@@ -33,6 +33,13 @@ axis), so the kernel is one int8->float32 cast feeding the BLAS sgemm
 plus a rank-one correction.  Everything in this tier computes in
 float32; `tests/test_lint.py` bans the double-precision dtype from this
 package outright.
+
+The packed ``q`` code matrices are plain int8 ndarrays, so
+:class:`repro.shard.shm.ModelArena` publishes them **as-is** into its
+shared-memory tensor region (~4x smaller segments than the float32
+teacher) and workers serve straight off read-only int8 views — every
+kernel here only ever reads the codes (casts, gathers, matmuls), never
+writes them, which is exactly the contract an arena attachment needs.
 """
 
 from __future__ import annotations

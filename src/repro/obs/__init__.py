@@ -41,6 +41,7 @@ from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     BREAKER_TRANSITIONS,
     ESTIMATOR_PHASE_SECONDS,
+    FASTPATH_SEMANTIC,
     FASTPATH_STUDENT,
     GUARD_CLAMPED,
     GUARD_OOD,
@@ -145,6 +146,7 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "ESTIMATOR_PHASE_SECONDS",
+    "FASTPATH_SEMANTIC",
     "FASTPATH_STUDENT",
     "GUARD_CLAMPED",
     "GUARD_OOD",

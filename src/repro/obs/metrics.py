@@ -637,6 +637,9 @@ SLO_TRANSITIONS = "repro_slo_transitions_total"
 #: distilled-student answers, labelled {outcome}: "student" when the
 #: confidence gate lets the student answer, "teacher" on fallback
 FASTPATH_STUDENT = "repro_fastpath_student_total"
+#: router-level shared semantic-cache probes before shard dispatch,
+#: labelled {shard, outcome} ("hit" / "semantic_hit" / "miss")
+FASTPATH_SEMANTIC = "repro_fastpath_semantic_total"
 #: estimates pulled into the provable bound interval, labelled {reason}
 #: ("above-upper" / "below-lower")
 GUARD_CLAMPED = "repro_guard_clamped_total"

@@ -22,22 +22,39 @@ Two layers:
   this container.
 * :func:`save_estimator` / :func:`load_estimator` — the estimator
   artifact format built on top, with :class:`ArtifactInfo` metadata.
+
+Format 3 splits every sizeable ndarray out of the pickle stream
+(:func:`split_tensors`) and stores it in a contiguous, 64-byte-aligned
+tensor blob behind a per-tensor dtype/shape table.  The pickle that
+remains — the *skeleton* — is just object structure and scalars.  The
+same split/join machinery backs :class:`repro.shard.shm.ModelArena`,
+which maps the identical layout into ``multiprocessing.shared_memory``
+so forked workers can attach read-only tensor views instead of
+receiving a pickled model.  Format-2 artifacts still load.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
+
+import numpy as np
 
 from .core.estimator import CardinalityEstimator
 
 #: Bumped whenever a change breaks estimator attribute layout or the
-#: on-disk container (version 2 added the payload checksum).
-FORMAT_VERSION = 2
+#: on-disk container (version 2 added the payload checksum; version 3
+#: moved ndarrays out of the pickle into an aligned tensor blob).
+FORMAT_VERSION = 3
+
+#: Format versions :func:`load_bundle` / :func:`load_estimator` accept.
+COMPATIBLE_VERSIONS = (2, 3)
 
 _MAGIC = b"repro-estimator"
 _DIGEST_BYTES = hashlib.sha256().digest_size
@@ -60,6 +77,167 @@ class ArtifactInfo:
 
 class PersistenceError(RuntimeError):
     """Raised when an artifact cannot be read back safely."""
+
+
+# ----------------------------------------------------------------------
+# Tensor split/join (shared with repro.shard.shm)
+# ----------------------------------------------------------------------
+#: Arrays smaller than this stay inline in the skeleton pickle — the
+#: out-of-band bookkeeping costs more than it saves below this size.
+MIN_TENSOR_BYTES = 256
+
+#: Tag used for out-of-band tensor references in the skeleton pickle.
+_TENSOR_TAG = "repro-tensor"
+
+#: Tensor offsets are aligned so attached views are cache-line aligned
+#: (and safely aligned for any numpy dtype).
+TENSOR_ALIGN = 64
+
+
+class _TensorPickler(pickle.Pickler):
+    """Pickler that extracts large ndarrays as out-of-band tensors.
+
+    Arrays are deduplicated by object identity (a model whose layers
+    share a weight array stays shared after a join) and snapshotted
+    contiguously so the blob layout is a straight byte copy.
+    """
+
+    def __init__(self, file: io.BytesIO, min_bytes: int) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._min_bytes = min_bytes
+        self.tensors: list[np.ndarray] = []
+        self._index: dict[int, int] = {}
+        # ``id()`` keys are only stable while the object is alive;
+        # pin every extracted array (pickle's memo does not hold
+        # persistent-id'd objects, and __reduce__ can yield temporaries).
+        self._pinned: list[np.ndarray] = []
+
+    def persistent_id(self, obj: object):  # noqa: D102 (pickle hook)
+        if type(obj) is np.ndarray and obj.nbytes >= self._min_bytes:
+            idx = self._index.get(id(obj))
+            if idx is None:
+                idx = len(self.tensors)
+                self._index[id(obj)] = idx
+                self._pinned.append(obj)
+                self.tensors.append(np.ascontiguousarray(obj))
+            return (_TENSOR_TAG, idx)
+        return None
+
+
+class _TensorUnpickler(pickle.Unpickler):
+    """Unpickler resolving tensor references against a provided list."""
+
+    def __init__(self, file: io.BytesIO, tensors: Sequence[np.ndarray]) -> None:
+        super().__init__(file)
+        self._tensors = tensors
+
+    def persistent_load(self, pid: object) -> np.ndarray:  # noqa: D102
+        if (
+            isinstance(pid, tuple)
+            and len(pid) == 2
+            and pid[0] == _TENSOR_TAG
+            and isinstance(pid[1], int)
+            and 0 <= pid[1] < len(self._tensors)
+        ):
+            return self._tensors[pid[1]]
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def split_tensors(
+    obj: object, *, min_bytes: int = MIN_TENSOR_BYTES
+) -> tuple[bytes, list[np.ndarray]]:
+    """Pickle ``obj`` with large ndarrays factored out.
+
+    Returns ``(skeleton, tensors)``: the skeleton is a pickle holding
+    ``(tag, index)`` references where the arrays were, and ``tensors``
+    are contiguous snapshots in reference order.  Inverse of
+    :func:`join_tensors`.
+    """
+    buffer = io.BytesIO()
+    pickler = _TensorPickler(buffer, min_bytes)
+    pickler.dump(obj)
+    return buffer.getvalue(), pickler.tensors
+
+
+def join_tensors(skeleton: bytes, tensors: Sequence[np.ndarray]) -> object:
+    """Rebuild a :func:`split_tensors` object around ``tensors``.
+
+    The arrays are installed as-is — pass shared-memory views to attach
+    a zero-copy model, or fresh copies to materialise a private one.
+    """
+    return _TensorUnpickler(io.BytesIO(skeleton), tensors).load()
+
+
+def _aligned(offset: int) -> int:
+    return (offset + TENSOR_ALIGN - 1) // TENSOR_ALIGN * TENSOR_ALIGN
+
+
+def tensor_table(
+    tensors: Sequence[np.ndarray],
+) -> tuple[list[tuple[str, tuple[int, ...], int, int]], int]:
+    """Lay out ``tensors`` back to back with aligned offsets.
+
+    Returns ``(table, total_bytes)`` where each table row is
+    ``(dtype_descr, shape, offset, nbytes)``.  The descr string comes
+    from :func:`numpy.lib.format.dtype_to_descr`, the same stable
+    encoding ``.npy`` files use.
+    """
+    table: list[tuple[str, tuple[int, ...], int, int]] = []
+    offset = 0
+    for tensor in tensors:
+        offset = _aligned(offset)
+        table.append(
+            (
+                np.lib.format.dtype_to_descr(tensor.dtype),
+                tuple(tensor.shape),
+                offset,
+                tensor.nbytes,
+            )
+        )
+        offset += tensor.nbytes
+    return table, offset
+
+
+def write_tensors(
+    tensors: Sequence[np.ndarray],
+    table: Sequence[tuple[str, tuple[int, ...], int, int]],
+    buf,
+) -> None:
+    """Copy each tensor's bytes into ``buf`` at its table offset."""
+    view = np.frombuffer(buf, dtype=np.uint8)
+    for tensor, (_descr, _shape, offset, nbytes) in zip(tensors, table):
+        view[offset : offset + nbytes] = np.frombuffer(
+            tensor, dtype=np.uint8, count=nbytes
+        )
+
+
+def read_tensors(
+    table: Sequence[tuple[str, tuple[int, ...], int, int]],
+    buf,
+    *,
+    copy: bool,
+) -> list[np.ndarray]:
+    """Materialise the arrays a :func:`tensor_table` describes.
+
+    With ``copy=False`` the arrays are read-only views into ``buf``
+    (the caller must keep the buffer alive — e.g. the shared-memory
+    segment); with ``copy=True`` they are private writable copies.
+    """
+    arrays: list[np.ndarray] = []
+    for descr, shape, offset, nbytes in table:
+        dtype = np.lib.format.descr_to_dtype(descr)
+        array = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
+        if array.nbytes != nbytes:
+            raise PersistenceError(
+                f"tensor table mismatch: {shape} {descr} is "
+                f"{array.nbytes} bytes, table says {nbytes}"
+            )
+        if copy:
+            array = array.copy()
+        else:
+            array.flags.writeable = False
+        arrays.append(array)
+    return arrays
 
 
 # ----------------------------------------------------------------------
@@ -110,11 +288,38 @@ def save_bundle(obj: object, path: str | Path, *, kind: str) -> None:
     raises :class:`PersistenceError` instead of leaking garbage.
     """
     payload = pickle.dumps(
-        {"kind": kind, "format_version": FORMAT_VERSION, "payload": obj},
+        {"kind": kind, "format_version": FORMAT_VERSION}
+        | _split_payload(obj),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     checksum = hashlib.sha256(payload).digest()
     atomic_write_bytes(path, _MAGIC + checksum + payload)
+
+
+def _split_payload(obj: object) -> dict:
+    """Format-3 payload fields: skeleton pickle + tensor table + blob."""
+    skeleton, tensors = split_tensors(obj)
+    table, total = tensor_table(tensors)
+    blob = bytearray(total)
+    write_tensors(tensors, table, blob)
+    return {"skeleton": skeleton, "tensors": table, "blob": bytes(blob)}
+
+
+def _join_payload(bundle: dict, path: str | Path) -> object:
+    """Rebuild a format-3 payload (private, writable tensor copies)."""
+    try:
+        arrays = read_tensors(bundle["tensors"], bundle["blob"], copy=True)
+        return join_tensors(bundle["skeleton"], arrays)
+    except (KeyError, ValueError, pickle.UnpicklingError) as exc:
+        raise PersistenceError(f"{path} has a torn tensor table: {exc}") from exc
+
+
+def _check_version(version: object, path: str | Path) -> None:
+    if version not in COMPATIBLE_VERSIONS:
+        raise PersistenceError(
+            f"{path} was written with format {version}, "
+            f"this library reads formats {COMPATIBLE_VERSIONS}"
+        )
 
 
 def load_bundle(path: str | Path, *, kind: str) -> object:
@@ -125,13 +330,10 @@ def load_bundle(path: str | Path, *, kind: str) -> object:
         raise PersistenceError(
             f"{path} is a {found!r} bundle, expected {kind!r}"
         )
-    version = bundle.get("format_version")
-    if version != FORMAT_VERSION:
-        raise PersistenceError(
-            f"{path} was written with format {version}, "
-            f"this library reads format {FORMAT_VERSION}"
-        )
-    return bundle["payload"]
+    _check_version(bundle.get("format_version"), path)
+    if "payload" in bundle:  # format 2: inline pickle
+        return bundle["payload"]
+    return _join_payload(bundle, path)
 
 
 # ----------------------------------------------------------------------
@@ -150,8 +352,10 @@ def save_estimator(estimator: CardinalityEstimator, path: str | Path) -> Artifac
         table_name=table.name,
         num_rows=table.num_rows,
     )
-    payload = pickle.dumps({"info": info, "estimator": estimator},
-                           protocol=pickle.HIGHEST_PROTOCOL)
+    payload = pickle.dumps(
+        {"info": info} | _split_payload(estimator),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
     checksum = hashlib.sha256(payload).digest()
     atomic_write_bytes(path, _MAGIC + checksum + payload)
     return info
@@ -199,9 +403,7 @@ def _load_estimator_bundle(path: str | Path) -> dict:
     info = bundle.get("info")
     if not isinstance(info, ArtifactInfo):
         raise PersistenceError(f"{path} has no artifact metadata")
-    if info.format_version != FORMAT_VERSION:
-        raise PersistenceError(
-            f"{path} was written with format {info.format_version}, "
-            f"this library reads format {FORMAT_VERSION}"
-        )
+    _check_version(info.format_version, path)
+    if "estimator" not in bundle:  # format 3: join skeleton + tensors
+        bundle["estimator"] = _join_payload(bundle, path)
     return bundle

@@ -375,7 +375,8 @@ class EstimatorService(CardinalityEstimator):
         # A semantic cache distinguishes exact hits from subsumption
         # answers via ``last_hit_kind``; the plain LRU cache has no such
         # attribute and every hit is exact.
-        self._count_cache(getattr(self.cache, "last_hit_kind", None) or "hit")
+        kind = getattr(self.cache, "last_hit_kind", None) or "hit"
+        self._count_cache(kind)
         self._queries += 1
         self._count_request("cache")
         # Constructed via __dict__ rather than the frozen-dataclass
@@ -385,7 +386,7 @@ class EstimatorService(CardinalityEstimator):
         served = ServedEstimate.__new__(ServedEstimate)
         served.__dict__.update({
             "estimate": hit,
-            "tier": "cache",
+            "tier": "semantic-cache" if kind == "semantic_hit" else "cache",
             "tier_index": -1,
             "degraded": False,
             "latency_seconds": self._clock() - start,

@@ -6,10 +6,17 @@ rolling model swaps — the million-query robustness tier on top of
 Layering::
 
     ShardRouter                 route by consistent hash, rolling swaps
+      ├── ModelArena            shm model generations, zero-copy swaps
       └── Shard (×N)            admission + worker pool + fallback chain
             ├── AdmissionController   quotas, capacity, deadlines → shed
             ├── WorkerSupervisor      forked workers, restarts, drain
+            │     └── ShmRing + codec   batches as framed shm ndarrays
             └── EstimatorService      in-process degradation chain
+
+The pipes between supervisor and workers are a pure control plane:
+bulk data (model tensors, query batches, results) crosses through
+shared memory (:mod:`.shm`, :mod:`.codec`), and ``tests/test_lint.py``
+rule 7 bans any other payload over a shard pipe.
 
 Every request gets an answer — worker, fallback chain, or heuristic
 shed tier — so availability stays 1.0 under the whole chaos matrix
@@ -23,7 +30,21 @@ from .admission import (
     AdmissionDecision,
     ShardRequest,
 )
+from .codec import (
+    CodecError,
+    CodecOverflow,
+    pack_queries,
+    pack_results,
+    unpack_queries,
+    unpack_results,
+)
 from .hashing import HashRing, stable_hash
+from .shm import (
+    ArenaError,
+    ArenaGeneration,
+    ModelArena,
+    ShmRing,
+)
 from .router import (
     RollingSwapReport,
     Shard,
@@ -37,14 +58,24 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
+    "ArenaError",
+    "ArenaGeneration",
+    "CodecError",
+    "CodecOverflow",
     "DispatchResult",
     "HashRing",
+    "ModelArena",
     "RollingSwapReport",
     "Shard",
     "ShardRequest",
     "ShardRouter",
     "ShardStats",
+    "ShmRing",
     "WorkerSupervisor",
+    "pack_queries",
+    "pack_results",
     "routing_key",
     "stable_hash",
+    "unpack_queries",
+    "unpack_results",
 ]

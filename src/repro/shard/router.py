@@ -20,9 +20,21 @@ or shed-to-heuristic — which is what the chaos matrix's availability
 Rolling model swaps (:meth:`ShardRouter.rolling_swap`) are driven by
 the :mod:`repro.lifecycle` promotion machinery: the candidate must pass
 the :class:`~repro.lifecycle.gate.PromotionGate`, shards are swapped
-one at a time (drain → ``replace_primary`` → refork, so each shard's
-estimate cache rolls to a new generation), and a candidate that fails
-its post-swap probe is rolled back shard-by-shard to the incumbent.
+one at a time, and a candidate that fails its post-swap probe is rolled
+back shard-by-shard to the incumbent.  With the shared-memory transport
+a swap is zero-copy: the router publishes the candidate **once** into
+its :class:`~repro.shard.shm.ModelArena` and every shard's workers
+attach read-only tensor views off that one segment — no drain, no
+refork, and the model is never re-pickled to a live worker (the
+``swap_stats["model_pickles"]`` counter asserts this).  Pools that
+cannot live-swap (inline mode, pipe transport) fall back to the
+original drain → ``replace_primary`` → refork path.
+
+The router can also share one
+:class:`~repro.fastpath.semantic.SemanticEstimateCache` across all its
+shards: each shard probes a generation-namespaced slice of the shared
+cache *before* worker dispatch, so a semantic hit skips the IPC round
+trip entirely (counted under ``repro_fastpath_semantic_total{shard}``).
 """
 
 from __future__ import annotations
@@ -35,9 +47,11 @@ import numpy as np
 
 from ..core.estimator import CardinalityEstimator
 from ..core.query import Query
+from ..fastpath.semantic import SemanticEstimateCache
 from ..lifecycle.gate import GateReport, PromotionGate
 from ..lifecycle.retrain import RetryPolicy
 from ..obs import (
+    FASTPATH_SEMANTIC,
     GUARD_CLAMPED,
     SHARD_REQUESTS,
     SHARD_SWAPS,
@@ -57,7 +71,47 @@ from ..serve.heuristic import HeuristicConstantEstimator
 from ..serve.service import EstimatorService, ServedEstimate
 from .admission import AdmissionConfig, AdmissionController, ShardRequest
 from .hashing import HashRing
+from .shm import ArenaError, ArenaGeneration, ModelArena
 from .supervisor import WorkerSupervisor
+
+
+class _SemanticShardView:
+    """One shard's generation-namespaced slice of the shared cache.
+
+    The shared :class:`SemanticEstimateCache` namespaces entries by its
+    ``generation`` attribute, so interleaving shards on a single cache
+    is just arithmetic: the view sets ``generation = epoch * num_shards
+    + shard_index`` before every probe/put.  Shards never see each
+    other's entries, and a shard-local model swap (:meth:`bump`)
+    invalidates only that shard's slice.
+    """
+
+    def __init__(
+        self, cache: SemanticEstimateCache, index: int, stride: int
+    ) -> None:
+        self.cache = cache
+        self._index = index
+        self._stride = stride
+        self._epoch = 0
+
+    def _focus(self) -> None:
+        self.cache.generation = self._epoch * self._stride + self._index
+
+    def get(self, query: Query) -> float | None:
+        self._focus()
+        return self.cache.get(query)
+
+    def put(self, query: Query, estimate: float) -> None:
+        self._focus()
+        self.cache.put(query, estimate)
+
+    @property
+    def last_hit_kind(self) -> str | None:
+        return self.cache.last_hit_kind
+
+    def bump(self) -> None:
+        """Roll this shard's slice to a fresh epoch after a model swap."""
+        self._epoch += 1
 
 
 def routing_key(request: ShardRequest) -> str:
@@ -114,6 +168,9 @@ class Shard:
         admission: AdmissionConfig | None = None,
         policy: RetryPolicy | None = None,
         mode: str = "auto",
+        transport: str = "auto",
+        arena: ModelArena | None = None,
+        semantic_view: _SemanticShardView | None = None,
         request_timeout_seconds: float = 5.0,
         heartbeat_timeout_seconds: float = 1.0,
         seed: int = 0,
@@ -137,10 +194,23 @@ class Shard:
         self._exemplars = exemplars
         self._num_workers = num_workers
         self._mode = mode
+        self._transport = transport
+        self._arena = arena
+        self.semantic_view = semantic_view
         self._policy = policy
         self._timeouts = (request_timeout_seconds, heartbeat_timeout_seconds)
         self._seed = seed
         self._cache_capacity = cache_capacity
+        #: swap-path counters, persistent across supervisor replacement.
+        #: ``model_pickles`` counts model re-serializations sent to a
+        #: *live* worker — zero by construction on both swap paths (the
+        #: arena path ships a control frame, the refork path inherits
+        #: the model through fork memory); the chaos matrix asserts it.
+        self.swap_stats = {
+            "arena_swaps": 0,
+            "refork_swaps": 0,
+            "model_pickles": 0,
+        }
         #: the estimator forked into workers; may be a fault wrapper
         #: around ``estimator`` so chaos lives only in worker processes
         self.worker_estimator = worker_estimator or estimator
@@ -181,6 +251,8 @@ class Shard:
             request_timeout_seconds=request_timeout,
             heartbeat_timeout_seconds=heartbeat_timeout,
             mode=self._mode,
+            transport=self._transport,
+            arena=self._arena,
             seed=self._seed,
             events=self._events,
             registry=self._registry,
@@ -409,19 +481,36 @@ class Shard:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
-    def swap_model(self, candidate: CardinalityEstimator) -> None:
-        """Hot-swap this shard to ``candidate``: drain → swap → refork.
+    def swap_model(
+        self,
+        candidate: CardinalityEstimator,
+        *,
+        generation: ArenaGeneration | None = None,
+    ) -> None:
+        """Hot-swap this shard to ``candidate``, zero-copy when possible.
 
-        ``replace_primary`` bumps the shard's cache generation, so no
-        stale estimate from the old model can ever be served under the
-        new one.
+        The live path publishes nothing and reforks nothing: the
+        supervisor points its running workers at an arena generation
+        (pre-published by the router, or published here) with a tiny
+        control frame.  Pools that cannot live-swap — inline mode, pipe
+        transport, a drained supervisor — fall back to the original
+        drain → refork path.  Either way ``replace_primary`` bumps the
+        shard's cache generation (no stale estimate from the old model
+        can be served under the new one) and the shard's semantic-cache
+        slice rolls to a fresh epoch.
         """
-        self.supervisor.drain()
+        if self.supervisor.swap_model(candidate, generation=generation):
+            self.swap_stats["arena_swaps"] += 1
+        else:
+            self.supervisor.drain()
+            self.supervisor = self._make_supervisor(candidate)
+            self.supervisor.start()
+            self.swap_stats["refork_swaps"] += 1
         self.fallback_service.replace_primary(candidate)
         self.estimator = candidate
-        self.supervisor = self._make_supervisor(candidate)
-        self.supervisor.start()
         self.fallback_mode = False
+        if self.semantic_view is not None:
+            self.semantic_view.bump()
 
     def probe(self, queries: Sequence[Query]) -> bool:
         """Post-swap smoke check: do the new workers answer sanely?"""
@@ -459,6 +548,8 @@ class ShardRouter:
         admission: AdmissionConfig | None = None,
         policy: RetryPolicy | None = None,
         mode: str = "auto",
+        transport: str = "auto",
+        semantic_cache: SemanticEstimateCache | int | None = None,
         request_timeout_seconds: float = 5.0,
         heartbeat_timeout_seconds: float = 1.0,
         ring_replicas: int = 64,
@@ -480,9 +571,26 @@ class ShardRouter:
         self.telemetry = telemetry
         self._slos = slos
         self._exemplars = exemplars
+        self.transport = transport
+        #: one arena for the whole fleet: ``rolling_swap`` publishes a
+        #: candidate once and every shard's workers attach the same
+        #: segment.  Construction allocates nothing until the first
+        #: publish, so pipe/inline configurations pay nothing for it.
+        self.arena = ModelArena()
+        if isinstance(semantic_cache, int):
+            semantic_cache = SemanticEstimateCache(semantic_cache)
+        self.semantic_cache = semantic_cache
+        self._semantic_views: dict[str, _SemanticShardView] = {}
         self.shards: dict[str, Shard] = {}
         for i in range(num_shards):
             name = f"shard-{i}"
+            view = (
+                _SemanticShardView(semantic_cache, i, num_shards)
+                if semantic_cache is not None
+                else None
+            )
+            if view is not None:
+                self._semantic_views[name] = view
             self.shards[name] = Shard(
                 name,
                 estimator,
@@ -492,6 +600,9 @@ class ShardRouter:
                 admission=admission,
                 policy=policy,
                 mode=mode,
+                transport=transport,
+                arena=self.arena,
+                semantic_view=view,
                 request_timeout_seconds=request_timeout_seconds,
                 heartbeat_timeout_seconds=heartbeat_timeout_seconds,
                 seed=seed + i,
@@ -515,6 +626,9 @@ class ShardRouter:
     def drain(self) -> None:
         for shard in self.shards.values():
             shard.drain()
+        # Shard supervisors released their generation refs above; close
+        # unlinks whatever segments remain so /dev/shm ends empty.
+        self.arena.close()
         self.started = False
 
     def __enter__(self) -> "ShardRouter":
@@ -541,11 +655,41 @@ class ShardRouter:
             by_shard.setdefault(self.route(request), []).append(index)
         results: list[ServedEstimate | None] = [None] * len(requests)
         for name, indices in by_shard.items():
-            shard_results = self.shards[name].serve_batch(
-                [requests[i] for i in indices]
-            )
-            for index, served in zip(indices, shard_results):
+            shard = self.shards[name]
+            view = self._semantic_views.get(name)
+            pending = indices
+            if view is not None:
+                # Probe the shared semantic cache before dispatch: an
+                # exact or semantic hit skips the worker IPC round trip.
+                pending = []
+                counter = self._obs_registry().counter(
+                    FASTPATH_SEMANTIC,
+                    "Shared semantic-cache probes before shard dispatch",
+                )
+                for index in indices:
+                    value = view.get(requests[index].query)
+                    if value is None:
+                        counter.inc(shard=name, outcome="miss")
+                        pending.append(index)
+                        continue
+                    kind = view.last_hit_kind or "hit"
+                    counter.inc(shard=name, outcome=kind)
+                    results[index] = ServedEstimate(
+                        estimate=float(value),
+                        tier="semantic-cache",
+                        tier_index=-1,
+                        degraded=False,
+                        latency_seconds=0.0,
+                        attempts=(("semantic-cache", kind),),
+                        trace_id=None,
+                    )
+            if not pending:
+                continue
+            shard_results = shard.serve_batch([requests[i] for i in pending])
+            for index, served in zip(pending, shard_results):
                 results[index] = served
+                if view is not None and not served.degraded:
+                    view.put(requests[index].query, served.estimate)
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
@@ -606,12 +750,19 @@ class ShardRouter:
             probe_queries = gate.validation_queries[:8]
 
         swapped: list[str] = []
+        # One publish for the whole fleet: every live-swapping shard
+        # attaches the same segment.  ``None`` (pipe transport, inline
+        # mode, not started) lets each shard take its refork path.
+        generation = self._publish_generation(candidate)
         for name, shard in self.shards.items():
-            shard.swap_model(candidate)
+            shard.swap_model(candidate, generation=generation)
             if probe_queries is not None and not shard.probe(probe_queries):
                 # Roll back this shard and every previously swapped one.
+                rollback_generation = self._publish_generation(incumbent)
                 for back in [*swapped, name]:
-                    self.shards[back].swap_model(incumbent)
+                    self.shards[back].swap_model(
+                        incumbent, generation=rollback_generation
+                    )
                 self._obs_events().emit(
                     "shard.swap_rollback", failed_shard=name, swapped=swapped
                 )
@@ -636,9 +787,34 @@ class ShardRouter:
             reason="promoted",
         )
 
+    def _publish_generation(
+        self, model: CardinalityEstimator
+    ) -> ArenaGeneration | None:
+        """Publish ``model`` once for the fleet, when a live swap can use it.
+
+        Returns ``None`` when no shard could attach it anyway (pipe
+        transport, inline mode, supervisors not started) or when shared
+        memory is unavailable — every shard then reforks as before.
+        """
+        sup = next(iter(self.shards.values())).supervisor
+        if not (sup.started and sup.mode == "fork" and sup.transport == "shm"):
+            return None
+        try:
+            return self.arena.publish(model)
+        except ArenaError:
+            return None
+
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, ShardStats]:
         return {name: shard.stats for name, shard in self.shards.items()}
+
+    def swap_stats(self) -> dict[str, int]:
+        """Fleet-wide swap-path counters (summed over shards)."""
+        total = {"arena_swaps": 0, "refork_swaps": 0, "model_pickles": 0}
+        for shard in self.shards.values():
+            for key, value in shard.swap_stats.items():
+                total[key] += value
+        return total
 
     def totals(self) -> ShardStats:
         total = ShardStats()

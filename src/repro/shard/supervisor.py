@@ -31,6 +31,21 @@ robustness boundary:
 dispatch semantics — the determinism reference for the bit-identity
 check, and the automatic degradation on platforms without ``fork``.
 
+**Transports.**  ``transport="shm"`` (the default under ``fork``) is
+the zero-copy data plane: query batches are encoded by
+:mod:`repro.shard.codec` into a :class:`~repro.shard.shm.ShmRing`
+slot, the pipe carries only a fixed-size ``("serve_slot", id, slot,
+nbytes)`` control frame, and the worker overwrites the slot with the
+result frame.  Model swaps ride the same plane: the supervisor's
+:meth:`~WorkerSupervisor.swap_model` publishes the candidate to a
+:class:`~repro.shard.shm.ModelArena` generation and sends each live
+worker a tiny ``("swap", generation, segment)`` frame — workers attach
+read-only tensor views, so a rolling swap never re-pickles a model and
+never reforks a live worker.  ``transport="pipe"`` keeps the original
+pickled-object path (also the per-request fallback when a batch
+overflows its ring slot), which lets the chaos matrix assert
+bit-identical answers across transports.
+
 **Telemetry** (on by default): each worker installs a
 :class:`~repro.obs.transport.TelemetryCapture` after the fork and
 piggybacks a :class:`~repro.obs.transport.TelemetrySnapshot` delta on
@@ -68,6 +83,18 @@ from ..obs import (
     set_trace_context,
 )
 from ..obs.clock import monotonic, perf_counter
+from .codec import (
+    CodecError,
+    pack_queries,
+    pack_results,
+    unpack_queries,
+    unpack_results,
+)
+from .shm import ArenaError, ArenaGeneration, ModelArena, ShmRing
+
+#: Default byte size of one ring slot; batches that encode larger fall
+#: back to the pipe path for that request (counted, never dropped).
+DEFAULT_SLOT_BYTES = 1 << 20
 
 #: Worker lifecycle states (the gauge's ``state`` label).
 LIVE = "live"
@@ -82,12 +109,22 @@ def _worker_main(
     shard: str = "",
     worker_name: str = "",
     telemetry: bool = False,
+    ring: ShmRing | None = None,
 ) -> None:
-    """Worker body: answer serve/ping messages until told to stop.
+    """Worker body: answer serve/ping/swap messages until told to stop.
 
     Estimator exceptions are shipped back as data (the worker survives
     them); a crash fault calls ``os._exit`` underneath us and the parent
     observes the dead pipe.
+
+    Under ``transport="shm"`` batches arrive as ``serve_slot`` control
+    frames naming a slot of the fork-inherited ``ring``; the worker
+    decodes the query frame in place, overwrites the slot with its
+    result frame, and acks with another fixed-size control frame.
+    ``swap`` frames point the worker at a new
+    :class:`~repro.shard.shm.ModelArena` generation: it attaches
+    read-only tensor views and drops its previous attachment — the
+    model itself never crosses the pipe.
 
     With ``telemetry`` on, the worker resets its fork-copied telemetry
     singletons, installs a delta capture, and attaches a snapshot to
@@ -97,37 +134,77 @@ def _worker_main(
     """
     capture = None
     registry = get_registry()
+    attachment = None
     if telemetry:
         capture = install_worker_capture(shard=shard, worker=worker_name)
+
+    def answer(request_id: int, queries, trace_ctx, slot: int | None) -> None:
+        if trace_ctx is not None:
+            set_trace_context(*trace_ctx)
+        try:
+            values = np.asarray(
+                estimator.estimate_many(queries), dtype=np.float64
+            )
+            if values.shape != (len(queries),):
+                raise ValueError(
+                    f"worker returned shape {values.shape} "
+                    f"for {len(queries)} queries"
+                )
+            if telemetry:
+                registry.counter(
+                    WORKER_QUERIES,
+                    "Queries answered by worker processes",
+                ).inc(len(queries), worker=worker_name)
+            snap = capture.take() if capture is not None else None
+            if slot is not None:
+                nbytes = pack_results(
+                    values, np.zeros(len(queries), dtype=np.uint8), ring.slot_view(slot)
+                )
+                conn.send(("result_slot", request_id, slot, nbytes, snap))
+            else:
+                conn.send(("result", request_id, values, snap))
+        except Exception as exc:  # lint-ok: error shipped to parent
+            snap = capture.take() if capture is not None else None
+            conn.send(
+                ("error", request_id, f"{type(exc).__name__}: {exc}", snap)
+            )
+
     try:
         while True:
             message = conn.recv()
             op = message[0]
             if op == "serve":
                 _, request_id, queries, trace_ctx = message
-                if trace_ctx is not None:
-                    set_trace_context(*trace_ctx)
+                answer(request_id, queries, trace_ctx, None)
+            elif op == "serve_slot":
+                _, request_id, slot, nbytes = message
                 try:
-                    values = np.asarray(
-                        estimator.estimate_many(queries), dtype=np.float64
+                    queries, trace_ctx, _tenants = unpack_queries(
+                        ring.slot_view(slot)[:nbytes]
                     )
-                    if values.shape != (len(queries),):
-                        raise ValueError(
-                            f"worker returned shape {values.shape} "
-                            f"for {len(queries)} queries"
-                        )
-                    if telemetry:
-                        registry.counter(
-                            WORKER_QUERIES,
-                            "Queries answered by worker processes",
-                        ).inc(len(queries), worker=worker_name)
-                    snap = capture.take() if capture is not None else None
-                    conn.send(("result", request_id, values, snap))
-                except Exception as exc:  # lint-ok: error shipped to parent
-                    snap = capture.take() if capture is not None else None
+                except (CodecError, ValueError) as exc:
                     conn.send(
-                        ("error", request_id, f"{type(exc).__name__}: {exc}", snap)
+                        (
+                            "error",
+                            request_id,
+                            f"{type(exc).__name__}: {exc}",
+                            capture.take() if capture is not None else None,
+                        )
                     )
+                    continue
+                answer(request_id, queries, trace_ctx, slot)
+            elif op == "swap":
+                _, generation, segment_name = message
+                try:
+                    fresh = ModelArena.attach(segment_name)
+                except ArenaError as exc:
+                    conn.send(("swap_failed", generation, str(exc)))
+                    continue
+                estimator = fresh.model
+                if attachment is not None:
+                    attachment.close()
+                attachment = fresh
+                conn.send(("swapped", generation))
             elif op == "ping":
                 conn.send(("pong", message[1]))
             elif op == "stop":
@@ -153,6 +230,10 @@ class _Worker:
     last_heartbeat: float = 0.0
     #: clock() time before which the next restart must not happen
     restart_at: float = 0.0
+    #: ring slot currently in flight to this worker (shm transport); the
+    #: parent reclaims it on reply — or in ``_fail`` after the kill, so
+    #: a dead worker can never leak (or scribble) a recycled slot
+    slot: int | None = None
 
 
 @dataclass(frozen=True)
@@ -181,6 +262,9 @@ class WorkerSupervisor:
         request_timeout_seconds: float = 5.0,
         heartbeat_timeout_seconds: float = 1.0,
         mode: str = "auto",
+        transport: str = "auto",
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        arena: ModelArena | None = None,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         events: EventLog | None = None,
@@ -191,6 +275,10 @@ class WorkerSupervisor:
             raise ValueError("num_workers must be at least 1")
         if mode not in ("auto", "fork", "inline"):
             raise ValueError(f"unknown mode {mode!r}; use auto, fork, or inline")
+        if transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                f"unknown transport {transport!r}; use auto, shm, or pipe"
+            )
         if request_timeout_seconds <= 0.0 or heartbeat_timeout_seconds <= 0.0:
             raise ValueError("timeouts must be positive")
         fork_available = "fork" in multiprocessing.get_all_start_methods()
@@ -198,9 +286,28 @@ class WorkerSupervisor:
             raise RuntimeError("fork start method unavailable on this platform")
         if mode == "auto":
             mode = "fork" if fork_available else "inline"
+        if transport == "auto":
+            transport = "shm"
+        if mode != "fork":
+            transport = "pipe"  # inline dispatch never crosses a process
         self.shard = shard
         self.estimator = estimator
         self.mode = mode
+        self.transport = transport
+        self.slot_bytes = slot_bytes
+        self._ring: ShmRing | None = None
+        self._arena = arena
+        self._arena_owned = False
+        self._generation: ArenaGeneration | None = None
+        #: data-plane counters: how batches actually travelled, plus the
+        #: slots reclaimed from killed workers (satellite of the chaos
+        #: matrix's no-leak invariant)
+        self.transport_stats = {
+            "shm_batches": 0,
+            "pipe_batches": 0,
+            "shm_overflows": 0,
+            "slots_reclaimed": 0,
+        }
         self.policy = policy or RetryPolicy(
             max_attempts=3, backoff_base_seconds=0.05, backoff_cap_seconds=2.0
         )
@@ -226,6 +333,10 @@ class WorkerSupervisor:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Fork the initial pool (call after the model is fitted)."""
+        if self.transport == "shm" and self._ring is None:
+            # the ring must exist before the first fork so every worker
+            # inherits the mapping
+            self._ring = ShmRing(len(self._workers) + 2, self.slot_bytes)
         for worker in self._workers:
             self._fork(worker)
         self.started = True
@@ -241,7 +352,14 @@ class WorkerSupervisor:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         process = ctx.Process(
             target=_worker_main,
-            args=(self.estimator, child_conn, self.shard, worker.name, self.telemetry),
+            args=(
+                self.estimator,
+                child_conn,
+                self.shard,
+                worker.name,
+                self.telemetry,
+                self._ring,
+            ),
             name=worker.name,
             daemon=True,
         )
@@ -287,6 +405,14 @@ class WorkerSupervisor:
             worker.conn.close()
             worker.state = STOPPED
         self.started = False
+        if self._ring is not None:
+            self._ring.close(unlink=True)
+            self._ring = None
+        if self._generation is not None and self._arena is not None:
+            self._arena.release(self._generation)
+            self._generation = None
+        if self._arena_owned and self._arena is not None:
+            self._arena.close()
         self._obs_events().emit("shard.drain", shard=self.shard)
         self._update_gauge()
 
@@ -384,8 +510,29 @@ class WorkerSupervisor:
 
         self._request_id += 1
         request_id = self._request_id
+
+        slot = None
+        if self.transport == "shm" and self._ring is not None:
+            slot = self._ring.acquire()
+            if slot is not None:
+                try:
+                    nbytes = pack_queries(
+                        queries, self._ring.slot_view(slot), trace_ctx=trace_ctx
+                    )
+                except CodecError:
+                    # batch too large for a slot (or unencodable ids):
+                    # this request rides the pickle path instead
+                    self._ring.release(slot)
+                    slot = None
+                    self.transport_stats["shm_overflows"] += 1
         try:
-            worker.conn.send(("serve", request_id, queries, trace_ctx))
+            if slot is not None:
+                worker.slot = slot
+                worker.conn.send(("serve_slot", request_id, slot, nbytes))
+                self.transport_stats["shm_batches"] += 1
+            else:
+                worker.conn.send(("serve", request_id, queries, trace_ctx))
+                self.transport_stats["pipe_batches"] += 1
         except (BrokenPipeError, EOFError, OSError):
             self._fail(worker, "crash", detail="pipe closed on send")
             return None
@@ -407,10 +554,22 @@ class WorkerSupervisor:
                 worker.last_heartbeat = self._clock()
                 self._merge_snapshot(message)
                 return message[2]
+            if kind == "result_slot" and message[1] == request_id:
+                worker.last_heartbeat = self._clock()
+                self._merge_snapshot(message, index=4)
+                values, _codes = unpack_results(
+                    self._ring.slot_view(slot)[: message[3]]
+                )
+                worker.slot = None
+                self._ring.release(slot)
+                return values
             if kind == "error" and message[1] == request_id:
                 # The worker survived; its estimator raised.  The worker
                 # stays live (the model is broken, not the process) and
                 # the caller degrades this batch.
+                if slot is not None:
+                    worker.slot = None
+                    self._ring.release(slot)
                 worker.last_heartbeat = self._clock()
                 self._merge_snapshot(message, index=3)
                 self._obs_events().emit(
@@ -428,6 +587,85 @@ class WorkerSupervisor:
     def _merge_snapshot(self, message: tuple, index: int = 3) -> None:
         if len(message) > index and message[index] is not None:
             self.merger.merge(message[index])
+
+    # ------------------------------------------------------------------
+    # Zero-copy model swap
+    # ------------------------------------------------------------------
+    def swap_model(
+        self, candidate: CardinalityEstimator, *, generation: ArenaGeneration | None = None
+    ) -> bool:
+        """Point live workers at ``candidate`` without reforking them.
+
+        Publishes the candidate to the arena (unless the caller — the
+        shard router — already did, publishing once for all shards) and
+        sends each live worker a control-frame ``swap``.  Workers attach
+        read-only tensor views; the model itself never crosses a pipe.
+        A worker that cannot swap is failed and its restart refork
+        inherits the candidate from parent memory.
+
+        Returns ``False`` when this pool cannot live-swap (inline mode,
+        pipe transport, or not started) — the caller falls back to the
+        drain-and-refork path.
+        """
+        if not self.started or self.mode != "fork" or self.transport != "shm":
+            return False
+        if generation is not None and self._arena is None:
+            raise ValueError(
+                "a pre-published generation needs the publishing arena "
+                "wired into this supervisor"
+            )
+        if self._arena is None:
+            self._arena = ModelArena()
+            self._arena_owned = True
+        if generation is None:
+            generation = self._arena.publish(candidate)
+        self._arena.acquire(generation)
+        # Reforks from here on inherit the candidate through fork memory.
+        self.estimator = candidate
+        swapped = 0
+        for worker in self._workers:
+            if worker.state == LIVE and self._swap_worker(worker, generation):
+                swapped += 1
+        previous = self._generation
+        self._generation = generation
+        if previous is not None:
+            self._arena.release(previous)
+        self._obs_events().emit(
+            "shard.arena_swap",
+            shard=self.shard,
+            generation=generation.generation,
+            workers=swapped,
+        )
+        return True
+
+    def _swap_worker(self, worker: _Worker, generation: ArenaGeneration) -> bool:
+        try:
+            worker.conn.send(("swap", generation.generation, generation.name))
+        except (BrokenPipeError, EOFError, OSError):
+            self._fail(worker, "crash", detail="pipe closed on swap")
+            return False
+        deadline = monotonic() + self.request_timeout_seconds
+        while True:
+            remaining = deadline - monotonic()
+            if remaining <= 0.0:
+                self._fail(worker, "hang", detail="swap timeout")
+                return False
+            try:
+                if not worker.conn.poll(remaining):
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                self._fail(worker, "crash", detail="pipe closed mid-swap")
+                return False
+            if message[0] == "swapped" and message[1] == generation.generation:
+                worker.last_heartbeat = self._clock()
+                return True
+            if message[0] == "swap_failed" and message[1] == generation.generation:
+                self._fail(
+                    worker, "error", detail=f"arena attach failed: {message[2]}"
+                )
+                return False
+            # Stale frame from an abandoned request: skip it.
 
     # ------------------------------------------------------------------
     # Supervision: heartbeats, restarts, budget
@@ -489,6 +727,14 @@ class WorkerSupervisor:
             worker.conn.close()
             worker.process = None
             worker.conn = None
+        if worker.slot is not None:
+            # The worker is dead (killed and reaped above), so it can
+            # never scribble this slot again — recycle it instead of
+            # leaking ring capacity on every crash.
+            if self._ring is not None:
+                self._ring.release(worker.slot)
+                self.transport_stats["slots_reclaimed"] += 1
+            worker.slot = None
         self._obs_events().emit(
             f"shard.worker_{reason}",
             shard=self.shard,
@@ -519,6 +765,20 @@ class WorkerSupervisor:
     @property
     def live_count(self) -> int:
         return sum(1 for w in self._workers if w.state == LIVE)
+
+    @property
+    def ring_free_count(self) -> int | None:
+        """Free ring slots (``None`` when the pipe transport is active)."""
+        return None if self._ring is None else self._ring.free_count
+
+    @property
+    def generation(self) -> ArenaGeneration | None:
+        """The arena generation the pool is attached to (None = fork)."""
+        return self._generation
+
+    @property
+    def arena(self) -> ModelArena | None:
+        return self._arena
 
     @property
     def exhausted(self) -> bool:

@@ -1,6 +1,6 @@
 """Static analysis over ``src/repro``: robustness anti-patterns.
 
-Five rules, enforced by walking every module's AST:
+Seven rules, enforced by walking every module's AST:
 
 1. **No bare ``except:``** — it catches ``SystemExit`` and
    ``KeyboardInterrupt``, which breaks graceful shutdown (the bench CLI
@@ -37,6 +37,17 @@ Five rules, enforced by walking every module's AST:
    as a judging site (``*sanit*``, ``*guard*``, ``*clamp*``,
    ``*validate*``, the ``_serve_inner``/``_serve_batch_inner`` chain
    walkers, or the ``*last_resort*`` floor).
+7. **No non-control payloads over shard pipes** — modules under
+   ``src/repro/shard`` must not call ``.send(...)``: bulk data crosses
+   the process boundary through the shared-memory ring framed by
+   ``codec.py``, never pickled over a duplex pipe.  The two data-plane
+   modules (``supervisor.py``, ``codec.py``) may send **control frames
+   only** — a single tuple literal whose first element is a string
+   constant drawn from the fixed control-op vocabulary (``serve``,
+   ``serve_slot``, ``result``, ``swap`` ...).  Anything else —
+   ``conn.send(model)``, a computed op name, keyword payloads — is how
+   a "tiny control message" quietly regrows into a pickle of the whole
+   estimator.
 
 A handler that is *deliberately* silent (e.g. a child process whose
 parent observes the dead pipe) opts out with a ``# lint-ok: <reason>``
@@ -84,6 +95,30 @@ SANCTIONED_FRAGMENTS = (
 
 #: the estimator-protocol calls whose raw result rule 6 protects
 ESTIMATE_ATTRS = ("estimate", "estimate_many")
+
+#: package directory whose pipe traffic is policed (rule 7)
+SHARD_DIR = "shard"
+
+#: the data-plane modules allowed to send control frames (rule 7)
+SEND_MODULES = ("codec.py", "supervisor.py")
+
+#: the complete control-frame vocabulary of the shard duplex pipes:
+#: parent -> worker requests and worker -> parent replies.  A frame's
+#: first tuple element must be one of these string constants.
+CONTROL_OPS = {
+    "serve",
+    "serve_slot",
+    "ping",
+    "stop",
+    "swap",
+    "result",
+    "result_slot",
+    "error",
+    "pong",
+    "stopped",
+    "swapped",
+    "swap_failed",
+}
 
 
 def _python_sources() -> list[Path]:
@@ -227,6 +262,40 @@ def _model_output_violations(
     return found
 
 
+def _is_control_frame(call: ast.Call) -> bool:
+    """Single positional tuple-literal arg led by a known control op.
+
+    The shape is deliberately strict: the whole frame must be written
+    as a literal at the call site (so the vocabulary is greppable) and
+    the op must be a string constant in :data:`CONTROL_OPS` — a
+    computed op name or a frame built elsewhere doesn't qualify.
+    """
+    if len(call.args) != 1 or call.keywords:
+        return False
+    frame = call.args[0]
+    if not isinstance(frame, ast.Tuple) or not frame.elts:
+        return False
+    op = frame.elts[0]
+    return isinstance(op, ast.Constant) and op.value in CONTROL_OPS
+
+
+def _send_violations(
+    tree: ast.AST, lines: list[str], *, allow_control: bool
+) -> list[int]:
+    """Rule 7 matcher: line numbers of banned ``.send(...)`` calls."""
+    found: list[int] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and not _line_has_pragma(lines, node.lineno)
+            and not (allow_control and _is_control_frame(node))
+        ):
+            found.append(node.lineno)
+    return found
+
+
 def _violations_in(path: Path) -> list[str]:
     source = path.read_text()
     lines = source.splitlines()
@@ -236,6 +305,17 @@ def _violations_in(path: Path) -> list[str]:
     is_clock_module = tuple(path.parts[-2:]) == CLOCK_MODULE
     is_fastpath = FASTPATH_DIR in path.parts
     is_serving = any(d in path.parts for d in SERVING_DIRS)
+    is_shard = SHARD_DIR in path.parts
+    if is_shard:
+        for lineno in _send_violations(
+            tree, lines, allow_control=path.name in SEND_MODULES
+        ):
+            found.append(
+                f"{rel}:{lineno}: non-control payload over a shard pipe — "
+                "frame bulk data through the codec/ring; pipes carry only "
+                "tuple-literal control frames from supervisor.py/codec.py; "
+                "`# lint-ok: <reason>` to opt out"
+            )
     if is_serving:
         for lineno, kind in _model_output_violations(tree, lines):
             what = (
@@ -309,10 +389,17 @@ class TestLintRules:
         is_clock_module: bool = False,
         is_fastpath: bool = False,
         is_serving: bool = False,
+        is_shard: bool = False,
+        allow_control: bool = False,
     ) -> list[str]:
         lines = snippet.splitlines()
         found = []
         tree = ast.parse(snippet)
+        if is_shard:
+            found.extend(
+                "send"
+                for _ in _send_violations(tree, lines, allow_control=allow_control)
+            )
         if is_serving:
             found.extend(kind for _, kind in _model_output_violations(tree, lines))
         for node in ast.walk(tree):
@@ -531,3 +618,38 @@ class TestLintRules:
             "    return math.exp(model.predict_log(x))\n"
         )
         assert self.check(snippet) == []
+
+    def test_flags_send_in_shard_module(self):
+        # Outside the data-plane modules no .send() is tolerated at all,
+        # control frame or not.
+        snippet = "conn.send(('ping', 7))\n"
+        assert self.check(snippet, is_shard=True) == ["send"]
+
+    def test_flags_send_of_object_in_data_plane(self):
+        snippet = "conn.send(model)\n"
+        assert self.check(snippet, is_shard=True, allow_control=True) == ["send"]
+
+    def test_accepts_control_frame_in_data_plane(self):
+        snippet = "conn.send(('result', request_id, values, snap))\n"
+        assert self.check(snippet, is_shard=True, allow_control=True) == []
+
+    def test_flags_unknown_op_in_data_plane(self):
+        snippet = "conn.send(('upload_model', weights))\n"
+        assert self.check(snippet, is_shard=True, allow_control=True) == ["send"]
+
+    def test_flags_computed_op_in_data_plane(self):
+        # The op must be a string constant: a computed name defeats the
+        # greppable-vocabulary property the rule protects.
+        snippet = "conn.send((op_name, request_id))\n"
+        assert self.check(snippet, is_shard=True, allow_control=True) == ["send"]
+
+    def test_flags_keyword_send_in_data_plane(self):
+        snippet = "conn.send(('serve', batch), flags=0)\n"
+        assert self.check(snippet, is_shard=True, allow_control=True) == ["send"]
+
+    def test_send_accepts_pragma(self):
+        snippet = "conn.send(payload)  # lint-ok: test fixture pipe\n"
+        assert self.check(snippet, is_shard=True) == []
+
+    def test_send_rule_scoped_to_shard_dir(self):
+        assert self.check("sock.send(data)\n") == []
